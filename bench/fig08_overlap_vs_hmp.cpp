@@ -1,0 +1,54 @@
+// Figure 8: co-locating HCC and HPC ("Overlap") vs. running them on separate
+// nodes ("No Overlap") vs. the HMP implementation.
+//
+// Configurations follow the paper: HMP uses the full representation, the
+// split implementations use sparse. Paper shape: Overlap wins — co-location
+// removes HCC->HPC network cost and doubles the number of filter copies,
+// and while one co-located filter waits on stream I/O the other computes.
+#include "bench_common.hpp"
+
+using namespace h4d;
+using haralick::Representation;
+
+int main(int argc, char** argv) {
+  const bench::Workload w = bench::setup_workload(argc, argv);
+  bench::Report report(
+      "fig08", "HCC+HPC co-location (Overlap) vs separate nodes vs HMP",
+      {"processors", "no_overlap_s", "overlap_s", "hmp_s"});
+
+  std::vector<double> noov, ov, hmp;
+  const std::vector<int> procs{1, 2, 4, 8, 12, 16};
+  for (const int n : procs) {
+    const auto opt = bench::piii_options(n);
+    const auto a = bench::run_config(
+        bench::split_config(w, n, Representation::Sparse, /*overlap=*/false), opt);
+    const auto b = bench::run_config(
+        bench::split_config(w, n, Representation::Sparse, /*overlap=*/true), opt);
+    const auto c = bench::run_config(bench::hmp_config(w, n, Representation::Full), opt);
+    noov.push_back(a.total_seconds);
+    ov.push_back(b.total_seconds);
+    hmp.push_back(c.total_seconds);
+    report.row({std::to_string(n), bench::Report::sec(a.total_seconds),
+                bench::Report::sec(b.total_seconds), bench::Report::sec(c.total_seconds)});
+  }
+
+  bool overlap_beats_noov = true;
+  bool overlap_competitive = true;  // same order as HMP wherever it loses
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    if (ov[i] > noov[i] * 1.001) overlap_beats_noov = false;
+    if (ov[i] > hmp[i] * 1.20) overlap_competitive = false;
+  }
+
+  report.check("Overlap beats No-Overlap at every processor count (paper Fig 8)",
+               overlap_beats_noov);
+  // Known deviation (see EXPERIMENTS.md): the paper shows Overlap below HMP
+  // throughout. In this model Overlap wins while per-node communication is
+  // significant (low counts) and converges to a tie once both variants are
+  // bound by the shared output wire; we assert the reproducible part.
+  report.check("Overlap beats HMP at low processor counts (paper Fig 8)",
+               ov[0] <= hmp[0] * 1.001 && ov[1] <= hmp[1] * 1.001);
+  report.check("Overlap within 20% of HMP at every count", overlap_competitive);
+  report.check("split beats HMP in the one-node configuration (paper Sec. 5.2)",
+               ov[0] <= hmp[0] * 1.001);
+  return report.finish();
+}

@@ -1,0 +1,44 @@
+// Section 5.2 follow-up to Figure 9: relieving the IIC bottleneck with
+// multiple *explicit* IIC copies (round-robin distribution of RFR->IIC
+// chunks over copies).
+//
+// Paper claim: "as the number of IIC filters is increased, the processing
+// time of each IIC filter decreases almost linearly."
+#include "bench_common.hpp"
+
+using namespace h4d;
+using haralick::Representation;
+
+int main(int argc, char** argv) {
+  const bench::Workload w = bench::setup_workload(argc, argv);
+  bench::Report report("fig09b", "explicit IIC copies relieve the input-stitch bottleneck",
+                       {"iic_copies", "per_iic_busy_s", "total_s"});
+
+  const int texture_nodes = 16;
+  const std::vector<int> iic_counts{1, 2, 4, 8};
+  std::vector<double> per_iic, totals;
+  for (const int k : iic_counts) {
+    // Extra IIC copies get their own nodes appended after the texture nodes.
+    auto cfg = bench::split_config(w, texture_nodes, Representation::Sparse,
+                                   /*overlap=*/false);
+    cfg.iic_copies = k;
+    cfg.iic_nodes.clear();
+    cfg.iic_nodes.push_back(bench::kIicNode);
+    for (int i = 1; i < k; ++i) {
+      cfg.iic_nodes.push_back(bench::kFirstTextureNode + texture_nodes + i - 1);
+    }
+    auto opt = bench::piii_options(texture_nodes + k - 1);
+    const auto stats = bench::run_config(cfg, opt);
+    const double busy = stats.filter_busy_seconds("IIC") / k;
+    per_iic.push_back(busy);
+    totals.push_back(stats.total_seconds);
+    report.row({std::to_string(k), bench::Report::sec(busy),
+                bench::Report::sec(stats.total_seconds)});
+  }
+
+  report.check("per-copy IIC busy time drops ~linearly with copies (>=1.6x per doubling)",
+               per_iic[0] > 1.6 * per_iic[1] && per_iic[1] > 1.6 * per_iic[2]);
+  report.check("total time does not regress when adding IIC copies",
+               totals.back() <= totals.front() * 1.05);
+  return report.finish();
+}

@@ -1,0 +1,82 @@
+// Figure 11: round-robin vs. demand-driven buffer scheduling in a
+// heterogeneous XEON+OPTERON environment.
+//
+// Layout (paper Sec. 5.3): 4 RFR, 1 IIC, 2 HPC, 1 USO on the OPTERON
+// cluster; 4 HCC on XEON nodes and 4 HCC on OPTERON nodes; no more than one
+// filter per processor. The scheduling policy under test drives the
+// IIC -> HCC chunk stream.
+//
+// Paper shape: demand-driven beats round-robin — it keeps more packets on
+// the cluster whose HCC copies drain fastest, which also co-locates the
+// HCC->HPC traffic.
+#include "bench_common.hpp"
+
+using namespace h4d;
+using haralick::Representation;
+
+int main(int argc, char** argv) {
+  const bench::Workload w = bench::setup_workload(argc, argv);
+  bench::Report report("fig11", "round-robin vs demand-driven buffer scheduling",
+                       {"policy", "time_s", "xeon_hcc_buffers", "opteron_hcc_buffers"});
+
+  sim::SimOptions opt;
+  opt.cluster = sim::make_paper_testbed();
+  const int kXeon0 = 24;     // 5 nodes: 24..28 (dual CPU)
+  const int kOpteron0 = 29;  // 6 nodes: 29..34 (dual CPU)
+
+  auto make = [&](fs::Policy policy) {
+    core::PipelineConfig cfg;
+    cfg.dataset_root = w.dataset_root;
+    cfg.engine = w.engine(Representation::Sparse);
+    cfg.texture_chunk = w.texture_chunk;
+    cfg.variant = core::Variant::Split;
+    cfg.chunk_policy = policy;
+    cfg.rfr_copies = w.storage_nodes;
+    cfg.rfr_nodes = {kOpteron0, kOpteron0 + 1, kOpteron0 + 2, kOpteron0 + 3};
+    cfg.iic_copies = 1;
+    cfg.iic_nodes = {kOpteron0 + 4};
+    cfg.hpc_copies = 2;
+    cfg.hpc_nodes = {kOpteron0 + 4, kOpteron0 + 5};  // second CPUs
+    cfg.uso_copies = 1;
+    cfg.uso_nodes = {kOpteron0 + 5};
+    // 4 HCC on XEON + 4 on OPTERON (second CPUs of the RFR nodes).
+    cfg.hcc_copies = 8;
+    cfg.hcc_nodes = {kXeon0,      kXeon0 + 1,   kXeon0 + 2,   kXeon0 + 3,
+                     kOpteron0,   kOpteron0 + 1, kOpteron0 + 2, kOpteron0 + 3};
+    cfg.output = core::OutputMode::Unstitched;
+    return cfg;
+  };
+
+  auto hcc_buffers_by_cluster = [&](const sim::SimStats& stats, std::int64_t& xeon,
+                                    std::int64_t& opteron) {
+    xeon = opteron = 0;
+    for (const fs::CopyStats& c : stats.copies) {
+      if (c.filter != "HCC") continue;
+      if (c.node >= kXeon0 && c.node < kOpteron0) {
+        xeon += c.meter.buffers_in;
+      } else {
+        opteron += c.meter.buffers_in;
+      }
+    }
+  };
+
+  const auto rr = bench::run_config(make(fs::Policy::RoundRobin), opt);
+  const auto dd = bench::run_config(make(fs::Policy::DemandDriven), opt);
+
+  std::int64_t rr_x, rr_o, dd_x, dd_o;
+  hcc_buffers_by_cluster(rr, rr_x, rr_o);
+  hcc_buffers_by_cluster(dd, dd_x, dd_o);
+
+  report.row({"round-robin", bench::Report::sec(rr.total_seconds), std::to_string(rr_x),
+              std::to_string(rr_o)});
+  report.row({"demand-driven", bench::Report::sec(dd.total_seconds), std::to_string(dd_x),
+              std::to_string(dd_o)});
+
+  report.check("demand-driven beats round-robin (paper Fig 11)",
+               dd.total_seconds < rr.total_seconds);
+  report.check("round-robin splits chunks evenly across clusters",
+               std::abs(rr_x - rr_o) <= 2);
+  report.check("demand-driven skews distribution toward faster consumers",
+               std::abs(dd_x - dd_o) > std::abs(rr_x - rr_o));
+  return report.finish();
+}

@@ -1,0 +1,47 @@
+// Quickstart: 4D Haralick texture analysis of an in-memory volume.
+//
+// Generates a small synthetic DCE-MRI phantom, runs the sequential
+// reference engine, and prints summary statistics for each feature map.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "core/analysis.hpp"
+#include "io/phantom.hpp"
+
+using namespace h4d;
+
+int main() {
+  // 1. A synthetic 4D dataset: 32x32 pixels x 8 slices x 6 timesteps, with
+  //    two contrast-enhancing lesions.
+  io::PhantomConfig phantom_cfg;
+  phantom_cfg.dims = {32, 32, 8, 6};
+  phantom_cfg.num_tumors = 2;
+  phantom_cfg.seed = 42;
+  const io::Phantom phantom = io::generate_phantom(phantom_cfg);
+  std::printf("phantom: %s, %d tumors\n", phantom.volume.dims().str().c_str(),
+              static_cast<int>(phantom.tumors.size()));
+
+  // 2. Analysis parameters: a 5x5x3x3 ROI window, 32 gray levels, the four
+  //    features the paper evaluates, all 40 unique 4D directions (default).
+  haralick::EngineConfig engine;
+  engine.roi_dims = {5, 5, 3, 3};
+  engine.num_levels = 32;
+  engine.features = haralick::FeatureSet::paper_eval();
+
+  // 3. Run. The result holds one 4D feature map per selected feature,
+  //    covering every valid ROI origin.
+  const core::AnalysisResult result = core::analyze_in_memory(phantom.volume, engine);
+  std::printf("feature maps cover origins %s\n\n", result.origins.str().c_str());
+
+  std::printf("%-28s %12s %12s %12s\n", "feature", "min", "max", "mean");
+  for (const auto& [feature, map] : result.maps) {
+    double sum = 0.0;
+    for (float v : map.storage()) sum += v;
+    const auto [lo, hi] = result.ranges.at(feature);
+    std::printf("%-28s %12.5f %12.5f %12.5f\n",
+                std::string(haralick::feature_name(feature)).c_str(), lo, hi,
+                sum / static_cast<double>(map.size()));
+  }
+  return 0;
+}

@@ -1,0 +1,265 @@
+#include "cli/cli.hpp"
+
+#include <charconv>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/planner.hpp"
+#include "haralick/directions.hpp"
+#include "io/image_write.hpp"
+#include "io/mhd.hpp"
+#include "io/phantom.hpp"
+
+namespace h4d::cli {
+
+namespace {
+
+/// Minimal option parser: --key value pairs plus positional arguments.
+class Args {
+ public:
+  Args(int argc, const char* const* argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a.rfind("--", 0) == 0) {
+        if (i + 1 >= argc) throw std::runtime_error("missing value for " + a);
+        options_[a.substr(2)] = argv[++i];
+      } else {
+        positional_.push_back(a);
+      }
+    }
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options_.find(key);
+    return it == options_.end() ? fallback : it->second;
+  }
+  std::string require(const std::string& key) const {
+    const auto it = options_.find(key);
+    if (it == options_.end()) throw std::runtime_error("missing required option --" + key);
+    return it->second;
+  }
+  bool has(const std::string& key) const { return options_.count(key) != 0; }
+
+  int get_int(const std::string& key, int fallback) const {
+    const auto it = options_.find(key);
+    if (it == options_.end()) return fallback;
+    int v = 0;
+    const auto [p, ec] = std::from_chars(it->second.data(),
+                                         it->second.data() + it->second.size(), v);
+    if (ec != std::errc() || p != it->second.data() + it->second.size()) {
+      throw std::runtime_error("bad integer for --" + key + ": " + it->second);
+    }
+    return v;
+  }
+
+  /// "X,Y,Z,T" -> Vec4.
+  Vec4 get_vec4(const std::string& key, Vec4 fallback) const {
+    const auto it = options_.find(key);
+    if (it == options_.end()) return fallback;
+    Vec4 v;
+    std::istringstream is(it->second);
+    std::string token;
+    for (int i = 0; i < kDims; ++i) {
+      if (!std::getline(is, token, ',')) {
+        throw std::runtime_error("--" + key + " needs 4 comma-separated values");
+      }
+      v[i] = std::stoll(token);
+    }
+    return v;
+  }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+haralick::EngineConfig engine_from_args(const Args& args) {
+  haralick::EngineConfig engine;
+  engine.roi_dims = args.get_vec4("roi", {7, 7, 3, 3});
+  engine.num_levels = args.get_int("levels", 32);
+  const std::string features = args.get("features", "paper");
+  if (features == "paper") {
+    engine.features = haralick::FeatureSet::paper_eval();
+  } else if (features == "all") {
+    engine.features = haralick::FeatureSet::all();
+  } else {
+    throw std::runtime_error("--features must be 'paper' or 'all'");
+  }
+  if (args.get("repr", "full") == "sparse") {
+    engine.representation = haralick::Representation::Sparse;
+  }
+  if (args.get("dirs", "all") == "axis") {
+    engine.directions = haralick::axis_directions(haralick::ActiveDims::all4());
+  }
+  engine.sliding_window = args.get("sliding", "off") == "on";
+  return engine;
+}
+
+int cmd_phantom(const Args& args, std::ostream& out) {
+  io::PhantomConfig cfg;
+  cfg.dims = args.get_vec4("dims", {64, 64, 16, 8});
+  cfg.num_tumors = args.get_int("tumors", 3);
+  cfg.seed = static_cast<unsigned>(args.get_int("seed", 2004));
+  const std::string dest = args.require("out");
+  const int nodes = args.get_int("nodes", 4);
+
+  const io::Phantom phantom = io::generate_phantom(cfg);
+  io::DiskDataset::create(dest, phantom.volume, nodes);
+  out << "wrote phantom dataset " << cfg.dims.str() << " with " << phantom.tumors.size()
+      << " lesions across " << nodes << " storage nodes under " << dest << "\n";
+  return 0;
+}
+
+int cmd_import(const Args& args, std::ostream& out) {
+  if (args.positional().empty()) throw std::runtime_error("import: need an .mhd file");
+  const std::string src = args.positional()[0];
+  const std::string dest = args.require("out");
+  const int nodes = args.get_int("nodes", 4);
+  const io::DiskDataset ds = io::import_mhd(src, dest, nodes);
+  out << "imported " << src << " -> " << dest << " (" << ds.meta().dims.str() << ", "
+      << nodes << " storage nodes)\n";
+  return 0;
+}
+
+int cmd_info(const Args& args, std::ostream& out) {
+  if (args.positional().empty()) throw std::runtime_error("info: need a dataset directory");
+  const io::DiskDataset ds = io::DiskDataset::open(args.positional()[0]);
+  const io::DatasetMeta& m = ds.meta();
+  out << "dims           " << m.dims.str() << "\n"
+      << "dtype          " << io::dtype_name(m.dtype) << "\n"
+      << "intensity      [" << m.value_min << ", " << m.value_max << "]\n"
+      << "storage nodes  " << m.storage_nodes << "\n"
+      << "slices         " << m.num_slices() << " (" << m.slice_bytes() << " B each)\n";
+  for (int n = 0; n < m.storage_nodes; ++n) {
+    out << "  node_" << n << ": " << ds.node_reader(n).slices().size() << " slices\n";
+  }
+  return 0;
+}
+
+core::PipelineConfig pipeline_from_args(const Args& args, const std::string& dataset) {
+  core::PipelineConfig cfg;
+  cfg.dataset_root = dataset;
+  cfg.engine = engine_from_args(args);
+  const io::DatasetMeta meta = io::DatasetMeta::load(dataset);
+  cfg.rfr_copies = meta.storage_nodes;
+  cfg.texture_chunk = args.get_vec4("chunk", {64, 64, 8, 8});
+  // Clamp the chunk to the dataset so small studies work out of the box.
+  cfg.texture_chunk = Vec4::min(cfg.texture_chunk, meta.dims);
+  cfg.variant = args.get("variant", "split") == "hmp" ? core::Variant::HMP
+                                                      : core::Variant::Split;
+  const int workers = args.get_int("workers", 4);
+  if (cfg.variant == core::Variant::HMP) {
+    cfg.hmp_copies = workers;
+  } else {
+    cfg.hcc_copies = std::max(1, workers * 4 / 5);
+    cfg.hpc_copies = std::max(1, workers - cfg.hcc_copies);
+  }
+  return cfg;
+}
+
+int cmd_analyze(const Args& args, std::ostream& out) {
+  if (args.positional().empty()) throw std::runtime_error("analyze: need a dataset directory");
+  const std::string dataset = args.positional()[0];
+  core::PipelineConfig cfg = pipeline_from_args(args, dataset);
+
+  const core::AnalysisResult result = core::analyze_threaded(cfg);
+  out << "analyzed " << dataset << " in " << result.stats.total_seconds << "s wall, "
+      << result.maps.size() << " feature maps over " << result.origins.size.str()
+      << " origins\n";
+
+  if (args.has("out")) {
+    const std::string dest = args.get("out", "");
+    for (const auto& [feature, map] : result.maps) {
+      const auto [lo, hi] = result.ranges.at(feature);
+      const int n = io::write_feature_map_images(
+          dest, std::string(haralick::feature_slug(feature)), map, lo, hi);
+      out << "  " << haralick::feature_name(feature) << ": " << n << " slices\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_simulate(const Args& args, std::ostream& out) {
+  if (args.positional().empty()) {
+    throw std::runtime_error("simulate: need a dataset directory");
+  }
+  const std::string dataset = args.positional()[0];
+  const int workers = args.get_int("workers", 8);
+
+  core::PipelineConfig cfg = pipeline_from_args(args, dataset);
+  // Paper layout: RFR on nodes 0..k, IIC on the next, USO after, texture
+  // filters on dedicated nodes.
+  const io::DatasetMeta meta = io::DatasetMeta::load(dataset);
+  for (int i = 0; i < meta.storage_nodes; ++i) cfg.rfr_nodes.push_back(i);
+  const int iic_node = meta.storage_nodes;
+  cfg.iic_nodes = {iic_node};
+  cfg.uso_nodes = {iic_node + 1};
+  const int first_texture = iic_node + 2;
+  if (cfg.variant == core::Variant::HMP) {
+    for (int i = 0; i < cfg.hmp_copies; ++i) cfg.hmp_nodes.push_back(first_texture + i);
+  } else {
+    for (int i = 0; i < cfg.hcc_copies; ++i) cfg.hcc_nodes.push_back(first_texture + i);
+    for (int i = 0; i < cfg.hpc_copies; ++i) {
+      cfg.hpc_nodes.push_back(first_texture + cfg.hcc_copies + i);
+    }
+  }
+
+  sim::SimOptions sopt;
+  sopt.cluster = sim::make_piii_cluster(first_texture + workers + 2);
+
+  const core::AnalysisResult r = core::analyze_simulated(cfg, sopt);
+  out << "virtual execution time " << r.sim.total_seconds << " s on "
+      << (cfg.variant == core::Variant::HMP ? "HMP" : "split HCC+HPC") << " with "
+      << workers << " texture nodes (modeled PIII cluster)\n"
+      << "network: " << r.sim.network_bytes / 1024 << " KiB in " << r.sim.network_transfers
+      << " transfers\n";
+  std::map<std::string, double> busy;
+  for (const auto& c : r.sim.copies) busy[c.filter] += c.busy_seconds;
+  for (const auto& [filter, seconds] : busy) {
+    out << "  " << filter << " total busy " << seconds << " s\n";
+  }
+  return 0;
+}
+
+int usage(std::ostream& err) {
+  err << "usage: h4d <command> [options]\n"
+         "\n"
+         "commands:\n"
+         "  phantom  --out DIR [--dims X,Y,Z,T] [--tumors N] [--seed S] [--nodes N]\n"
+         "  import   FILE.mhd --out DIR [--nodes N]\n"
+         "  info     DATASET_DIR\n"
+         "  analyze  DATASET_DIR [--out DIR] [--variant hmp|split] [--workers N]\n"
+         "           [--roi X,Y,Z,T] [--levels N] [--features paper|all]\n"
+         "           [--repr full|sparse] [--dirs all|axis] [--sliding on|off]\n"
+         "           [--chunk X,Y,Z,T]\n"
+         "  simulate DATASET_DIR [same options as analyze]\n";
+  return 2;
+}
+
+}  // namespace
+
+int run(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
+  if (argc < 2) return usage(err);
+  const std::string cmd = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (cmd == "phantom") return cmd_phantom(args, out);
+    if (cmd == "import") return cmd_import(args, out);
+    if (cmd == "info") return cmd_info(args, out);
+    if (cmd == "analyze") return cmd_analyze(args, out);
+    if (cmd == "simulate") return cmd_simulate(args, out);
+    err << "unknown command: " << cmd << "\n";
+    return usage(err);
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace h4d::cli

@@ -1,0 +1,19 @@
+// Command-line interface for the library, exposed as a function so it can
+// be unit-tested; tools/h4d.cpp wraps it in main().
+//
+// Subcommands:
+//   phantom   generate a synthetic DCE-MRI study as a disk-resident dataset
+//   import    convert a MetaImage (.mhd) study into a dataset
+//   info      print dataset metadata
+//   analyze   run the parallel pipeline on this machine, write feature maps
+//   simulate  run the pipeline on the modeled 2004 cluster, print timings
+#pragma once
+
+#include <iosfwd>
+
+namespace h4d::cli {
+
+/// Entry point; returns a process exit code. Output goes to `out`/`err`.
+int run(int argc, const char* const* argv, std::ostream& out, std::ostream& err);
+
+}  // namespace h4d::cli

@@ -1,0 +1,7 @@
+#include <iostream>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  return h4d::cli::run(argc, argv, std::cout, std::cerr);
+}

@@ -1,0 +1,69 @@
+#include "core/analysis.hpp"
+
+#include <limits>
+
+#include "fs/executor_threads.hpp"
+#include "nd/quantize.hpp"
+
+namespace h4d::core {
+
+namespace {
+
+AnalysisResult finish(std::shared_ptr<filters::CollectedResults> collected,
+                      const PipelineConfig& config) {
+  const filters::ParamsPtr params = make_params(config);
+  AnalysisResult r;
+  r.origins = roi_origin_region(params->meta.dims, params->engine.roi_dims);
+  {
+    std::lock_guard lk(collected->mu);
+    r.maps = std::move(collected->maps);
+    r.ranges = std::move(collected->ranges);
+  }
+  return r;
+}
+
+}  // namespace
+
+AnalysisResult analyze_in_memory(const Volume4<std::uint16_t>& volume,
+                                 const haralick::EngineConfig& engine) {
+  const Volume4<Level> levels = quantize_volume(volume, engine.num_levels);
+  const auto blocks = haralick::analyze_volume(levels, engine);
+
+  AnalysisResult r;
+  r.origins = roi_origin_region(volume.dims(), engine.roi_dims);
+  for (const auto& b : blocks) {
+    Volume4<float> map = haralick::assemble_feature_map({&b}, r.origins);
+    float lo = std::numeric_limits<float>::infinity();
+    float hi = -lo;
+    for (float v : map.storage()) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    r.ranges.emplace(b.feature, std::pair<float, float>(lo, hi));
+    r.maps.emplace(b.feature, std::move(map));
+  }
+  return r;
+}
+
+AnalysisResult analyze_threaded(PipelineConfig config) {
+  config.output = OutputMode::Collect;
+  auto collected = std::make_shared<filters::CollectedResults>();
+  const fs::FilterGraph graph = build_pipeline(config, collected);
+  const fs::RunStats stats = fs::run_threaded(graph);
+  AnalysisResult r = finish(collected, config);
+  r.stats = stats;
+  return r;
+}
+
+AnalysisResult analyze_simulated(PipelineConfig config, const sim::SimOptions& sim_options) {
+  config.output = OutputMode::Collect;
+  auto collected = std::make_shared<filters::CollectedResults>();
+  const fs::FilterGraph graph = build_pipeline(config, collected);
+  const sim::SimStats stats = sim::run_simulated(graph, sim_options);
+  AnalysisResult r = finish(collected, config);
+  r.sim = stats;
+  r.stats = stats;
+  return r;
+}
+
+}  // namespace h4d::core

@@ -1,0 +1,73 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <stdexcept>
+
+#include "nd/raster.hpp"
+
+namespace h4d::core {
+
+using haralick::Glcm;
+using haralick::Representation;
+using haralick::SparseGlcm;
+
+std::pair<int, int> apportion_split(double cost_ratio, int texture_nodes) {
+  if (!(cost_ratio > 0.0)) throw std::invalid_argument("apportion_split: ratio must be > 0");
+  if (texture_nodes < 1) throw std::invalid_argument("apportion_split: need >= 1 node");
+  if (texture_nodes == 1) return {1, 0};  // co-located on the single node
+  const double hcc_share = cost_ratio / (cost_ratio + 1.0);
+  int hcc = static_cast<int>(std::lround(hcc_share * texture_nodes));
+  hcc = std::clamp(hcc, 1, texture_nodes - 1);
+  return {hcc, texture_nodes - hcc};
+}
+
+SplitPlan plan_split(const Volume4<Level>& probe, const haralick::EngineConfig& engine,
+                     const sim::CostModel& cost, int texture_nodes, int max_probe_rois) {
+  const Region4 origins = roi_origin_region(probe.dims(), engine.roi_dims);
+  if (origins.empty()) {
+    throw std::invalid_argument("plan_split: probe volume smaller than the ROI");
+  }
+  if (max_probe_rois < 1) throw std::invalid_argument("plan_split: need >= 1 probe ROI");
+
+  const auto dirs = engine.effective_directions();
+  const std::int64_t total = origins.volume();
+  const std::int64_t stride = std::max<std::int64_t>(1, total / max_probe_rois);
+
+  fs::WorkMeter hcc_meter, hpc_meter;
+  std::int64_t probed = 0;
+  std::int64_t index = 0;
+  for (const Vec4& origin : raster(origins)) {
+    if (index++ % stride != 0) continue;
+    ++probed;
+
+    // HCC stage: matrix construction (+ sparse compression when configured).
+    Glcm g(engine.num_levels);
+    hcc_meter.work.glcm_pair_updates +=
+        g.accumulate(probe.view(), Region4{origin, engine.roi_dims}, dirs);
+    hcc_meter.work.matrices_built += 1;
+    if (engine.representation == Representation::Sparse) {
+      const SparseGlcm s = SparseGlcm::from_dense(g);
+      hcc_meter.work.sparse_compress_cells +=
+          static_cast<std::int64_t>(engine.num_levels) * engine.num_levels;
+      hcc_meter.work.sparse_entries_emitted += static_cast<std::int64_t>(s.nnz());
+      // HPC stage, sparse path.
+      haralick::compute_features(s, engine.features, &hpc_meter.work);
+    } else {
+      haralick::compute_features(g, engine.features, engine.zero_policy, &hpc_meter.work);
+    }
+  }
+
+  SplitPlan plan;
+  plan.hcc_cost_per_roi = cost.compute_seconds(hcc_meter) / static_cast<double>(probed);
+  plan.hpc_cost_per_roi = cost.compute_seconds(hpc_meter) / static_cast<double>(probed);
+  if (plan.hpc_cost_per_roi <= 0.0) {
+    throw std::logic_error("plan_split: degenerate HPC cost");
+  }
+  plan.cost_ratio = plan.hcc_cost_per_roi / plan.hpc_cost_per_roi;
+  std::tie(plan.hcc_nodes, plan.hpc_nodes) = apportion_split(plan.cost_ratio, texture_nodes);
+  return plan;
+}
+
+}  // namespace h4d::core

@@ -1,0 +1,109 @@
+#include "filters/input_filters.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "nd/quantize.hpp"
+
+namespace h4d::filters {
+
+void RawFileReader::run_source(fs::FilterContext& ctx) {
+  const int node = ctx.copy_index();
+  io::StorageNodeReader reader(p_->dataset_root / ("node_" + std::to_string(node)), p_->meta,
+                               node);
+  const Quantizer quant = p_->quantizer();
+
+  // x/y tiling of a slice into RFR->IIC pieces.
+  const Vec4 slice_dims{p_->meta.dims[0], p_->meta.dims[1], 1, 1};
+  const std::vector<Region4> tiles = partition_plain(slice_dims, p_->io_chunk);
+
+  std::vector<std::uint16_t> raw;
+  std::int64_t seq = 0;
+  std::int64_t seeks_before = 0;
+  std::int64_t bytes_before = 0;
+
+  for (const io::SliceRef& slice : reader.slices()) {
+    for (const Region4& tile : tiles) {
+      raw.resize(static_cast<std::size_t>(tile.size[0] * tile.size[1]));
+      reader.read_slice_region(slice, tile.origin[0], tile.origin[1], tile.size[0],
+                               tile.size[1], raw.data());
+      ctx.meter().disk_seeks += reader.seeks_performed() - seeks_before;
+      ctx.meter().disk_bytes_read += reader.bytes_read() - bytes_before;
+      seeks_before = reader.seeks_performed();
+      bytes_before = reader.bytes_read();
+
+      // Global region of this piece.
+      const Region4 piece{{tile.origin[0], tile.origin[1], slice.z, slice.t},
+                          {tile.size[0], tile.size[1], 1, 1}};
+
+      // Which IIC copies need it? The owners of every overlapping chunk.
+      std::set<int> targets;
+      for (const Chunk& c : p_->chunks) {
+        if (c.region.intersects(piece)) targets.insert(p_->iic_copy_of_chunk(c.id));
+      }
+      if (targets.empty()) continue;
+
+      // Quantize once.
+      std::vector<std::byte> levels(raw.size());
+      for (std::size_t i = 0; i < raw.size(); ++i) {
+        levels[i] = static_cast<std::byte>(quant(static_cast<double>(raw[i])));
+      }
+      ctx.meter().elements_quantized += static_cast<std::int64_t>(raw.size());
+
+      for (const int target : targets) {
+        fs::BufferHeader h;
+        h.kind = fs::BufferKind::RawChunkPiece;
+        h.region = piece;
+        h.seq = seq++;
+        h.aux = target;
+        ctx.emit(kPortPieces, fs::make_buffer(h, levels));
+      }
+    }
+  }
+}
+
+void InputImageConstructor::process(int port, const fs::BufferPtr& buffer,
+                                    fs::FilterContext& ctx) {
+  if (port != kPortPieces || buffer->header.kind != fs::BufferKind::RawChunkPiece) {
+    throw std::runtime_error("IIC: unexpected input buffer");
+  }
+  const Region4& piece = buffer->header.region;
+  const Vol4View<const Level> piece_view(
+      reinterpret_cast<const Level*>(buffer->payload.data()), piece.size);
+
+  for (const Chunk& c : p_->chunks) {
+    if (p_->iic_copy_of_chunk(c.id) != ctx.copy_index()) continue;
+    const Region4 common = c.region.intersect(piece);
+    if (common.empty()) continue;
+
+    auto [it, inserted] = pending_.try_emplace(c.id, c.region.size);
+    Pending& slot = it->second;
+    copy_region<Level>(piece_view, piece, slot.data.view(), c.region);
+    slot.filled += common.volume();
+    ctx.meter().stitch_elements += common.volume();
+
+    if (slot.filled == c.region.volume()) {
+      fs::BufferHeader h;
+      h.kind = fs::BufferKind::TextureChunk;
+      h.region = c.region;
+      h.region2 = c.owned_origins;
+      h.chunk_id = c.id;
+      h.seq = emitted_++;
+      std::vector<std::byte> payload(static_cast<std::size_t>(c.region.volume()));
+      std::memcpy(payload.data(), slot.data.data(), payload.size());
+      ctx.meter().stitch_elements += static_cast<std::int64_t>(payload.size());
+      pending_.erase(it);
+      ctx.emit(kPortChunks, fs::make_buffer(h, std::move(payload)));
+    }
+  }
+}
+
+void InputImageConstructor::flush(fs::FilterContext&) {
+  if (!pending_.empty()) {
+    throw std::runtime_error("IIC copy finished with " + std::to_string(pending_.size()) +
+                             " incomplete chunks — missing input pieces");
+  }
+}
+
+}  // namespace h4d::filters

@@ -1,0 +1,126 @@
+#include "filters/output_filters.hpp"
+
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+#include "io/image_write.hpp"
+#include "nd/chunking.hpp"
+
+namespace h4d::filters {
+
+using haralick::Feature;
+
+void UnstitchedOutput::process(int port, const fs::BufferPtr& buffer, fs::FilterContext& ctx) {
+  if (port != kPortFeatures || buffer->header.kind != fs::BufferKind::FeatureValues) {
+    throw std::runtime_error("USO: unexpected input buffer");
+  }
+  const auto samples = buffer->as<FeatureSample>();
+  ctx.meter().disk_bytes_written += static_cast<std::int64_t>(buffer->payload.size());
+  if (dir_.empty()) return;
+
+  std::filesystem::create_directories(dir_);
+  const Feature f = static_cast<Feature>(buffer->header.feature);
+  const std::filesystem::path path =
+      dir_ / (std::string(haralick::feature_slug(f)) + "_c" +
+              std::to_string(ctx.copy_index()) + ".bin");
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) throw std::runtime_error("USO: cannot open " + path.string());
+  out.write(reinterpret_cast<const char*>(samples.data()),
+            static_cast<std::streamsize>(samples.size_bytes()));
+  if (!out) throw std::runtime_error("USO: short write to " + path.string());
+}
+
+void HaralickImageConstructor::process(int port, const fs::BufferPtr& buffer,
+                                       fs::FilterContext& ctx) {
+  if (port != kPortFeatures || buffer->header.kind != fs::BufferKind::FeatureValues) {
+    throw std::runtime_error("HIC: unexpected input buffer");
+  }
+  const int f = buffer->header.feature;
+  const Region4 origins = roi_origin_region(p_->meta.dims, p_->engine.roi_dims);
+
+  auto it = maps_.find(f);
+  if (it == maps_.end()) {
+    it = maps_.emplace(f, Volume4<float>(origins.size, 0.0f)).first;
+    ranges_.emplace(f, std::pair<float, float>(std::numeric_limits<float>::infinity(),
+                                               -std::numeric_limits<float>::infinity()));
+  }
+  Volume4<float>& map = it->second;
+  auto& [lo, hi] = ranges_.at(f);
+
+  for (const FeatureSample& s : buffer->as<FeatureSample>()) {
+    const Vec4 o = s.origin();
+    if (!origins.contains(o)) {
+      throw std::runtime_error("HIC: sample origin " + o.str() + " outside " + origins.str());
+    }
+    const float v = static_cast<float>(s.value);
+    map.at(o - origins.origin) = v;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  ctx.meter().bytes_memcpy += static_cast<std::int64_t>(buffer->payload.size());
+}
+
+void HaralickImageConstructor::flush(fs::FilterContext& ctx) {
+  const Region4 origins = roi_origin_region(p_->meta.dims, p_->engine.roi_dims);
+  for (auto& [f, map] : maps_) {
+    fs::BufferHeader h;
+    h.kind = fs::BufferKind::FeatureMap;
+    h.feature = f;
+    h.region = origins;
+    auto buffer = fs::make_buffer(h);
+    auto span = buffer->alloc_as<float>(map.storage().size());
+    std::copy(map.storage().begin(), map.storage().end(), span.begin());
+    ctx.meter().bytes_memcpy += static_cast<std::int64_t>(buffer->payload.size());
+    ctx.emit(kPortMaps, std::move(buffer));
+  }
+  maps_.clear();
+}
+
+void ImageSeriesWriter::process(int port, const fs::BufferPtr& buffer,
+                                fs::FilterContext& ctx) {
+  if (port != kPortMaps || buffer->header.kind != fs::BufferKind::FeatureMap) {
+    throw std::runtime_error("JIW: unexpected input buffer");
+  }
+  const Feature f = static_cast<Feature>(buffer->header.feature);
+  const auto values = buffer->as<float>();
+  const Region4& origins = buffer->header.region;
+
+  Volume4<float> map(origins.size);
+  std::copy(values.begin(), values.end(), map.storage().begin());
+
+  float lo = std::numeric_limits<float>::infinity();
+  float hi = -lo;
+  for (float v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+
+  ctx.meter().disk_bytes_written +=
+      static_cast<std::int64_t>(origins.size[0] * origins.size[1]) * origins.size[2] *
+      origins.size[3];
+  if (dir_.empty()) return;
+  io::write_feature_map_images(dir_, std::string(haralick::feature_slug(f)), map, lo, hi);
+}
+
+void ResultCollector::process(int port, const fs::BufferPtr& buffer, fs::FilterContext&) {
+  if (port != kPortMaps || buffer->header.kind != fs::BufferKind::FeatureMap) {
+    throw std::runtime_error("Collector: unexpected input buffer");
+  }
+  const auto f = static_cast<Feature>(buffer->header.feature);
+  const auto values = buffer->as<float>();
+  Volume4<float> map(buffer->header.region.size);
+  std::copy(values.begin(), values.end(), map.storage().begin());
+
+  float lo = std::numeric_limits<float>::infinity();
+  float hi = -lo;
+  for (float v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::lock_guard lk(out_->mu);
+  out_->maps.insert_or_assign(f, std::move(map));
+  out_->ranges.insert_or_assign(f, std::pair<float, float>(lo, hi));
+}
+
+}  // namespace h4d::filters

@@ -1,0 +1,60 @@
+// Parameters shared by every filter in one pipeline instantiation.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "haralick/roi_engine.hpp"
+#include "io/dataset.hpp"
+#include "nd/chunking.hpp"
+
+namespace h4d::filters {
+
+/// Immutable, shared by all filter copies of one pipeline run.
+struct PipelineParams {
+  std::filesystem::path dataset_root;
+  io::DatasetMeta meta;
+  haralick::EngineConfig engine;
+
+  /// RFR->IIC retrieval granularity within a slice (x, y extents; z and t
+  /// are always 1 — a piece never spans slices). Default: whole slice, so a
+  /// slice is read without extra disk seeks (paper Sec. 5.1).
+  Vec4 io_chunk{0, 0, 1, 1};  ///< 0 => use slice extent
+
+  /// IIC->TEXTURE chunk extents (paper Sec. 4.4).
+  Vec4 texture_chunk{64, 64, 8, 8};
+
+  int iic_copies = 1;
+  /// HCC flushes a matrix packet each time this fraction of a chunk's ROIs
+  /// has been processed (paper: 1/4 of a chunk).
+  int packets_per_chunk = 4;
+  /// HPC/HMP flush feature-value buffers at this many samples.
+  int feature_buffer_samples = 4096;
+
+  /// The overlapping chunk partition (derived; computed once via make()).
+  std::vector<Chunk> chunks;
+
+  static std::shared_ptr<const PipelineParams> make(PipelineParams p) {
+    if (p.io_chunk[0] <= 0) p.io_chunk[0] = p.meta.dims[0];
+    if (p.io_chunk[1] <= 0) p.io_chunk[1] = p.meta.dims[1];
+    p.io_chunk[2] = 1;
+    p.io_chunk[3] = 1;
+    p.chunks = partition_overlapping(p.meta.dims, p.texture_chunk, p.engine.roi_dims);
+    return std::make_shared<const PipelineParams>(std::move(p));
+  }
+
+  /// IIC copy that owns a texture chunk (explicit distribution of chunks
+  /// over IIC copies, round-robin by chunk id — paper Sec. 5.2).
+  int iic_copy_of_chunk(std::int64_t chunk_id) const {
+    return static_cast<int>(chunk_id % iic_copies);
+  }
+
+  Quantizer quantizer() const {
+    return Quantizer(meta.value_min, meta.value_max, engine.num_levels);
+  }
+};
+
+using ParamsPtr = std::shared_ptr<const PipelineParams>;
+
+}  // namespace h4d::filters

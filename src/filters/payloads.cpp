@@ -1,0 +1,121 @@
+#include "filters/payloads.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace h4d::filters {
+
+namespace {
+
+void append_bytes(std::vector<std::byte>& out, const void* src, std::size_t n) {
+  const std::size_t base = out.size();
+  out.resize(base + n);
+  std::memcpy(out.data() + base, src, n);
+}
+
+void append_origin(std::vector<std::byte>& out, const Vec4& origin) {
+  std::int64_t o[4] = {origin[0], origin[1], origin[2], origin[3]};
+  append_bytes(out, o, sizeof(o));
+}
+
+Vec4 read_origin(const std::byte*& cursor, std::size_t& remaining) {
+  if (remaining < 4 * sizeof(std::int64_t)) {
+    throw std::runtime_error("MatrixPacket: truncated origin");
+  }
+  std::int64_t o[4];
+  std::memcpy(o, cursor, sizeof(o));
+  cursor += sizeof(o);
+  remaining -= sizeof(o);
+  return {o[0], o[1], o[2], o[3]};
+}
+
+}  // namespace
+
+void MatrixPacketWriter::add(const Vec4& origin, const haralick::Glcm& glcm) {
+  if (glcm.num_levels() != ng_) {
+    throw std::invalid_argument("MatrixPacketWriter: Ng mismatch");
+  }
+  append_origin(bytes_, origin);
+  if (repr_ == haralick::Representation::Sparse) {
+    haralick::SparseGlcm::from_dense(glcm).serialize(bytes_);
+  } else {
+    const auto ng32 = static_cast<std::uint32_t>(ng_);
+    const auto tot64 = static_cast<std::uint64_t>(glcm.total());
+    append_bytes(bytes_, &ng32, sizeof(ng32));
+    append_bytes(bytes_, &tot64, sizeof(tot64));
+    append_bytes(bytes_, glcm.counts(),
+                 static_cast<std::size_t>(ng_) * static_cast<std::size_t>(ng_) *
+                     sizeof(std::uint32_t));
+  }
+  ++count_;
+}
+
+fs::BufferPtr MatrixPacketWriter::take(std::int64_t chunk_id, std::int64_t seq) {
+  fs::BufferHeader h;
+  h.kind = fs::BufferKind::MatrixPacket;
+  h.chunk_id = chunk_id;
+  h.seq = seq;
+  h.aux = repr_ == haralick::Representation::Sparse ? 1 : 0;
+
+  std::vector<std::byte> payload;
+  payload.reserve(sizeof(std::uint32_t) + bytes_.size());
+  append_bytes(payload, &count_, sizeof(count_));
+  payload.insert(payload.end(), bytes_.begin(), bytes_.end());
+
+  count_ = 0;
+  bytes_.clear();
+  return fs::make_buffer(h, std::move(payload));
+}
+
+MatrixPacketReader::MatrixPacketReader(const fs::DataBuffer& buffer)
+    : repr_(buffer.header.aux == 1 ? haralick::Representation::Sparse
+                                   : haralick::Representation::Full) {
+  if (buffer.header.kind != fs::BufferKind::MatrixPacket) {
+    throw std::invalid_argument("MatrixPacketReader: not a MatrixPacket buffer");
+  }
+  cursor_ = buffer.payload.data();
+  remaining_ = buffer.payload.size();
+  if (remaining_ < sizeof(std::uint32_t)) {
+    throw std::runtime_error("MatrixPacket: missing count");
+  }
+  std::memcpy(&count_, cursor_, sizeof(count_));
+  cursor_ += sizeof(count_);
+  remaining_ -= sizeof(count_);
+}
+
+bool MatrixPacketReader::next() {
+  if (index_ >= count_) return false;
+  ++index_;
+  origin_ = read_origin(cursor_, remaining_);
+  if (repr_ == haralick::Representation::Sparse) {
+    std::size_t used = 0;
+    sparse_ = haralick::SparseGlcm::deserialize(cursor_, remaining_, used);
+    cursor_ += used;
+    remaining_ -= used;
+  } else {
+    std::uint32_t ng32 = 0;
+    std::uint64_t tot64 = 0;
+    if (remaining_ < sizeof(ng32) + sizeof(tot64)) {
+      throw std::runtime_error("MatrixPacket: truncated dense header");
+    }
+    std::memcpy(&ng32, cursor_, sizeof(ng32));
+    cursor_ += sizeof(ng32);
+    remaining_ -= sizeof(ng32);
+    std::memcpy(&tot64, cursor_, sizeof(tot64));
+    cursor_ += sizeof(tot64);
+    remaining_ -= sizeof(tot64);
+    const std::size_t cells = static_cast<std::size_t>(ng32) * ng32;
+    if (remaining_ < cells * sizeof(std::uint32_t)) {
+      throw std::runtime_error("MatrixPacket: truncated dense counts");
+    }
+    std::vector<std::uint32_t> table(cells);
+    std::memcpy(table.data(), cursor_, cells * sizeof(std::uint32_t));
+    cursor_ += cells * sizeof(std::uint32_t);
+    remaining_ -= cells * sizeof(std::uint32_t);
+    dense_ = haralick::Glcm(static_cast<int>(ng32));
+    dense_.set_raw(std::move(table), static_cast<std::int64_t>(tot64));
+  }
+  return true;
+}
+
+}  // namespace h4d::filters

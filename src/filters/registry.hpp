@@ -1,0 +1,19 @@
+// Registry of the pipeline's filter types for XML network descriptions.
+#pragma once
+
+#include <filesystem>
+
+#include "filters/output_filters.hpp"
+#include "filters/params.hpp"
+#include "fs/netdesc.hpp"
+
+namespace h4d::filters {
+
+/// Registers the paper's eight filter types — "rfr", "iic", "hmp", "hcc",
+/// "hpc", "uso", "hic", "jiw" — plus "collector" when `collected` is given.
+/// USO and JIW write under `output_dir` (accounting-only when empty).
+fs::FilterRegistry make_pipeline_registry(
+    ParamsPtr params, std::filesystem::path output_dir = {},
+    std::shared_ptr<CollectedResults> collected = {});
+
+}  // namespace h4d::filters

@@ -1,0 +1,84 @@
+// Data buffers exchanged between filters on streams.
+//
+// DataCutter-style semantics (paper Sec. 4.1): streams deliver data from
+// producer to consumer filters in user-defined chunks. Between co-located
+// filters a buffer is handed over by pointer copy; between remote filters its
+// payload is what travels on the wire (the executor charges serialization
+// and transport for header + payload bytes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nd/region.hpp"
+
+namespace h4d::fs {
+
+/// What a buffer's payload contains. The pipeline filters agree on payload
+/// layout per kind; the runtime itself never interprets payloads.
+enum class BufferKind : std::uint8_t {
+  RawChunkPiece,  ///< RFR->IIC: quantized levels of a subregion of one slice
+  TextureChunk,   ///< IIC->HMP/HCC: assembled 4D chunk of quantized levels
+  MatrixPacket,   ///< HCC->HPC: batch of co-occurrence matrices
+  FeatureValues,  ///< texture->output: feature values for a run of ROI origins
+  FeatureMap,     ///< HIC->JIW: a complete assembled 4D feature map
+  Control,        ///< small in-band metadata messages
+};
+
+/// Fixed-size descriptive header carried with every buffer.
+struct BufferHeader {
+  BufferKind kind = BufferKind::Control;
+  std::int32_t feature = -1;   ///< Feature index for parameter streams
+  std::int64_t chunk_id = -1;  ///< IIC-to-TEXTURE chunk this data belongs to
+  std::int64_t seq = 0;        ///< producer-assigned sequence number
+  std::int32_t aux = 0;        ///< kind-specific flag (e.g. representation)
+  std::int32_t from_copy = 0;  ///< producer copy index (set by the executor)
+  Region4 region;              ///< data/origin region described by the payload
+  Region4 region2;             ///< secondary region (e.g. owned ROI origins)
+};
+
+/// A reference-counted buffer: header + opaque payload bytes.
+class DataBuffer {
+ public:
+  DataBuffer() = default;
+  explicit DataBuffer(BufferHeader h) : header(h) {}
+  DataBuffer(BufferHeader h, std::vector<std::byte> bytes)
+      : header(h), payload(std::move(bytes)) {}
+
+  BufferHeader header;
+  std::vector<std::byte> payload;
+
+  std::size_t payload_bytes() const { return payload.size(); }
+  /// Bytes that travel on a remote stream: header + payload.
+  std::size_t wire_bytes() const { return sizeof(BufferHeader) + payload.size(); }
+
+  /// Typed write access to the payload, resizing it to n elements of T.
+  template <typename T>
+  std::span<T> alloc_as(std::size_t n) {
+    payload.resize(n * sizeof(T));
+    return {reinterpret_cast<T*>(payload.data()), n};
+  }
+
+  /// Typed read access; payload size must be a multiple of sizeof(T).
+  template <typename T>
+  std::span<const T> as() const {
+    return {reinterpret_cast<const T*>(payload.data()), payload.size() / sizeof(T)};
+  }
+  template <typename T>
+  std::span<T> as() {
+    return {reinterpret_cast<T*>(payload.data()), payload.size() / sizeof(T)};
+  }
+};
+
+using BufferPtr = std::shared_ptr<DataBuffer>;
+
+inline BufferPtr make_buffer(BufferHeader h) { return std::make_shared<DataBuffer>(h); }
+inline BufferPtr make_buffer(BufferHeader h, std::vector<std::byte> bytes) {
+  return std::make_shared<DataBuffer>(h, std::move(bytes));
+}
+
+}  // namespace h4d::fs

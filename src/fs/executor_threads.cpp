@@ -1,0 +1,231 @@
+#include "fs/executor_threads.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "fs/queue.hpp"
+
+namespace h4d::fs {
+
+namespace {
+
+struct Envelope {
+  int port = 0;
+  BufferPtr buffer;  ///< null => EOS token from one producer copy
+};
+
+struct CopyRuntime;
+
+struct EdgeRuntime {
+  const EdgeSpec* spec = nullptr;
+  std::vector<CopyRuntime*> consumers;  ///< copies of spec->to
+  std::atomic<std::uint64_t> rr_next{0};
+};
+
+struct CopyRuntime {
+  int group = 0;
+  int copy = 0;
+  int node = 0;
+  std::unique_ptr<Filter> filter;
+  std::unique_ptr<BoundedQueue<Envelope>> inbox;
+  int expected_eos = 0;
+  CopyStats stats;
+  std::atomic<std::size_t> max_inbox{0};
+};
+
+class ThreadedContext final : public FilterContext {
+ public:
+  ThreadedContext(CopyRuntime* self, int num_copies, std::vector<EdgeRuntime*> out)
+      : self_(self), num_copies_(num_copies), out_(std::move(out)) {}
+
+  void emit(int port, BufferPtr buffer) override {
+    if (!buffer) return;
+    buffer->header.from_copy = self_->copy;
+    for (EdgeRuntime* e : out_) {
+      if (e->spec->port != port) continue;
+      deliver(*e, buffer);
+    }
+  }
+
+  int copy_index() const override { return self_->copy; }
+  int num_copies() const override { return num_copies_; }
+  WorkMeter& meter() override { return self_->stats.meter; }
+
+  /// Send one EOS token on every outgoing edge to every consumer copy.
+  void send_eos() {
+    for (EdgeRuntime* e : out_) {
+      for (CopyRuntime* c : e->consumers) {
+        c->inbox->push(Envelope{e->spec->port, nullptr});
+      }
+    }
+  }
+
+ private:
+  void deliver(EdgeRuntime& e, const BufferPtr& buffer) {
+    auto account = [this, &buffer](CopyRuntime* dst) {
+      self_->stats.meter.buffers_out++;
+      self_->stats.meter.bytes_out += static_cast<std::int64_t>(buffer->wire_bytes());
+      dst->inbox->push(Envelope{e_port_, buffer});
+      const std::size_t depth = dst->inbox->size();
+      std::size_t prev = dst->max_inbox.load(std::memory_order_relaxed);
+      while (depth > prev &&
+             !dst->max_inbox.compare_exchange_weak(prev, depth, std::memory_order_relaxed)) {
+      }
+    };
+    e_port_ = e.spec->port;
+    const int n = static_cast<int>(e.consumers.size());
+    switch (e.spec->policy) {
+      case Policy::Broadcast:
+        for (CopyRuntime* c : e.consumers) account(c);
+        break;
+      case Policy::RoundRobin: {
+        const auto k = e.rr_next.fetch_add(1, std::memory_order_relaxed);
+        account(e.consumers[static_cast<std::size_t>(k % static_cast<std::uint64_t>(n))]);
+        break;
+      }
+      case Policy::DemandDriven: {
+        // Route to the copy with the shortest inbox — the copy consuming
+        // buffers the fastest (paper Sec. 4.1's demand-driven scheduling).
+        CopyRuntime* best = e.consumers[0];
+        std::size_t best_depth = best->inbox->size();
+        for (CopyRuntime* c : e.consumers) {
+          const std::size_t d = c->inbox->size();
+          if (d < best_depth) {
+            best = c;
+            best_depth = d;
+          }
+        }
+        account(best);
+        break;
+      }
+      case Policy::Explicit: {
+        const int k = e.spec->route(buffer->header, n);
+        if (k < 0 || k >= n) {
+          throw std::out_of_range("explicit route returned copy " + std::to_string(k) +
+                                  " of " + std::to_string(n));
+        }
+        account(e.consumers[static_cast<std::size_t>(k)]);
+        break;
+      }
+    }
+  }
+
+  CopyRuntime* self_;
+  int num_copies_;
+  std::vector<EdgeRuntime*> out_;
+  int e_port_ = 0;
+};
+
+}  // namespace
+
+RunStats run_threaded(const FilterGraph& graph, const ThreadedOptions& options) {
+  graph.validate();
+  const auto& filters = graph.filters();
+  const auto& edges = graph.edges();
+
+  // Instantiate copies.
+  std::vector<std::vector<std::unique_ptr<CopyRuntime>>> copies(filters.size());
+  for (std::size_t f = 0; f < filters.size(); ++f) {
+    for (int c = 0; c < filters[f].copies; ++c) {
+      auto rt = std::make_unique<CopyRuntime>();
+      rt->group = static_cast<int>(f);
+      rt->copy = c;
+      rt->node = filters[f].node_of_copy(c);
+      rt->filter = filters[f].factory();
+      rt->inbox = std::make_unique<BoundedQueue<Envelope>>(options.queue_capacity);
+      rt->stats.filter = filters[f].name;
+      rt->stats.copy = c;
+      rt->stats.node = rt->node;
+      copies[f].push_back(std::move(rt));
+    }
+  }
+
+  // Wire edges and EOS expectations.
+  std::vector<std::unique_ptr<EdgeRuntime>> edge_rts;
+  edge_rts.reserve(edges.size());
+  for (const EdgeSpec& e : edges) {
+    auto rt = std::make_unique<EdgeRuntime>();
+    rt->spec = &e;
+    for (auto& c : copies[static_cast<std::size_t>(e.to)]) rt->consumers.push_back(c.get());
+    const int producer_copies = filters[static_cast<std::size_t>(e.from)].copies;
+    for (auto& c : copies[static_cast<std::size_t>(e.to)]) c->expected_eos += producer_copies;
+    edge_rts.push_back(std::move(rt));
+  }
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> threads;
+  for (std::size_t f = 0; f < filters.size(); ++f) {
+    std::vector<EdgeRuntime*> out;
+    for (auto& er : edge_rts) {
+      if (er->spec->from == static_cast<int>(f)) out.push_back(er.get());
+    }
+    const bool source = graph.is_source(static_cast<int>(f));
+    for (auto& copy : copies[f]) {
+      CopyRuntime* rt = copy.get();
+      const int ncopies = filters[f].copies;
+      threads.emplace_back([rt, ncopies, out, source, t0, &error_mu, &first_error] {
+        ThreadedContext ctx(rt, ncopies, out);
+        const auto busy_since = [] { return std::chrono::steady_clock::now(); };
+        auto busy = std::chrono::steady_clock::duration::zero();
+        try {
+          if (source) {
+            const auto b = busy_since();
+            rt->filter->run_source(ctx);
+            rt->filter->flush(ctx);
+            busy += std::chrono::steady_clock::now() - b;
+          } else {
+            int remaining = rt->expected_eos;
+            while (remaining > 0) {
+              std::optional<Envelope> env = rt->inbox->pop();
+              if (!env) break;  // queue closed (error path)
+              if (!env->buffer) {
+                --remaining;
+                continue;
+              }
+              rt->stats.meter.buffers_in++;
+              rt->stats.meter.bytes_in +=
+                  static_cast<std::int64_t>(env->buffer->wire_bytes());
+              const auto b = busy_since();
+              rt->filter->process(env->port, env->buffer, ctx);
+              busy += std::chrono::steady_clock::now() - b;
+            }
+            const auto b = busy_since();
+            rt->filter->flush(ctx);
+            busy += std::chrono::steady_clock::now() - b;
+          }
+          ctx.send_eos();
+        } catch (...) {
+          {
+            std::lock_guard lk(error_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+          // Unblock the rest of the pipeline.
+          ctx.send_eos();
+        }
+        rt->stats.busy_seconds = std::chrono::duration<double>(busy).count();
+        rt->stats.finish_time =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        rt->stats.max_inbox = rt->max_inbox.load(std::memory_order_relaxed);
+      });
+    }
+  }
+
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  RunStats out;
+  out.total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  for (auto& group : copies) {
+    for (auto& c : group) out.copies.push_back(c->stats);
+  }
+  return out;
+}
+
+}  // namespace h4d::fs

@@ -1,0 +1,19 @@
+// Threaded executor: runs a FilterGraph with one thread per filter copy and
+// bounded queues as streams. This is the "real" runtime — on a multicore
+// host the transparent copies execute genuinely in parallel.
+#pragma once
+
+#include "fs/graph.hpp"
+
+namespace h4d::fs {
+
+struct ThreadedOptions {
+  /// Stream depth in buffers; push blocks when full (backpressure).
+  std::size_t queue_capacity = 64;
+};
+
+/// Execute the graph to completion and return per-copy statistics.
+/// Throws whatever a filter throws (after joining all threads).
+RunStats run_threaded(const FilterGraph& graph, const ThreadedOptions& options = {});
+
+}  // namespace h4d::fs

@@ -1,0 +1,67 @@
+// The filter programming model (paper Sec. 4.1).
+//
+// An application is a set of filters connected by unidirectional streams.
+// A filter receives buffers on input ports, performs work, and emits buffers
+// on output ports. Filters may be replicated into transparent copies; the
+// runtime distributes buffers among copies by scheduling policy. The same
+// Filter subclasses run unchanged under the threaded executor (real
+// parallelism) and the cluster simulator (virtual time).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "fs/buffer.hpp"
+#include "fs/meter.hpp"
+
+namespace h4d::fs {
+
+/// Runtime services available to a filter while it executes.
+class FilterContext {
+ public:
+  virtual ~FilterContext() = default;
+
+  /// Emit a buffer on an output port. Ownership is shared; a co-located
+  /// consumer receives the same object (pointer copy), a remote consumer's
+  /// executor charges serialization + transport for wire_bytes().
+  virtual void emit(int port, BufferPtr buffer) = 0;
+
+  /// Index of this transparent copy within its filter group, [0, num_copies).
+  virtual int copy_index() const = 0;
+  virtual int num_copies() const = 0;
+
+  /// Work meter for this copy; filters credit the operations they perform.
+  virtual WorkMeter& meter() = 0;
+};
+
+/// Base class of all filters.
+///
+/// Lifecycle per copy: if the filter has no input streams, run_source() is
+/// called exactly once. Otherwise process() is called once per received
+/// buffer (single-threaded per copy), and flush() once after every upstream
+/// producer has finished.
+class Filter {
+ public:
+  virtual ~Filter() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Drive a source filter (no input streams). Default: nothing.
+  virtual void run_source(FilterContext& ctx) { (void)ctx; }
+
+  /// Handle one buffer arriving on `port`.
+  virtual void process(int port, const BufferPtr& buffer, FilterContext& ctx) {
+    (void)port;
+    (void)buffer;
+    (void)ctx;
+  }
+
+  /// Called once after all inputs are exhausted; emit any pending output.
+  virtual void flush(FilterContext& ctx) { (void)ctx; }
+};
+
+using FilterFactory = std::function<std::unique_ptr<Filter>()>;
+
+}  // namespace h4d::fs

@@ -1,0 +1,106 @@
+// Filter graph description: filters, transparent/explicit copies, placement,
+// and the buffer scheduling policy of each stream (paper Sec. 4.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fs/filter.hpp"
+
+namespace h4d::fs {
+
+/// How buffers emitted on a stream are distributed over the consumer's
+/// transparent copies.
+enum class Policy {
+  RoundRobin,    ///< each copy receives roughly the same number of buffers
+  DemandDriven,  ///< route to the copy that is draining fastest (least loaded)
+  Broadcast,     ///< every copy receives every buffer
+  Explicit,      ///< user routing function decides the copy (explicit copies)
+};
+
+std::string_view policy_name(Policy p);
+
+/// Routing function for Policy::Explicit: maps a buffer header to a consumer
+/// copy index in [0, num_copies).
+using RouteFn = std::function<int(const BufferHeader&, int num_copies)>;
+
+/// One filter group (a logical filter and its transparent copies).
+struct FilterSpec {
+  std::string name;
+  FilterFactory factory;
+  int copies = 1;
+  /// Logical compute-node id per copy. Used by the cluster simulator for
+  /// placement and co-location; the threaded executor uses it only to decide
+  /// pointer-copy vs. serialize accounting. Empty => all copies on node 0.
+  std::vector<int> placement;
+
+  int node_of_copy(int copy) const {
+    if (placement.empty()) return 0;
+    return placement[static_cast<std::size_t>(copy) % placement.size()];
+  }
+};
+
+/// One stream connecting an output port of a producer group to a consumer
+/// group.
+struct EdgeSpec {
+  int from = -1;
+  int port = 0;
+  int to = -1;
+  Policy policy = Policy::DemandDriven;
+  RouteFn route;  ///< only for Policy::Explicit
+};
+
+/// A complete application graph. Build once, execute with any executor.
+class FilterGraph {
+ public:
+  /// Adds a filter group, returns its id.
+  int add_filter(FilterSpec spec);
+
+  /// Connects `from`'s output `port` to `to`. Buffers emitted by any copy of
+  /// `from` on `port` are distributed over the copies of `to` by `policy`.
+  void connect(int from, int port, int to, Policy policy = Policy::DemandDriven,
+               RouteFn route = {});
+
+  const std::vector<FilterSpec>& filters() const { return filters_; }
+  const std::vector<EdgeSpec>& edges() const { return edges_; }
+
+  /// Edges leaving a filter group, and arriving at one.
+  std::vector<int> out_edges(int filter) const;
+  std::vector<int> in_edges(int filter) const;
+  bool is_source(int filter) const { return in_edges(filter).empty(); }
+
+  /// Throws std::invalid_argument when the graph is malformed (dangling
+  /// endpoints, Explicit edges without a route, cycles, no filters).
+  void validate() const;
+
+ private:
+  std::vector<FilterSpec> filters_;
+  std::vector<EdgeSpec> edges_;
+};
+
+/// Execution statistics of one filter copy, common to both executors.
+struct CopyStats {
+  std::string filter;
+  int copy = 0;
+  int node = 0;
+  WorkMeter meter;
+  double busy_seconds = 0.0;   ///< time spent inside process()/run_source()
+  double finish_time = 0.0;    ///< when the copy completed (virtual or wall)
+  std::size_t max_inbox = 0;   ///< high-water mark of queued buffers
+};
+
+/// Result of executing a graph.
+struct RunStats {
+  double total_seconds = 0.0;  ///< end-to-end makespan (virtual or wall)
+  std::vector<CopyStats> copies;
+
+  /// Sum of busy time over every copy of the named filter group.
+  double filter_busy_seconds(std::string_view filter) const;
+  /// Max finish time over copies of the named filter group.
+  double filter_finish_time(std::string_view filter) const;
+  std::int64_t total_bytes_out(std::string_view filter) const;
+};
+
+}  // namespace h4d::fs

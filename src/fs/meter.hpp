@@ -1,0 +1,69 @@
+// Per-filter-copy work accounting.
+//
+// Filters report the elementary operations they perform (GLCM updates,
+// feature ops, bytes copied, disk activity). The threaded executor uses the
+// meter for reporting; the cluster simulator converts meter deltas into
+// virtual execution time through a CostModel.
+#pragma once
+
+#include <cstdint>
+
+#include "haralick/glcm.hpp"
+
+namespace h4d::fs {
+
+struct WorkMeter {
+  haralick::WorkCounters work;            ///< texture math operations
+  std::int64_t bytes_memcpy = 0;          ///< buffer (re)assembly copies
+  std::int64_t stitch_elements = 0;       ///< IIC chunk-reorganization element ops
+  std::int64_t elements_quantized = 0;    ///< requantization work
+  std::int64_t disk_bytes_read = 0;
+  std::int64_t disk_seeks = 0;
+  std::int64_t disk_bytes_written = 0;
+  std::int64_t buffers_in = 0;
+  std::int64_t buffers_out = 0;
+  std::int64_t bytes_in = 0;
+  std::int64_t bytes_out = 0;
+
+  WorkMeter& operator+=(const WorkMeter& o) {
+    work += o.work;
+    bytes_memcpy += o.bytes_memcpy;
+    stitch_elements += o.stitch_elements;
+    elements_quantized += o.elements_quantized;
+    disk_bytes_read += o.disk_bytes_read;
+    disk_seeks += o.disk_seeks;
+    disk_bytes_written += o.disk_bytes_written;
+    buffers_in += o.buffers_in;
+    buffers_out += o.buffers_out;
+    bytes_in += o.bytes_in;
+    bytes_out += o.bytes_out;
+    return *this;
+  }
+
+  /// Difference of two meter snapshots (b must be a later snapshot of a).
+  friend WorkMeter delta(const WorkMeter& earlier, const WorkMeter& later) {
+    WorkMeter d;
+    d.work.glcm_pair_updates = later.work.glcm_pair_updates - earlier.work.glcm_pair_updates;
+    d.work.feature_cells_scanned =
+        later.work.feature_cells_scanned - earlier.work.feature_cells_scanned;
+    d.work.feature_cell_ops = later.work.feature_cell_ops - earlier.work.feature_cell_ops;
+    d.work.matrices_built = later.work.matrices_built - earlier.work.matrices_built;
+    d.work.sparse_entries_emitted =
+        later.work.sparse_entries_emitted - earlier.work.sparse_entries_emitted;
+    d.work.sparse_compress_cells =
+        later.work.sparse_compress_cells - earlier.work.sparse_compress_cells;
+    d.bytes_memcpy = later.bytes_memcpy - earlier.bytes_memcpy;
+    d.stitch_elements = later.stitch_elements - earlier.stitch_elements;
+    d.elements_quantized = later.elements_quantized - earlier.elements_quantized;
+    d.disk_bytes_read = later.disk_bytes_read - earlier.disk_bytes_read;
+    d.disk_seeks = later.disk_seeks - earlier.disk_seeks;
+    d.disk_bytes_written = later.disk_bytes_written - earlier.disk_bytes_written;
+    d.buffers_in = later.buffers_in - earlier.buffers_in;
+    d.buffers_out = later.buffers_out - earlier.buffers_out;
+    d.bytes_in = later.bytes_in - earlier.bytes_in;
+    d.bytes_out = later.bytes_out - earlier.bytes_out;
+    return d;
+  }
+};
+
+}  // namespace h4d::fs

@@ -1,0 +1,139 @@
+#include "fs/netdesc.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "fs/xml.hpp"
+
+namespace h4d::fs {
+
+namespace {
+
+int parse_int(const std::string& text, const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const int v = std::stoi(text, &used);
+    if (used != text.size()) throw std::invalid_argument("trailing chars");
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("netdesc: bad integer '" + text + "' for " + what);
+  }
+}
+
+std::vector<int> parse_int_list(const std::string& text, const std::string& what) {
+  std::vector<int> out;
+  std::istringstream is(text);
+  std::string token;
+  while (is >> token) out.push_back(parse_int(token, what));
+  return out;
+}
+
+Policy parse_policy(const std::string& name, RouteFn& route) {
+  if (name == "demand-driven") return Policy::DemandDriven;
+  if (name == "round-robin") return Policy::RoundRobin;
+  if (name == "broadcast") return Policy::Broadcast;
+  if (name == "explicit-aux") {
+    route = [](const BufferHeader& h, int ncopies) {
+      return static_cast<int>(((h.aux % ncopies) + ncopies) % ncopies);
+    };
+    return Policy::Explicit;
+  }
+  if (name == "explicit-from-copy") {
+    route = [](const BufferHeader& h, int ncopies) {
+      return static_cast<int>(h.from_copy % ncopies);
+    };
+    return Policy::Explicit;
+  }
+  throw std::runtime_error("netdesc: unknown stream policy '" + name + "'");
+}
+
+}  // namespace
+
+void FilterRegistry::register_type(const std::string& type, FilterFactory factory) {
+  if (!factory) throw std::invalid_argument("FilterRegistry: null factory for " + type);
+  if (!factories_.emplace(type, std::move(factory)).second) {
+    throw std::invalid_argument("FilterRegistry: duplicate type " + type);
+  }
+}
+
+const FilterFactory& FilterRegistry::get(const std::string& type) const {
+  const auto it = factories_.find(type);
+  if (it == factories_.end()) {
+    throw std::runtime_error("FilterRegistry: unknown filter type '" + type + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> FilterRegistry::types() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [type, factory] : factories_) out.push_back(type);
+  return out;
+}
+
+FilterGraph graph_from_xml(std::string_view xml, const FilterRegistry& registry) {
+  const XmlNode root = parse_xml(xml);
+  if (root.tag != "filtergraph") {
+    throw std::runtime_error("netdesc: root element must be <filtergraph>, got <" + root.tag +
+                             ">");
+  }
+
+  FilterGraph graph;
+  std::map<std::string, int> ids;
+
+  for (const XmlNode* f : root.children_named("filter")) {
+    const std::string& name = f->attr("name");
+    const std::string& type = f->attr("type");
+    if (ids.count(name)) throw std::runtime_error("netdesc: duplicate filter name " + name);
+
+    FilterSpec spec;
+    spec.name = name;
+    spec.factory = registry.get(type);
+    spec.copies = parse_int(f->attr_or("copies", "1"), "copies of " + name);
+    if (f->has_attr("nodes")) {
+      spec.placement = parse_int_list(f->attr("nodes"), "nodes of " + name);
+      if (static_cast<int>(spec.placement.size()) != spec.copies) {
+        throw std::runtime_error("netdesc: filter " + name + " has " +
+                                 std::to_string(spec.copies) + " copies but " +
+                                 std::to_string(spec.placement.size()) + " node entries");
+      }
+    }
+    try {
+      ids.emplace(name, graph.add_filter(std::move(spec)));
+    } catch (const std::invalid_argument& e) {
+      throw std::runtime_error(std::string("netdesc: ") + e.what());
+    }
+  }
+
+  for (const XmlNode* s : root.children_named("stream")) {
+    const std::string& from = s->attr("from");
+    const std::string& to = s->attr("to");
+    const auto fi = ids.find(from);
+    const auto ti = ids.find(to);
+    if (fi == ids.end()) throw std::runtime_error("netdesc: stream from unknown filter " + from);
+    if (ti == ids.end()) throw std::runtime_error("netdesc: stream to unknown filter " + to);
+    const int port = parse_int(s->attr_or("port", "0"), "stream port");
+    RouteFn route;
+    const Policy policy = parse_policy(s->attr_or("policy", "demand-driven"), route);
+    try {
+      graph.connect(fi->second, port, ti->second, policy, std::move(route));
+    } catch (const std::invalid_argument& e) {
+      throw std::runtime_error(std::string("netdesc: ") + e.what());
+    }
+  }
+
+  for (const XmlNode& child : root.children) {
+    if (child.tag != "filter" && child.tag != "stream") {
+      throw std::runtime_error("netdesc: unexpected element <" + child.tag + ">");
+    }
+  }
+
+  try {
+    graph.validate();
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("netdesc: invalid graph: ") + e.what());
+  }
+  return graph;
+}
+
+}  // namespace h4d::fs

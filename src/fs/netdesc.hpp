@@ -1,0 +1,44 @@
+// Filter-network descriptions: build a FilterGraph from an XML document
+// (the DataCutter configuration style, paper Sec. 4.3).
+//
+// Schema:
+//
+//   <filtergraph>
+//     <filter name="reader" type="rfr" copies="4" nodes="0 1 2 3"/>
+//     <filter name="stitch" type="iic"/>
+//     <stream from="reader" port="0" to="stitch" policy="explicit-aux"/>
+//   </filtergraph>
+//
+// * `type` is looked up in a FilterRegistry; `name` must be unique.
+// * `copies` defaults to 1; `nodes` is a space-separated node id per copy
+//   (defaults to all on node 0).
+// * `policy` is one of: demand-driven (default), round-robin, broadcast,
+//   explicit-aux (route to header.aux % copies), explicit-from-copy
+//   (route to header.from_copy % copies).
+#pragma once
+
+#include <map>
+
+#include "fs/graph.hpp"
+
+namespace h4d::fs {
+
+/// Maps filter `type` names to factories.
+class FilterRegistry {
+ public:
+  /// Throws std::invalid_argument on duplicate type names.
+  void register_type(const std::string& type, FilterFactory factory);
+  bool has(const std::string& type) const { return factories_.count(type) != 0; }
+  const FilterFactory& get(const std::string& type) const;
+  std::vector<std::string> types() const;
+
+ private:
+  std::map<std::string, FilterFactory> factories_;
+};
+
+/// Parse an XML network description and assemble the graph.
+/// Throws std::runtime_error on schema violations (unknown type, duplicate
+/// filter name, dangling stream endpoint, bad policy, malformed numbers).
+FilterGraph graph_from_xml(std::string_view xml, const FilterRegistry& registry);
+
+}  // namespace h4d::fs

@@ -1,0 +1,66 @@
+// Bounded multi-producer multi-consumer queue used for filter inboxes in the
+// threaded executor. Blocking push gives natural backpressure on streams.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace h4d::fs {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity = 64) : capacity_(capacity ? capacity : 1) {}
+
+  /// Blocks while full; returns false when the queue was closed.
+  bool push(T item) {
+    std::unique_lock lk(mu_);
+    not_full_.wait(lk, [this] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty; returns nullopt when closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lk(mu_);
+    not_empty_.wait(lk, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// After close(), push() fails and pop() drains the remaining items.
+  void close() {
+    {
+      std::lock_guard lk(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard lk(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace h4d::fs

@@ -1,0 +1,170 @@
+#include "fs/xml.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace h4d::fs {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  XmlNode parse_document() {
+    skip_prolog();
+    XmlNode root = parse_element();
+    skip_ws_and_comments();
+    if (pos_ != text_.size()) fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("xml parse error at offset " + std::to_string(pos_) + ": " +
+                             what);
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool eof() const { return pos_ >= text_.size(); }
+  bool starts_with(std::string_view s) const { return text_.substr(pos_, s.size()) == s; }
+
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  void skip_comment() {
+    // assumes starts_with("<!--")
+    pos_ += 4;
+    const auto end = text_.find("-->", pos_);
+    if (end == std::string_view::npos) fail("unterminated comment");
+    pos_ = end + 3;
+  }
+
+  void skip_ws_and_comments() {
+    for (;;) {
+      skip_ws();
+      if (starts_with("<!--")) {
+        skip_comment();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skip_prolog() {
+    skip_ws();
+    if (starts_with("<?")) {
+      const auto end = text_.find("?>", pos_);
+      if (end == std::string_view::npos) fail("unterminated xml declaration");
+      pos_ = end + 2;
+    }
+    skip_ws_and_comments();
+  }
+
+  std::string parse_name() {
+    const std::size_t begin = pos_;
+    while (!eof()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' || c == '.' ||
+          c == ':') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == begin) fail("expected a name");
+    return std::string(text_.substr(begin, pos_ - begin));
+  }
+
+  std::string parse_attr_value() {
+    const char quote = peek();
+    if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
+    ++pos_;
+    const std::size_t begin = pos_;
+    while (!eof() && text_[pos_] != quote) ++pos_;
+    if (eof()) fail("unterminated attribute value");
+    std::string value(text_.substr(begin, pos_ - begin));
+    ++pos_;
+    return value;
+  }
+
+  XmlNode parse_element() {
+    if (peek() != '<') fail("expected '<'");
+    ++pos_;
+    XmlNode node;
+    node.tag = parse_name();
+
+    for (;;) {
+      skip_ws();
+      if (starts_with("/>")) {
+        pos_ += 2;
+        return node;
+      }
+      if (peek() == '>') {
+        ++pos_;
+        break;
+      }
+      const std::string name = parse_name();
+      skip_ws();
+      if (peek() != '=') fail("expected '=' after attribute name");
+      ++pos_;
+      skip_ws();
+      if (!node.attrs.emplace(name, parse_attr_value()).second) {
+        fail("duplicate attribute '" + name + "'");
+      }
+    }
+
+    // Children and closing tag; intervening text is ignored.
+    for (;;) {
+      while (!eof() && peek() != '<') ++pos_;  // skip text content
+      if (eof()) fail("unterminated element <" + node.tag + ">");
+      if (starts_with("<!--")) {
+        skip_comment();
+        continue;
+      }
+      if (starts_with("</")) {
+        pos_ += 2;
+        const std::string closing = parse_name();
+        if (closing != node.tag) {
+          fail("mismatched closing tag </" + closing + "> for <" + node.tag + ">");
+        }
+        skip_ws();
+        if (peek() != '>') fail("malformed closing tag");
+        ++pos_;
+        return node;
+      }
+      node.children.push_back(parse_element());
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const std::string& XmlNode::attr(const std::string& name) const {
+  const auto it = attrs.find(name);
+  if (it == attrs.end()) {
+    throw std::runtime_error("<" + tag + ">: missing attribute '" + name + "'");
+  }
+  return it->second;
+}
+
+std::string XmlNode::attr_or(const std::string& name, const std::string& fallback) const {
+  const auto it = attrs.find(name);
+  return it == attrs.end() ? fallback : it->second;
+}
+
+std::vector<const XmlNode*> XmlNode::children_named(std::string_view tag_name) const {
+  std::vector<const XmlNode*> out;
+  for (const XmlNode& c : children) {
+    if (c.tag == tag_name) out.push_back(&c);
+  }
+  return out;
+}
+
+XmlNode parse_xml(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace h4d::fs

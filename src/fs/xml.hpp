@@ -1,0 +1,36 @@
+// Minimal XML subset parser for filter-network descriptions.
+//
+// DataCutter applications expressed their filter networks as XML documents
+// (paper Sec. 4.3). This parser supports exactly what those need: nested
+// elements, double- or single-quoted attributes, self-closing tags,
+// comments and an optional <?xml ...?> declaration. No entities, CDATA or
+// namespaces. Text content is ignored.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace h4d::fs {
+
+struct XmlNode {
+  std::string tag;
+  std::map<std::string, std::string> attrs;
+  std::vector<XmlNode> children;
+
+  /// Attribute value; throws std::runtime_error when absent.
+  const std::string& attr(const std::string& name) const;
+  /// Attribute value or fallback.
+  std::string attr_or(const std::string& name, const std::string& fallback) const;
+  bool has_attr(const std::string& name) const { return attrs.count(name) != 0; }
+
+  /// All children with the given tag.
+  std::vector<const XmlNode*> children_named(std::string_view tag_name) const;
+};
+
+/// Parse one document; returns the root element.
+/// Throws std::runtime_error with position information on malformed input.
+XmlNode parse_xml(std::string_view text);
+
+}  // namespace h4d::fs

@@ -1,0 +1,52 @@
+#include "haralick/directions.hpp"
+
+#include <stdexcept>
+
+namespace h4d::haralick {
+
+std::int64_t num_unique_directions(int active_count) {
+  std::int64_t p = 1;
+  for (int i = 0; i < active_count; ++i) p *= 3;
+  return (p - 1) / 2;
+}
+
+std::vector<Vec4> unique_directions(ActiveDims dims, std::int64_t distance) {
+  if (distance < 1) throw std::invalid_argument("unique_directions: distance must be >= 1");
+  std::vector<Vec4> out;
+  out.reserve(static_cast<std::size_t>(num_unique_directions(dims.count())));
+  // Enumerate all vectors in {-1,0,1}^4 restricted to active axes and keep
+  // the canonical representative of each {v, -v} pair: the one whose first
+  // non-zero component (scanning from t down to x) is positive.
+  Vec4 v;
+  for (v[3] = dims.t ? -1 : 0; v[3] <= (dims.t ? 1 : 0); ++v[3]) {
+    for (v[2] = dims.z ? -1 : 0; v[2] <= (dims.z ? 1 : 0); ++v[2]) {
+      for (v[1] = dims.y ? -1 : 0; v[1] <= (dims.y ? 1 : 0); ++v[1]) {
+        for (v[0] = dims.x ? -1 : 0; v[0] <= (dims.x ? 1 : 0); ++v[0]) {
+          int lead = 0;
+          for (int d = kDims - 1; d >= 0; --d) {
+            if (v[d] != 0) {
+              lead = v[d] > 0 ? 1 : -1;
+              break;
+            }
+          }
+          if (lead == 1) out.push_back(v * distance);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Vec4> axis_directions(ActiveDims dims, std::int64_t distance) {
+  if (distance < 1) throw std::invalid_argument("axis_directions: distance must be >= 1");
+  std::vector<Vec4> out;
+  for (int d = 0; d < kDims; ++d) {
+    if (!dims.active(d)) continue;
+    Vec4 v;
+    v[d] = distance;
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace h4d::haralick

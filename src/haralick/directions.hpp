@@ -1,0 +1,49 @@
+// Displacement direction enumeration for co-occurrence matrices.
+//
+// In d active dimensions there are 3^d - 1 unit displacement vectors; since
+// opposite directions yield the same (symmetric) co-occurrence matrix, only
+// (3^d - 1)/2 are unique (paper Sec. 3: 8 directions in 2D, 4 unique).
+// In full 4D that is (81 - 1)/2 = 40 unique directions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nd/vec4.hpp"
+
+namespace h4d::haralick {
+
+/// Which of the four axes participate in neighborhoods. E.g. a 2D analysis
+/// of independent slices activates only x and y.
+struct ActiveDims {
+  bool x = true, y = true, z = true, t = true;
+
+  static constexpr ActiveDims all4() { return {true, true, true, true}; }
+  static constexpr ActiveDims spatial3() { return {true, true, true, false}; }
+  static constexpr ActiveDims planar2() { return {true, true, false, false}; }
+
+  constexpr bool active(int d) const {
+    switch (d) {
+      case 0: return x;
+      case 1: return y;
+      case 2: return z;
+      default: return t;
+    }
+  }
+  constexpr int count() const {
+    return (x ? 1 : 0) + (y ? 1 : 0) + (z ? 1 : 0) + (t ? 1 : 0);
+  }
+};
+
+/// All unique displacement directions with components in {-1, 0, +1} on the
+/// active axes, scaled by `distance`, with opposite vectors deduplicated
+/// (the first non-zero component, scanning t..x, is kept positive).
+std::vector<Vec4> unique_directions(ActiveDims dims, std::int64_t distance = 1);
+
+/// Number of unique directions for a dimensionality: (3^d - 1) / 2.
+std::int64_t num_unique_directions(int active_count);
+
+/// Axis-aligned directions only (one per active axis) — the cheap variant.
+std::vector<Vec4> axis_directions(ActiveDims dims, std::int64_t distance = 1);
+
+}  // namespace h4d::haralick

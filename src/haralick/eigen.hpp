@@ -1,0 +1,21 @@
+// Small dense symmetric eigensolver (cyclic Jacobi).
+//
+// Needed by Haralick feature f14 (maximal correlation coefficient), which is
+// the square root of the second-largest eigenvalue of Q(i,j) =
+// sum_k p(i,k) p(j,k) / (px(i) py(k)). Q is similar to the symmetric PSD
+// matrix A A^T with A = Dx^{-1/2} P Dy^{-1/2}, so a symmetric solver suffices.
+#pragma once
+
+#include <vector>
+
+namespace h4d::haralick {
+
+/// Eigenvalues of a dense symmetric n x n matrix stored row-major in `a`
+/// (destroyed). Returned sorted in descending order.
+///
+/// Cyclic Jacobi; converges quadratically, plenty for the Ng <= 256 matrices
+/// this library produces. Throws std::invalid_argument on size mismatch.
+std::vector<double> symmetric_eigenvalues(std::vector<double> a, int n,
+                                          int max_sweeps = 64, double tol = 1e-12);
+
+}  // namespace h4d::haralick

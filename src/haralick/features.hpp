@@ -1,0 +1,102 @@
+// The fourteen Haralick textural features (Haralick, Shanmugam & Dinstein,
+// 1973), computed from a symmetric co-occurrence matrix via three code paths:
+//
+//   * VisitAll  — dense loops touching every Ng^2 cell (the unoptimized
+//                 baseline in paper Sec. 4.4.1);
+//   * SkipZeros — dense loops that branch past zero cells (the paper's
+//                 "one-fourth the time" optimization);
+//   * sparse    — loops over the non-zero upper-triangular entry list only.
+//
+// All three produce identical values (property-tested); they differ only in
+// the work performed, which feeds the performance model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "haralick/glcm.hpp"
+#include "haralick/glcm_sparse.hpp"
+
+namespace h4d::haralick {
+
+/// Haralick's f1..f14, in his numbering order.
+enum class Feature : int {
+  AngularSecondMoment = 0,  // f1
+  Contrast,                 // f2
+  Correlation,              // f3
+  SumOfSquaresVariance,     // f4
+  InverseDifferenceMoment,  // f5
+  SumAverage,               // f6
+  SumVariance,              // f7
+  SumEntropy,               // f8
+  Entropy,                  // f9
+  DifferenceVariance,       // f10
+  DifferenceEntropy,        // f11
+  InfoMeasureCorrelation1,  // f12
+  InfoMeasureCorrelation2,  // f13
+  MaximalCorrelationCoeff,  // f14
+};
+
+inline constexpr int kNumFeatures = 14;
+
+std::string_view feature_name(Feature f);
+/// Short identifier usable in file names ("asm", "contrast", ...).
+std::string_view feature_slug(Feature f);
+
+/// Set of selected features, as a bitmask over Feature.
+class FeatureSet {
+ public:
+  constexpr FeatureSet() = default;
+  constexpr FeatureSet(std::initializer_list<Feature> fs) {
+    for (Feature f : fs) set(f);
+  }
+
+  constexpr void set(Feature f) { mask_ |= (1u << static_cast<int>(f)); }
+  constexpr bool has(Feature f) const { return (mask_ >> static_cast<int>(f)) & 1u; }
+  constexpr int count() const { return __builtin_popcount(mask_); }
+  constexpr std::uint32_t mask() const { return mask_; }
+  static constexpr FeatureSet from_mask(std::uint32_t m) {
+    FeatureSet s;
+    s.mask_ = m & ((1u << kNumFeatures) - 1u);
+    return s;
+  }
+
+  static constexpr FeatureSet all() { return from_mask((1u << kNumFeatures) - 1u); }
+
+  /// The four most computation-expensive features used throughout the
+  /// paper's evaluation (Sec. 5.1): ASM, Correlation, Sum of Squares, IDM.
+  static constexpr FeatureSet paper_eval() {
+    return FeatureSet{Feature::AngularSecondMoment, Feature::Correlation,
+                      Feature::SumOfSquaresVariance, Feature::InverseDifferenceMoment};
+  }
+
+  friend constexpr bool operator==(const FeatureSet&, const FeatureSet&) = default;
+
+ private:
+  std::uint32_t mask_ = 0;
+};
+
+/// Result of a feature computation; unselected slots hold 0.
+struct FeatureVector {
+  std::array<double, kNumFeatures> value{};
+
+  double operator[](Feature f) const { return value[static_cast<std::size_t>(f)]; }
+  double& operator[](Feature f) { return value[static_cast<std::size_t>(f)]; }
+};
+
+/// Zero-entry handling for the dense path.
+enum class ZeroPolicy {
+  VisitAll,   ///< touch every cell, zeros included (baseline)
+  SkipZeros,  ///< branch past zero cells (paper's optimization)
+};
+
+/// Dense-path feature computation. `wc`, when non-null, is credited with the
+/// per-cell operations performed (used to calibrate the simulator).
+FeatureVector compute_features(const Glcm& g, FeatureSet set, ZeroPolicy policy,
+                               WorkCounters* wc = nullptr);
+
+/// Sparse-path feature computation over the non-zero entry list.
+FeatureVector compute_features(const SparseGlcm& g, FeatureSet set, WorkCounters* wc = nullptr);
+
+}  // namespace h4d::haralick

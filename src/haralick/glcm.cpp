@@ -1,0 +1,99 @@
+#include "haralick/glcm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace h4d::haralick {
+
+Glcm::Glcm(int num_levels) : ng_(num_levels) {
+  if (num_levels < 2 || num_levels > 256) {
+    throw std::invalid_argument("Glcm: Ng must be in [2, 256]");
+  }
+  counts_.assign(static_cast<std::size_t>(ng_) * static_cast<std::size_t>(ng_), 0);
+}
+
+void Glcm::clear() {
+  std::fill(counts_.begin(), counts_.end(), 0u);
+  total_ = 0;
+}
+
+void Glcm::set_raw(std::vector<std::uint32_t> table, std::int64_t total) {
+  if (table.size() != static_cast<std::size_t>(ng_) * static_cast<std::size_t>(ng_)) {
+    throw std::invalid_argument("Glcm::set_raw: table size mismatch");
+  }
+  counts_ = std::move(table);
+  total_ = total;
+}
+
+std::int64_t Glcm::accumulate(Vol4View<const Level> vol, const Region4& roi,
+                              const std::vector<Vec4>& dirs) {
+  if (!Region4::whole(vol.dims()).contains(roi)) {
+    throw std::invalid_argument("Glcm::accumulate: roi " + roi.str() +
+                                " outside volume " + vol.dims().str());
+  }
+  std::int64_t updates = 0;
+  const Vec4 o = roi.origin;
+  for (const Vec4& d : dirs) {
+    // Valid anchor points p such that both p and p+d are inside the ROI.
+    Vec4 lo, hi;  // inclusive lo, exclusive hi, relative to roi origin
+    bool any = true;
+    for (int k = 0; k < kDims; ++k) {
+      lo[k] = d[k] < 0 ? -d[k] : 0;
+      hi[k] = roi.size[k] - (d[k] > 0 ? d[k] : 0);
+      if (hi[k] <= lo[k]) any = false;
+    }
+    if (!any) continue;
+    for (std::int64_t t = lo[3]; t < hi[3]; ++t) {
+      for (std::int64_t z = lo[2]; z < hi[2]; ++z) {
+        for (std::int64_t y = lo[1]; y < hi[1]; ++y) {
+          for (std::int64_t x = lo[0]; x < hi[0]; ++x) {
+            const Level a = vol.at(o[0] + x, o[1] + y, o[2] + z, o[3] + t);
+            const Level b =
+                vol.at(o[0] + x + d[0], o[1] + y + d[1], o[2] + z + d[2], o[3] + t + d[3]);
+            // Forward and backward relation: symmetric accumulation.
+            counts_[static_cast<std::size_t>(a) * static_cast<std::size_t>(ng_) + b]++;
+            counts_[static_cast<std::size_t>(b) * static_cast<std::size_t>(ng_) + a]++;
+            total_ += 2;
+            updates += 2;
+          }
+        }
+      }
+    }
+  }
+  return updates;
+}
+
+void Glcm::adjust_pair(Level a, Level b, int sign) {
+  auto& fwd = counts_[static_cast<std::size_t>(a) * static_cast<std::size_t>(ng_) + b];
+  auto& bwd = counts_[static_cast<std::size_t>(b) * static_cast<std::size_t>(ng_) + a];
+  assert(sign > 0 || (fwd > 0 && bwd > 0));
+  fwd = static_cast<std::uint32_t>(static_cast<std::int64_t>(fwd) + sign);
+  if (a != b) {
+    bwd = static_cast<std::uint32_t>(static_cast<std::int64_t>(bwd) + sign);
+  } else {
+    fwd = static_cast<std::uint32_t>(static_cast<std::int64_t>(fwd) + sign);
+  }
+  total_ += 2 * sign;
+}
+
+std::int64_t Glcm::nonzero_upper() const {
+  std::int64_t n = 0;
+  for (int i = 0; i < ng_; ++i) {
+    for (int j = i; j < ng_; ++j) {
+      if (count(i, j) != 0) ++n;
+    }
+  }
+  return n;
+}
+
+bool Glcm::is_symmetric() const {
+  for (int i = 0; i < ng_; ++i) {
+    for (int j = i + 1; j < ng_; ++j) {
+      if (count(i, j) != count(j, i)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace h4d::haralick

@@ -1,0 +1,112 @@
+#include "haralick/parallel_engine.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "nd/raster.hpp"
+
+namespace h4d::haralick {
+
+namespace {
+
+/// Heuristic chunk extents: split the two largest spatial axes so roughly
+/// `target_chunks` pieces exist, while keeping chunks no smaller than the
+/// ROI.
+Vec4 default_chunks(const Vec4& dims, const Vec4& roi, unsigned target_chunks) {
+  Vec4 chunk = dims;
+  unsigned pieces = 1;
+  while (pieces < target_chunks) {
+    // Halve the axis with the most ROI origins remaining.
+    int best = -1;
+    std::int64_t best_span = 0;
+    for (int d = 0; d < kDims; ++d) {
+      const std::int64_t span = chunk[d] - roi[d] + 1;
+      if (span >= 2 && span > best_span && chunk[d] / 2 >= roi[d]) {
+        best = d;
+        best_span = span;
+      }
+    }
+    if (best < 0) break;
+    chunk[best] = std::max(roi[best], chunk[best] / 2);
+    pieces *= 2;
+  }
+  return chunk;
+}
+
+}  // namespace
+
+std::vector<FeatureBlock> analyze_volume_parallel(const Volume4<Level>& vol,
+                                                  const EngineConfig& cfg,
+                                                  const ParallelOptions& options,
+                                                  WorkCounters* wc) {
+  const Region4 all = roi_origin_region(vol.dims(), cfg.roi_dims);
+  if (all.empty()) {
+    throw std::invalid_argument("analyze_volume_parallel: roi " + cfg.roi_dims.str() +
+                                " larger than volume " + vol.dims().str());
+  }
+
+  unsigned threads = options.threads != 0 ? options.threads
+                                          : std::max(1u, std::thread::hardware_concurrency());
+  Vec4 chunk_dims = options.chunk_dims;
+  if (!chunk_dims.all_positive()) {
+    chunk_dims = default_chunks(vol.dims(), cfg.roi_dims, threads * 8);
+  }
+  const std::vector<Chunk> chunks = partition_overlapping(vol.dims(), chunk_dims, cfg.roi_dims);
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(chunks.size()));
+
+  // One block per feature, assembled in place by the workers (chunks own
+  // disjoint origin ranges, so no synchronization on values is needed).
+  std::vector<Feature> selected;
+  for (int f = 0; f < kNumFeatures; ++f) {
+    if (cfg.features.has(static_cast<Feature>(f))) selected.push_back(static_cast<Feature>(f));
+  }
+  std::vector<FeatureBlock> blocks(selected.size());
+  for (std::size_t s = 0; s < selected.size(); ++s) {
+    blocks[s].feature = selected[s];
+    blocks[s].origins = all;
+    blocks[s].values.assign(static_cast<std::size_t>(all.volume()), 0.0f);
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  WorkCounters total{};
+  std::mutex wc_mu;
+
+  const auto worker = [&] {
+    WorkCounters local{};
+    try {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= chunks.size()) break;
+        const Chunk& c = chunks[i];
+        const auto view = vol.view().subview(c.region);
+        const auto partial = analyze_chunk(view, c.region, c.owned_origins, cfg, &local);
+        for (std::size_t s = 0; s < partial.size(); ++s) {
+          std::int64_t k = 0;
+          for (const Vec4& p : raster(partial[s].origins)) {
+            blocks[s].values[static_cast<std::size_t>(linear_index(p - all.origin, all.size))] =
+                partial[s].values[static_cast<std::size_t>(k)];
+            ++k;
+          }
+        }
+      }
+    } catch (...) {
+      std::lock_guard lk(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+    std::lock_guard lk(wc_mu);
+    total += local;
+  };
+
+  std::vector<std::thread> pool;
+  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  if (wc != nullptr) *wc += total;
+  return blocks;
+}
+
+}  // namespace h4d::haralick

@@ -1,0 +1,29 @@
+// Shared-memory parallel analysis of an in-memory volume.
+//
+// Partitions the ROI-origin space into overlapping chunks (the same
+// partitioner the out-of-core pipeline uses) and analyzes them on a pool of
+// worker threads. Results are identical to analyze_volume (property-tested);
+// this is the right entry point when the dataset fits in memory and only
+// intra-node parallelism is wanted.
+#pragma once
+
+#include "haralick/roi_engine.hpp"
+
+namespace h4d::haralick {
+
+struct ParallelOptions {
+  /// Worker threads; 0 => std::thread::hardware_concurrency().
+  unsigned threads = 0;
+  /// Chunk extents used to split the work; 0 on any axis => a heuristic
+  /// target of ~8 chunks per thread along the largest axes.
+  Vec4 chunk_dims{0, 0, 0, 0};
+};
+
+/// Parallel equivalent of analyze_volume. `wc`, when non-null, receives the
+/// summed counters of all workers.
+std::vector<FeatureBlock> analyze_volume_parallel(const Volume4<Level>& vol,
+                                                  const EngineConfig& cfg,
+                                                  const ParallelOptions& options = {},
+                                                  WorkCounters* wc = nullptr);
+
+}  // namespace h4d::haralick

@@ -1,0 +1,185 @@
+#include "haralick/roi_engine.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+#include "haralick/directions.hpp"
+#include "haralick/sliding.hpp"
+#include "nd/raster.hpp"
+
+namespace h4d::haralick {
+
+std::vector<Vec4> EngineConfig::effective_directions() const {
+  if (!directions.empty()) return directions;
+  return unique_directions(ActiveDims::all4(), 1);
+}
+
+Glcm glcm_for_roi(Vol4View<const Level> vol, const Region4& roi, const std::vector<Vec4>& dirs,
+                  int num_levels, WorkCounters* wc) {
+  Glcm g(num_levels);
+  const std::int64_t updates = g.accumulate(vol, roi, dirs);
+  if (wc != nullptr) {
+    wc->glcm_pair_updates += updates;
+    wc->matrices_built += 1;
+  }
+  return g;
+}
+
+std::vector<FeatureBlock> analyze_chunk(Vol4View<const Level> chunk_view,
+                                        const Region4& chunk_region,
+                                        const Region4& owned_origins, const EngineConfig& cfg,
+                                        WorkCounters* wc) {
+  if (chunk_view.dims() != chunk_region.size) {
+    throw std::invalid_argument("analyze_chunk: view dims do not match chunk region");
+  }
+  const std::vector<Vec4> dirs = cfg.effective_directions();
+
+  std::vector<FeatureBlock> blocks;
+  std::vector<Feature> selected;
+  for (int f = 0; f < kNumFeatures; ++f) {
+    if (cfg.features.has(static_cast<Feature>(f))) selected.push_back(static_cast<Feature>(f));
+  }
+  const std::int64_t n = owned_origins.empty() ? 0 : owned_origins.volume();
+  blocks.reserve(selected.size());
+  for (Feature f : selected) {
+    FeatureBlock b;
+    b.feature = f;
+    b.origins = owned_origins;
+    b.values.assign(static_cast<std::size_t>(n), 0.0f);
+    blocks.push_back(std::move(b));
+  }
+  if (n == 0) return blocks;
+
+  if (cfg.sliding_window && cfg.direction_mode != DirectionMode::Pooled) {
+    throw std::invalid_argument(
+        "analyze_chunk: sliding_window requires DirectionMode::Pooled");
+  }
+
+  // Helper computing the per-ROI feature vector from one matrix.
+  const auto features_of = [&cfg, wc](const Glcm& g) {
+    if (cfg.representation == Representation::Sparse) {
+      const SparseGlcm sparse = SparseGlcm::from_dense(g);
+      if (wc != nullptr) {
+        wc->sparse_entries_emitted += static_cast<std::int64_t>(sparse.nnz());
+        wc->sparse_compress_cells +=
+            static_cast<std::int64_t>(cfg.num_levels) * cfg.num_levels;
+      }
+      return compute_features(sparse, cfg.features, wc);
+    }
+    return compute_features(g, cfg.features, cfg.zero_policy, wc);
+  };
+
+  Glcm scratch(cfg.num_levels);
+  std::optional<SlidingGlcm> sliding;
+  if (cfg.sliding_window) {
+    sliding.emplace(chunk_view, cfg.roi_dims, dirs, cfg.num_levels);
+  }
+  std::int64_t sliding_updates_before = 0;
+
+  std::int64_t k = 0;
+  Vec4 prev_origin{-2, -2, -2, -2};
+  for (const Vec4& origin : raster(owned_origins)) {
+    // ROI in chunk-local coordinates.
+    const Region4 roi{origin - chunk_region.origin, cfg.roi_dims};
+    if (!Region4::whole(chunk_region.size).contains(roi)) {
+      throw std::logic_error("analyze_chunk: owned origin " + origin.str() +
+                             " has ROI escaping chunk " + chunk_region.str());
+    }
+
+    FeatureVector fv;
+    if (cfg.direction_mode == DirectionMode::Pooled) {
+      const Glcm* glcm = nullptr;
+      if (sliding) {
+        const Vec4 step = origin - prev_origin;
+        if (sliding->positioned() && step == Vec4{1, 0, 0, 0}) {
+          sliding->slide(0);
+        } else {
+          sliding->reset(roi.origin);
+        }
+        glcm = &sliding->glcm();
+        if (wc != nullptr) {
+          wc->glcm_pair_updates += sliding->updates_performed() - sliding_updates_before;
+          wc->matrices_built += 1;
+        }
+        sliding_updates_before = sliding->updates_performed();
+      } else {
+        scratch.clear();
+        const std::int64_t updates = scratch.accumulate(chunk_view, roi, dirs);
+        if (wc != nullptr) {
+          wc->glcm_pair_updates += updates;
+          wc->matrices_built += 1;
+        }
+        glcm = &scratch;
+      }
+      fv = features_of(*glcm);
+    } else {
+      // One matrix per direction; aggregate the per-direction features.
+      FeatureVector lo, hi, sum;
+      bool first = true;
+      std::vector<Vec4> one_dir(1);
+      for (const Vec4& d : dirs) {
+        one_dir[0] = d;
+        scratch.clear();
+        const std::int64_t updates = scratch.accumulate(chunk_view, roi, one_dir);
+        if (wc != nullptr) {
+          wc->glcm_pair_updates += updates;
+          wc->matrices_built += 1;
+        }
+        const FeatureVector f = features_of(scratch);
+        for (int s = 0; s < kNumFeatures; ++s) {
+          const auto idx = static_cast<std::size_t>(s);
+          sum.value[idx] += f.value[idx];
+          if (first) {
+            lo.value[idx] = f.value[idx];
+            hi.value[idx] = f.value[idx];
+          } else {
+            lo.value[idx] = std::min(lo.value[idx], f.value[idx]);
+            hi.value[idx] = std::max(hi.value[idx], f.value[idx]);
+          }
+        }
+        first = false;
+      }
+      const auto n = static_cast<double>(dirs.size());
+      for (int s = 0; s < kNumFeatures; ++s) {
+        const auto idx = static_cast<std::size_t>(s);
+        fv.value[idx] = cfg.direction_mode == DirectionMode::MeanOverDirections
+                            ? sum.value[idx] / n
+                            : hi.value[idx] - lo.value[idx];
+      }
+    }
+    prev_origin = origin;
+    for (std::size_t s = 0; s < selected.size(); ++s) {
+      blocks[s].values[static_cast<std::size_t>(k)] = static_cast<float>(fv[selected[s]]);
+    }
+    ++k;
+  }
+  return blocks;
+}
+
+std::vector<FeatureBlock> analyze_volume(const Volume4<Level>& vol, const EngineConfig& cfg,
+                                         WorkCounters* wc) {
+  const Region4 whole = Region4::whole(vol.dims());
+  const Region4 origins = roi_origin_region(vol.dims(), cfg.roi_dims);
+  if (origins.empty()) {
+    throw std::invalid_argument("analyze_volume: roi " + cfg.roi_dims.str() +
+                                " larger than volume " + vol.dims().str());
+  }
+  return analyze_chunk(vol.view(), whole, origins, cfg, wc);
+}
+
+Volume4<float> assemble_feature_map(const std::vector<const FeatureBlock*>& blocks,
+                                    const Region4& all_origins, float fill) {
+  Volume4<float> map(all_origins.size, fill);
+  for (const FeatureBlock* b : blocks) {
+    if (b == nullptr) continue;
+    std::int64_t k = 0;
+    for (const Vec4& p : raster(b->origins)) {
+      map.at(p - all_origins.origin) = b->values[static_cast<std::size_t>(k)];
+      ++k;
+    }
+  }
+  return map;
+}
+
+}  // namespace h4d::haralick

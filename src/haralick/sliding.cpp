@@ -1,0 +1,105 @@
+#include "haralick/sliding.hpp"
+
+#include <stdexcept>
+
+namespace h4d::haralick {
+
+SlidingGlcm::SlidingGlcm(Vol4View<const Level> vol, Vec4 roi_dims, std::vector<Vec4> dirs,
+                         int num_levels)
+    : vol_(vol), roi_dims_(roi_dims), dirs_(std::move(dirs)), glcm_(num_levels) {
+  if (!roi_dims_.all_positive() || !roi_dims_.all_le(vol_.dims())) {
+    throw std::invalid_argument("SlidingGlcm: roi " + roi_dims_.str() +
+                                " infeasible for volume " + vol_.dims().str());
+  }
+  for (const Vec4& d : dirs_) {
+    for (int k = 0; k < kDims; ++k) {
+      if (d[k] >= roi_dims_[k] || -d[k] >= roi_dims_[k]) {
+        throw std::invalid_argument("SlidingGlcm: direction " + d.str() +
+                                    " exceeds roi " + roi_dims_.str());
+      }
+    }
+  }
+}
+
+void SlidingGlcm::reset(const Vec4& origin) {
+  const Region4 roi{origin, roi_dims_};
+  if (!Region4::whole(vol_.dims()).contains(roi)) {
+    throw std::invalid_argument("SlidingGlcm::reset: roi " + roi.str() +
+                                " outside volume");
+  }
+  glcm_.clear();
+  updates_ += glcm_.accumulate(vol_, roi, dirs_);
+  origin_ = origin;
+  positioned_ = true;
+}
+
+void SlidingGlcm::slide(int axis) {
+  if (!positioned_) throw std::logic_error("SlidingGlcm::slide before reset");
+  if (axis < 0 || axis >= kDims) throw std::invalid_argument("SlidingGlcm: bad axis");
+  Vec4 new_origin = origin_;
+  new_origin[axis] += 1;
+  if (!Region4::whole(vol_.dims()).contains(Region4{new_origin, roi_dims_})) {
+    throw std::invalid_argument("SlidingGlcm::slide: new roi escapes volume");
+  }
+
+  // Remove pairs touching the departed plane (old ROI frame), then add
+  // pairs touching the entered plane (new ROI frame).
+  apply_plane(origin_, axis, origin_[axis], -1);
+  apply_plane(new_origin, axis, new_origin[axis] + roi_dims_[axis] - 1, +1);
+  origin_ = new_origin;
+}
+
+void SlidingGlcm::apply_plane(const Vec4& roi_origin, int axis, std::int64_t plane_coord,
+                              int sign) {
+  const Region4 roi{roi_origin, roi_dims_};
+  const Vec4 lo = roi.origin;
+  const Vec4 hi = roi.end();  // exclusive
+
+  for (const Vec4& d : dirs_) {
+    // A pair (a, a+d) touches the plane iff a[axis] == plane_coord or
+    // (a+d)[axis] == plane_coord, i.e. a[axis] in {plane_coord,
+    // plane_coord - d[axis]}. When d[axis] == 0 that is a single anchor
+    // plane, so no pair is visited twice.
+    std::int64_t anchor_planes[2] = {plane_coord, plane_coord - d[axis]};
+    const int nplanes = d[axis] == 0 ? 1 : 2;
+    for (int pi = 0; pi < nplanes; ++pi) {
+      const std::int64_t ax = anchor_planes[pi];
+      if (ax < lo[axis] || ax >= hi[axis]) continue;
+      // The partner coordinate must also be inside the ROI.
+      const std::int64_t bx = ax + d[axis];
+      if (bx < lo[axis] || bx >= hi[axis]) continue;
+
+      // Iterate anchors over the other three dimensions, clamped so both
+      // endpoints stay inside the ROI.
+      Vec4 alo = lo, ahi = hi;
+      alo[axis] = ax;
+      ahi[axis] = ax + 1;
+      for (int k = 0; k < kDims; ++k) {
+        if (k == axis) continue;
+        if (d[k] > 0) {
+          ahi[k] -= d[k];
+        } else if (d[k] < 0) {
+          alo[k] -= d[k];
+        }
+        if (ahi[k] <= alo[k]) {
+          ahi[k] = alo[k];  // empty
+        }
+      }
+      Vec4 p;
+      for (p[3] = alo[3]; p[3] < ahi[3]; ++p[3]) {
+        for (p[2] = alo[2]; p[2] < ahi[2]; ++p[2]) {
+          for (p[1] = alo[1]; p[1] < ahi[1]; ++p[1]) {
+            for (p[0] = alo[0]; p[0] < ahi[0]; ++p[0]) {
+              const Level a = vol_.at(p);
+              const Level b = vol_.at(p + d);
+              glcm_.adjust_pair(a, b, sign);
+              updates_ += 2;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace h4d::haralick

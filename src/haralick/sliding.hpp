@@ -1,0 +1,61 @@
+// Incremental (sliding-window) co-occurrence matrix maintenance.
+//
+// Raster scanning recomputes a GLCM from scratch at every ROI position,
+// touching O(|ROI| * |dirs|) pairs. When the window slides by one voxel,
+// only pairs with an endpoint in the departed or entered boundary slab
+// change — O(|face| * |dirs|) work. For the paper's 7x7x3x3 ROI sliding
+// along x this is a ~7x reduction in pair updates. The engine can use this
+// via EngineConfig::sliding_window; results are bit-identical to the
+// from-scratch path (property-tested).
+#pragma once
+
+#include <vector>
+
+#include "haralick/glcm.hpp"
+
+namespace h4d::haralick {
+
+/// Maintains the GLCM of a ROI window over a quantized volume as the window
+/// slides one voxel at a time.
+class SlidingGlcm {
+ public:
+  /// `vol` must outlive the SlidingGlcm. Directions may have components
+  /// of any magnitude smaller than the ROI extents.
+  SlidingGlcm(Vol4View<const Level> vol, Vec4 roi_dims, std::vector<Vec4> dirs,
+              int num_levels);
+
+  /// Recompute from scratch at `origin` (ROI must fit inside the volume).
+  void reset(const Vec4& origin);
+
+  /// Slide the window one voxel in +axis direction. The window must have
+  /// been positioned (reset) and the new ROI must fit inside the volume.
+  void slide(int axis);
+
+  const Glcm& glcm() const { return glcm_; }
+  const Vec4& origin() const { return origin_; }
+  bool positioned() const { return positioned_; }
+
+  /// Pair updates performed since construction (cost accounting; one update
+  /// is one symmetric count adjustment, matching Glcm::accumulate's units).
+  std::int64_t updates_performed() const { return updates_; }
+
+ private:
+  /// Add (sign=+1) or remove (sign=-1) every pair that has an endpoint in
+  /// the plane `plane_coord` of `axis`, with both endpoints inside the ROI
+  /// at `roi_origin`.
+  void apply_plane(const Vec4& roi_origin, int axis, std::int64_t plane_coord, int sign);
+
+  void bump(Level a, Level b, int sign);
+
+  Vol4View<const Level> vol_;
+  Vec4 roi_dims_;
+  std::vector<Vec4> dirs_;
+  Glcm glcm_;
+  std::vector<std::uint32_t> counts_;  // working table (row-major Ng x Ng)
+  std::int64_t total_ = 0;
+  Vec4 origin_{};
+  bool positioned_ = false;
+  std::int64_t updates_ = 0;
+};
+
+}  // namespace h4d::haralick

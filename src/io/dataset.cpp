@@ -1,0 +1,208 @@
+#include "io/dataset.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+
+#include "nd/quantize.hpp"
+
+namespace h4d::io {
+
+namespace {
+
+constexpr const char* kMetaFile = "dataset.meta";
+constexpr const char* kIndexFile = "index.txt";
+
+std::string slice_filename(std::int64_t t, std::int64_t z) {
+  return "slice_t" + std::to_string(t) + "_z" + std::to_string(z) + ".raw";
+}
+
+}  // namespace
+
+std::size_t dtype_size(Dtype d) { return d == Dtype::U8 ? 1 : 2; }
+
+std::string dtype_name(Dtype d) { return d == Dtype::U8 ? "u8" : "u16"; }
+
+Dtype dtype_from_name(const std::string& name) {
+  if (name == "u8") return Dtype::U8;
+  if (name == "u16") return Dtype::U16;
+  throw std::runtime_error("unknown dtype: " + name);
+}
+
+void DatasetMeta::save(const std::filesystem::path& root) const {
+  std::ofstream f(root / kMetaFile);
+  if (!f) throw std::runtime_error("cannot write " + (root / kMetaFile).string());
+  f << "dims " << dims[0] << ' ' << dims[1] << ' ' << dims[2] << ' ' << dims[3] << '\n'
+    << "dtype " << dtype_name(dtype) << '\n'
+    << "range " << value_min << ' ' << value_max << '\n'
+    << "storage_nodes " << storage_nodes << '\n';
+}
+
+DatasetMeta DatasetMeta::load(const std::filesystem::path& root) {
+  std::ifstream f(root / kMetaFile);
+  if (!f) throw std::runtime_error("cannot read " + (root / kMetaFile).string());
+  DatasetMeta m;
+  std::string key;
+  while (f >> key) {
+    if (key == "dims") {
+      f >> m.dims[0] >> m.dims[1] >> m.dims[2] >> m.dims[3];
+    } else if (key == "dtype") {
+      std::string name;
+      f >> name;
+      m.dtype = dtype_from_name(name);
+    } else if (key == "range") {
+      f >> m.value_min >> m.value_max;
+    } else if (key == "storage_nodes") {
+      f >> m.storage_nodes;
+    } else {
+      std::string rest;
+      std::getline(f, rest);  // tolerate unknown keys
+    }
+  }
+  if (!m.dims.all_positive() || m.storage_nodes < 1) {
+    throw std::runtime_error("corrupt dataset.meta under " + root.string());
+  }
+  return m;
+}
+
+StorageNodeReader::StorageNodeReader(std::filesystem::path node_dir, DatasetMeta meta,
+                                     int node_id)
+    : dir_(std::move(node_dir)), meta_(meta), node_id_(node_id) {
+  std::ifstream idx(dir_ / kIndexFile);
+  if (!idx) throw std::runtime_error("cannot read index " + (dir_ / kIndexFile).string());
+  SliceRef s;
+  while (idx >> s.t >> s.z >> s.filename) slices_.push_back(s);
+}
+
+void StorageNodeReader::read_slice_region(const SliceRef& slice, std::int64_t x0,
+                                          std::int64_t y0, std::int64_t w, std::int64_t h,
+                                          std::uint16_t* out) const {
+  if (meta_.node_of_slice(slice.z, slice.t) != node_id_) {
+    throw std::invalid_argument("slice (t=" + std::to_string(slice.t) +
+                                ", z=" + std::to_string(slice.z) + ") is not local to node " +
+                                std::to_string(node_id_));
+  }
+  if (x0 < 0 || y0 < 0 || w <= 0 || h <= 0 || x0 + w > meta_.dims[0] ||
+      y0 + h > meta_.dims[1]) {
+    throw std::invalid_argument("read_slice_region: rectangle out of bounds");
+  }
+  std::ifstream f(dir_ / slice.filename, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open slice " + (dir_ / slice.filename).string());
+
+  const std::size_t esz = dtype_size(meta_.dtype);
+  std::vector<std::uint8_t> row(static_cast<std::size_t>(w) * esz);
+  const bool full_rows = (x0 == 0 && w == meta_.dims[0]);
+  // One seek per read burst: full-width reads of contiguous rows need a
+  // single seek; partial rows need one per row.
+  seeks_ += full_rows ? 1 : h;
+  for (std::int64_t y = 0; y < h; ++y) {
+    const std::int64_t off =
+        ((y0 + y) * meta_.dims[0] + x0) * static_cast<std::int64_t>(esz);
+    f.seekg(off);
+    f.read(reinterpret_cast<char*>(row.data()), static_cast<std::streamsize>(row.size()));
+    if (!f) throw std::runtime_error("short read in " + (dir_ / slice.filename).string());
+    bytes_read_ += static_cast<std::int64_t>(row.size());
+    if (meta_.dtype == Dtype::U16) {
+      std::memcpy(out + y * w, row.data(), row.size());
+    } else {
+      for (std::int64_t x = 0; x < w; ++x) {
+        out[y * w + x] = row[static_cast<std::size_t>(x)];
+      }
+    }
+  }
+}
+
+DiskDataset DiskDataset::create(const std::filesystem::path& root,
+                                const Volume4<std::uint16_t>& vol, int num_nodes) {
+  if (num_nodes < 1) throw std::invalid_argument("DiskDataset::create: num_nodes must be >= 1");
+  std::filesystem::create_directories(root);
+
+  DatasetMeta meta;
+  meta.dims = vol.dims();
+  meta.dtype = Dtype::U16;
+  meta.storage_nodes = num_nodes;
+  const auto [lo, hi] = min_max<std::uint16_t>(vol.view());
+  meta.value_min = lo;
+  meta.value_max = hi;
+  meta.save(root);
+
+  std::vector<std::ofstream> indexes;
+  for (int n = 0; n < num_nodes; ++n) {
+    const std::filesystem::path dir = root / ("node_" + std::to_string(n));
+    std::filesystem::create_directories(dir);
+    indexes.emplace_back(dir / kIndexFile);
+    if (!indexes.back()) throw std::runtime_error("cannot create index in " + dir.string());
+  }
+
+  const std::int64_t nx = meta.dims[0];
+  const std::int64_t ny = meta.dims[1];
+  std::vector<std::uint16_t> slice(static_cast<std::size_t>(nx * ny));
+  for (std::int64_t t = 0; t < meta.dims[3]; ++t) {
+    for (std::int64_t z = 0; z < meta.dims[2]; ++z) {
+      const int node = meta.node_of_slice(z, t);
+      const std::string name = slice_filename(t, z);
+      for (std::int64_t y = 0; y < ny; ++y) {
+        std::memcpy(slice.data() + y * nx, &vol.at(0, y, z, t),
+                    static_cast<std::size_t>(nx) * sizeof(std::uint16_t));
+      }
+      const std::filesystem::path path = root / ("node_" + std::to_string(node)) / name;
+      std::ofstream f(path, std::ios::binary);
+      if (!f) throw std::runtime_error("cannot write slice " + path.string());
+      f.write(reinterpret_cast<const char*>(slice.data()),
+              static_cast<std::streamsize>(slice.size() * sizeof(std::uint16_t)));
+      indexes[static_cast<std::size_t>(node)] << t << ' ' << z << ' ' << name << '\n';
+    }
+  }
+  return DiskDataset(root, meta);
+}
+
+DiskDataset DiskDataset::open(const std::filesystem::path& root) {
+  return DiskDataset(root, DatasetMeta::load(root));
+}
+
+std::filesystem::path DiskDataset::node_dir(int node) const {
+  return root_ / ("node_" + std::to_string(node));
+}
+
+StorageNodeReader DiskDataset::node_reader(int node) const {
+  if (node < 0 || node >= meta_.storage_nodes) {
+    throw std::out_of_range("node_reader: no node " + std::to_string(node));
+  }
+  return StorageNodeReader(node_dir(node), meta_, node);
+}
+
+Volume4<std::uint16_t> DiskDataset::read_all() const {
+  return read_region(Region4::whole(meta_.dims));
+}
+
+Volume4<std::uint16_t> DiskDataset::read_region(const Region4& region) const {
+  if (!Region4::whole(meta_.dims).contains(region) || region.empty()) {
+    throw std::invalid_argument("read_region: region " + region.str() +
+                                " not inside dataset " + meta_.dims.str());
+  }
+  Volume4<std::uint16_t> out(region.size);
+  std::vector<std::uint16_t> rect(static_cast<std::size_t>(region.size[0] * region.size[1]));
+  std::vector<std::optional<StorageNodeReader>> readers(
+      static_cast<std::size_t>(meta_.storage_nodes));
+  for (std::int64_t t = 0; t < region.size[3]; ++t) {
+    for (std::int64_t z = 0; z < region.size[2]; ++z) {
+      const std::int64_t gz = region.origin[2] + z;
+      const std::int64_t gt = region.origin[3] + t;
+      const int node = meta_.node_of_slice(gz, gt);
+      auto& reader = readers[static_cast<std::size_t>(node)];
+      if (!reader) reader.emplace(node_dir(node), meta_, node);
+      SliceRef ref{gt, gz, slice_filename(gt, gz)};
+      reader->read_slice_region(ref, region.origin[0], region.origin[1], region.size[0],
+                                region.size[1], rect.data());
+      for (std::int64_t y = 0; y < region.size[1]; ++y) {
+        std::memcpy(&out.at(0, y, z, t), rect.data() + y * region.size[0],
+                    static_cast<std::size_t>(region.size[0]) * sizeof(std::uint16_t));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace h4d::io

@@ -1,0 +1,120 @@
+// Disk-resident 4D dataset layout (paper Sec. 4.2).
+//
+// A 4D image dataset is a series of 3D volumes over time; each 3D volume is a
+// stack of 2D slices. On disk every 2D slice is one raw file. Slices are
+// distributed round-robin across storage nodes (directories node_0, node_1,
+// ...), and each node holds an index file associating every local image file
+// with its (t, z) tuple. A dataset.meta file at the root records dimensions,
+// element type and global intensity range (so distributed readers agree on
+// requantization).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "nd/region.hpp"
+#include "nd/volume4.hpp"
+
+namespace h4d::io {
+
+/// Intensity element type of the stored dataset.
+enum class Dtype { U8, U16 };
+
+std::size_t dtype_size(Dtype d);
+std::string dtype_name(Dtype d);
+Dtype dtype_from_name(const std::string& name);
+
+/// Dataset-level metadata persisted in <root>/dataset.meta.
+struct DatasetMeta {
+  Vec4 dims;  ///< (x, y, z, t) extents
+  Dtype dtype = Dtype::U16;
+  double value_min = 0.0;  ///< global intensity range, for requantization
+  double value_max = 0.0;
+  int storage_nodes = 1;
+
+  std::int64_t num_slices() const { return dims[2] * dims[3]; }
+  std::int64_t slice_bytes() const {
+    return dims[0] * dims[1] * static_cast<std::int64_t>(dtype_size(dtype));
+  }
+  /// Global slice number of slice z at timestep t (round-robin key).
+  std::int64_t slice_number(std::int64_t z, std::int64_t t) const { return t * dims[2] + z; }
+  /// Storage node a slice is assigned to.
+  int node_of_slice(std::int64_t z, std::int64_t t) const {
+    return static_cast<int>(slice_number(z, t) % storage_nodes);
+  }
+
+  void save(const std::filesystem::path& root) const;
+  static DatasetMeta load(const std::filesystem::path& root);
+};
+
+/// One slice owned by a storage node (an entry of the node's index file).
+struct SliceRef {
+  std::int64_t t = 0;
+  std::int64_t z = 0;
+  std::string filename;  ///< relative to the node directory
+};
+
+/// Read-side view of a single storage node: exactly what one RAWFileReader
+/// filter may touch. Local slices only.
+class StorageNodeReader {
+ public:
+  StorageNodeReader(std::filesystem::path node_dir, DatasetMeta meta, int node_id);
+
+  int node_id() const { return node_id_; }
+  const std::vector<SliceRef>& slices() const { return slices_; }
+
+  /// Read a 2D subregion [x0, x0+w) x [y0, y0+h) of one local slice into
+  /// `out` (row-major, w*h elements). The slice must belong to this node.
+  void read_slice_region(const SliceRef& slice, std::int64_t x0, std::int64_t y0,
+                         std::int64_t w, std::int64_t h, std::uint16_t* out) const;
+
+  /// Number of fseek-equivalent operations performed so far (cost model).
+  std::int64_t seeks_performed() const { return seeks_; }
+  std::int64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  std::filesystem::path dir_;
+  DatasetMeta meta_;
+  int node_id_;
+  std::vector<SliceRef> slices_;
+  mutable std::int64_t seeks_ = 0;
+  mutable std::int64_t bytes_read_ = 0;
+};
+
+/// A complete disk-resident dataset.
+class DiskDataset {
+ public:
+  /// Distribute `vol` across `num_nodes` storage node directories under
+  /// `root` (created if needed), with index and meta files.
+  static DiskDataset create(const std::filesystem::path& root, const Volume4<std::uint16_t>& vol,
+                            int num_nodes);
+
+  /// Open an existing dataset.
+  static DiskDataset open(const std::filesystem::path& root);
+
+  const std::filesystem::path& root() const { return root_; }
+  const DatasetMeta& meta() const { return meta_; }
+  int num_nodes() const { return meta_.storage_nodes; }
+  std::filesystem::path node_dir(int node) const;
+
+  /// Per-node reader (the RFR filter's view of the world).
+  StorageNodeReader node_reader(int node) const;
+
+  /// Gather the whole volume back into memory (tests / small datasets).
+  Volume4<std::uint16_t> read_all() const;
+
+  /// Gather an arbitrary 4D subregion, touching only the nodes that own the
+  /// slices it crosses.
+  Volume4<std::uint16_t> read_region(const Region4& region) const;
+
+ private:
+  DiskDataset(std::filesystem::path root, DatasetMeta meta)
+      : root_(std::move(root)), meta_(meta) {}
+
+  std::filesystem::path root_;
+  DatasetMeta meta_;
+};
+
+}  // namespace h4d::io

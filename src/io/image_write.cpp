@@ -1,0 +1,101 @@
+#include "io/image_write.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace h4d::io {
+
+void write_pgm(const std::filesystem::path& path, std::int64_t width, std::int64_t height,
+               const std::uint8_t* pixels) {
+  if (width <= 0 || height <= 0) throw std::invalid_argument("write_pgm: bad dimensions");
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("write_pgm: cannot open " + path.string());
+  f << "P5\n" << width << ' ' << height << "\n255\n";
+  f.write(reinterpret_cast<const char*>(pixels),
+          static_cast<std::streamsize>(width * height));
+  if (!f) throw std::runtime_error("write_pgm: short write to " + path.string());
+}
+
+std::vector<std::uint8_t> read_pgm(const std::filesystem::path& path, std::int64_t& width,
+                                   std::int64_t& height) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("read_pgm: cannot open " + path.string());
+  std::string magic;
+  std::int64_t maxval = 0;
+  f >> magic >> width >> height >> maxval;
+  if (magic != "P5" || maxval != 255 || width <= 0 || height <= 0) {
+    throw std::runtime_error("read_pgm: unsupported format in " + path.string());
+  }
+  f.get();  // single whitespace after header
+  std::vector<std::uint8_t> pixels(static_cast<std::size_t>(width * height));
+  f.read(reinterpret_cast<char*>(pixels.data()), static_cast<std::streamsize>(pixels.size()));
+  if (!f) throw std::runtime_error("read_pgm: short read from " + path.string());
+  return pixels;
+}
+
+int write_feature_map_images(const std::filesystem::path& dir, const std::string& prefix,
+                             const Volume4<float>& map, float vmin, float vmax) {
+  std::filesystem::create_directories(dir);
+  const Vec4 d = map.dims();
+  const float range = vmax - vmin;
+  std::vector<std::uint8_t> img(static_cast<std::size_t>(d[0] * d[1]));
+  int written = 0;
+  for (std::int64_t t = 0; t < d[3]; ++t) {
+    for (std::int64_t z = 0; z < d[2]; ++z) {
+      for (std::int64_t y = 0; y < d[1]; ++y) {
+        for (std::int64_t x = 0; x < d[0]; ++x) {
+          float v = range > 0.0f ? (map.at(x, y, z, t) - vmin) / range : 0.0f;
+          v = std::clamp(v, 0.0f, 1.0f);
+          img[static_cast<std::size_t>(y * d[0] + x)] =
+              static_cast<std::uint8_t>(v * 255.0f + 0.5f);
+        }
+      }
+      const std::string name =
+          prefix + "_t" + std::to_string(t) + "_z" + std::to_string(z) + ".pgm";
+      write_pgm(dir / name, d[0], d[1], img.data());
+      ++written;
+    }
+  }
+  return written;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  if (columns_.empty()) throw std::invalid_argument("CsvWriter: need at least one column");
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("CsvWriter: row width " + std::to_string(cells.size()) +
+                                " != " + std::to_string(columns_.size()));
+  }
+  rows_.push_back(cells);
+}
+
+std::string CsvWriter::str() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    os << columns_[i] << (i + 1 < columns_.size() ? "," : "\n");
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << row[i] << (i + 1 < row.size() ? "," : "\n");
+    }
+  }
+  return os.str();
+}
+
+void CsvWriter::save(const std::filesystem::path& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("CsvWriter: cannot open " + path.string());
+  f << str();
+}
+
+std::string CsvWriter::num(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace h4d::io

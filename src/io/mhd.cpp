@@ -1,0 +1,142 @@
+#include "io/mhd.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace h4d::io {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+bool parse_bool(const std::string& v) {
+  std::string lower = v;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return lower == "true" || lower == "1";
+}
+
+}  // namespace
+
+Volume4<std::uint16_t> read_mhd(const std::filesystem::path& header_path) {
+  std::ifstream header(header_path);
+  if (!header) throw std::runtime_error("read_mhd: cannot open " + header_path.string());
+
+  std::map<std::string, std::string> keys;
+  std::string line;
+  while (std::getline(header, line)) {
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    keys[trim(line.substr(0, eq))] = trim(line.substr(eq + 1));
+  }
+
+  const auto get = [&keys, &header_path](const std::string& key) -> const std::string& {
+    const auto it = keys.find(key);
+    if (it == keys.end()) {
+      throw std::runtime_error("read_mhd: " + header_path.string() + " missing key " + key);
+    }
+    return it->second;
+  };
+
+  if (keys.count("ObjectType") && get("ObjectType") != "Image") {
+    throw std::runtime_error("read_mhd: unsupported ObjectType " + get("ObjectType"));
+  }
+  const int ndims = std::stoi(get("NDims"));
+  if (ndims < 2 || ndims > 4) {
+    throw std::runtime_error("read_mhd: unsupported NDims " + std::to_string(ndims));
+  }
+
+  Vec4 dims{1, 1, 1, 1};
+  {
+    std::istringstream ds(get("DimSize"));
+    for (int i = 0; i < ndims; ++i) {
+      if (!(ds >> dims[i]) || dims[i] <= 0) {
+        throw std::runtime_error("read_mhd: bad DimSize in " + header_path.string());
+      }
+    }
+  }
+
+  const std::string& etype = get("ElementType");
+  std::size_t esize = 0;
+  if (etype == "MET_UCHAR") {
+    esize = 1;
+  } else if (etype == "MET_USHORT") {
+    esize = 2;
+  } else {
+    throw std::runtime_error("read_mhd: unsupported ElementType " + etype);
+  }
+
+  for (const char* key : {"BinaryDataByteOrderMSB", "ElementByteOrderMSB"}) {
+    if (keys.count(key) && parse_bool(keys.at(key))) {
+      throw std::runtime_error("read_mhd: big-endian data not supported");
+    }
+  }
+
+  const std::string& data_file = get("ElementDataFile");
+  if (data_file == "LOCAL") {
+    throw std::runtime_error("read_mhd: ElementDataFile = LOCAL not supported");
+  }
+  const std::filesystem::path data_path = header_path.parent_path() / data_file;
+  std::ifstream data(data_path, std::ios::binary);
+  if (!data) throw std::runtime_error("read_mhd: cannot open data file " + data_path.string());
+
+  Volume4<std::uint16_t> vol(dims);
+  const std::size_t n = static_cast<std::size_t>(vol.size());
+  if (esize == 2) {
+    data.read(reinterpret_cast<char*>(vol.data()),
+              static_cast<std::streamsize>(n * sizeof(std::uint16_t)));
+  } else {
+    std::vector<std::uint8_t> bytes(n);
+    data.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(n));
+    for (std::size_t i = 0; i < n; ++i) vol.data()[i] = bytes[i];
+  }
+  if (!data) {
+    throw std::runtime_error("read_mhd: short read from " + data_path.string());
+  }
+  return vol;
+}
+
+void write_mhd(const std::filesystem::path& header_path, const Volume4<std::uint16_t>& vol) {
+  std::filesystem::create_directories(header_path.parent_path().empty()
+                                          ? std::filesystem::path(".")
+                                          : header_path.parent_path());
+  const std::filesystem::path raw_name = header_path.stem().string() + ".raw";
+  const std::filesystem::path raw_path = header_path.parent_path() / raw_name;
+
+  // Emit the smallest NDims covering non-unit extents (a single-timestep
+  // volume round-trips as 3D).
+  int ndims = 4;
+  while (ndims > 2 && vol.dims()[ndims - 1] == 1) --ndims;
+
+  std::ofstream header(header_path);
+  if (!header) throw std::runtime_error("write_mhd: cannot open " + header_path.string());
+  header << "ObjectType = Image\n"
+         << "NDims = " << ndims << "\n"
+         << "DimSize =";
+  for (int i = 0; i < ndims; ++i) header << ' ' << vol.dims()[i];
+  header << "\nElementType = MET_USHORT\n"
+         << "BinaryDataByteOrderMSB = False\n"
+         << "ElementDataFile = " << raw_name.string() << "\n";
+  if (!header) throw std::runtime_error("write_mhd: short write to " + header_path.string());
+
+  std::ofstream raw(raw_path, std::ios::binary);
+  if (!raw) throw std::runtime_error("write_mhd: cannot open " + raw_path.string());
+  raw.write(reinterpret_cast<const char*>(vol.data()),
+            static_cast<std::streamsize>(static_cast<std::size_t>(vol.size()) *
+                                         sizeof(std::uint16_t)));
+  if (!raw) throw std::runtime_error("write_mhd: short write to " + raw_path.string());
+}
+
+DiskDataset import_mhd(const std::filesystem::path& header_path,
+                       const std::filesystem::path& dataset_root, int storage_nodes) {
+  return DiskDataset::create(dataset_root, read_mhd(header_path), storage_nodes);
+}
+
+}  // namespace h4d::io

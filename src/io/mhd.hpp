@@ -1,0 +1,35 @@
+// MetaImage (.mhd + raw) import/export.
+//
+// The paper notes its raw-file reader "may be easily replaced by a filter
+// which reads DICOM format images" (Sec. 4.3). MetaImage is the simple
+// standard container used by ITK-based medical pipelines; this module reads
+// and writes 2D/3D/4D MET_UCHAR / MET_USHORT volumes and imports them into
+// the disk-resident dataset layout the pipeline consumes.
+//
+// Supported header keys: ObjectType, NDims, DimSize, ElementType,
+// BinaryDataByteOrderMSB / ElementByteOrderMSB (must be false),
+// ElementDataFile (a real filename; LOCAL is not supported). Unknown keys
+// are ignored. Missing dimensions are treated as extent 1 (a 3D file is a
+// single-timestep 4D volume).
+#pragma once
+
+#include <filesystem>
+
+#include "io/dataset.hpp"
+#include "nd/volume4.hpp"
+
+namespace h4d::io {
+
+/// Read an .mhd volume (with its raw data file resolved relative to the
+/// header's directory). Values widen to uint16.
+Volume4<std::uint16_t> read_mhd(const std::filesystem::path& header_path);
+
+/// Write `vol` as <path>.mhd plus <stem>.raw (MET_USHORT, little endian).
+void write_mhd(const std::filesystem::path& header_path, const Volume4<std::uint16_t>& vol);
+
+/// Convenience: read an .mhd study and lay it out as a disk-resident
+/// dataset (slice files distributed over storage nodes).
+DiskDataset import_mhd(const std::filesystem::path& header_path,
+                       const std::filesystem::path& dataset_root, int storage_nodes);
+
+}  // namespace h4d::io

@@ -1,0 +1,326 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace h4d::ml {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+double bce(double p, double y) {
+  p = std::clamp(p, kEps, 1.0 - kEps);
+  return -(y * std::log(p) + (1.0 - y) * std::log(1.0 - p));
+}
+
+}  // namespace
+
+Standardizer Standardizer::fit(const Matrix& x) {
+  if (x.rows == 0) throw std::invalid_argument("Standardizer::fit: empty matrix");
+  Standardizer s;
+  s.mean_.assign(x.cols, 0.0);
+  s.std_.assign(x.cols, 0.0);
+  for (std::size_t r = 0; r < x.rows; ++r) {
+    for (std::size_t c = 0; c < x.cols; ++c) s.mean_[c] += x.at(r, c);
+  }
+  for (double& m : s.mean_) m /= static_cast<double>(x.rows);
+  for (std::size_t r = 0; r < x.rows; ++r) {
+    for (std::size_t c = 0; c < x.cols; ++c) {
+      const double d = x.at(r, c) - s.mean_[c];
+      s.std_[c] += d * d;
+    }
+  }
+  for (double& v : s.std_) {
+    v = std::sqrt(v / static_cast<double>(x.rows));
+    if (v < 1e-12) v = 1.0;  // constant features pass through centered
+  }
+  return s;
+}
+
+void Standardizer::apply(Matrix& x) const {
+  if (x.cols != mean_.size()) throw std::invalid_argument("Standardizer: width mismatch");
+  for (std::size_t r = 0; r < x.rows; ++r) {
+    for (std::size_t c = 0; c < x.cols; ++c) {
+      x.at(r, c) = (x.at(r, c) - mean_[c]) / std_[c];
+    }
+  }
+}
+
+std::vector<double> Standardizer::apply(const std::vector<double>& row) const {
+  if (row.size() != mean_.size()) throw std::invalid_argument("Standardizer: width mismatch");
+  std::vector<double> out(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c) out[c] = (row[c] - mean_[c]) / std_[c];
+  return out;
+}
+
+Mlp::Mlp(std::vector<std::size_t> layers, unsigned seed) : sizes_(std::move(layers)) {
+  if (sizes_.size() < 2) throw std::invalid_argument("Mlp: need at least input and output");
+  if (sizes_.back() != 1) throw std::invalid_argument("Mlp: binary classifier needs 1 output");
+  for (std::size_t s : sizes_) {
+    if (s == 0) throw std::invalid_argument("Mlp: zero-width layer");
+  }
+  std::mt19937_64 rng(seed);
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+    Layer layer;
+    layer.in = sizes_[l];
+    layer.out = sizes_[l + 1];
+    // Xavier/Glorot initialization.
+    const double scale = std::sqrt(6.0 / static_cast<double>(layer.in + layer.out));
+    std::uniform_real_distribution<double> u(-scale, scale);
+    layer.w.resize(layer.out * layer.in);
+    layer.b.assign(layer.out, 0.0);
+    for (double& w : layer.w) w = u(rng);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+double Mlp::forward(const double* x, std::vector<std::vector<double>>& acts) const {
+  acts.clear();
+  acts.emplace_back(x, x + sizes_[0]);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    std::vector<double> z(layer.out);
+    const std::vector<double>& prev = acts.back();
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      double acc = layer.b[o];
+      const double* wrow = layer.w.data() + o * layer.in;
+      for (std::size_t i = 0; i < layer.in; ++i) acc += wrow[i] * prev[i];
+      z[o] = acc;
+    }
+    const bool last = l + 1 == layers_.size();
+    for (double& v : z) v = last ? sigmoid(v) : std::tanh(v);
+    acts.push_back(std::move(z));
+  }
+  return acts.back()[0];
+}
+
+double Mlp::predict(const double* x) const {
+  std::vector<std::vector<double>> acts;
+  return forward(x, acts);
+}
+
+double Mlp::predict(const std::vector<double>& x) const {
+  if (x.size() != sizes_[0]) throw std::invalid_argument("Mlp::predict: width mismatch");
+  return predict(x.data());
+}
+
+void Mlp::accumulate_gradient(const double* x, double y, std::vector<Layer>& grads) const {
+  std::vector<std::vector<double>> acts;
+  const double p = forward(x, acts);
+
+  // delta for the output layer: dL/dz = p - y (sigmoid + BCE).
+  std::vector<double> delta{p - y};
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    const Layer& layer = layers_[l];
+    Layer& g = grads[l];
+    const std::vector<double>& input = acts[l];
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      g.b[o] += delta[o];
+      double* grow = g.w.data() + o * layer.in;
+      for (std::size_t i = 0; i < layer.in; ++i) grow[i] += delta[o] * input[i];
+    }
+    if (l == 0) break;
+    // Backpropagate: delta_prev = (W^T delta) * tanh'(a_prev).
+    std::vector<double> prev_delta(layer.in, 0.0);
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      const double* wrow = layer.w.data() + o * layer.in;
+      for (std::size_t i = 0; i < layer.in; ++i) prev_delta[i] += wrow[i] * delta[o];
+    }
+    for (std::size_t i = 0; i < layer.in; ++i) {
+      const double a = acts[l][i];  // tanh activation of layer l-1's output
+      prev_delta[i] *= (1.0 - a * a);
+    }
+    delta = std::move(prev_delta);
+  }
+}
+
+std::vector<double> Mlp::gradient(const double* x, double y) const {
+  std::vector<Layer> grads;
+  for (const Layer& l : layers_) {
+    Layer g;
+    g.in = l.in;
+    g.out = l.out;
+    g.w.assign(l.w.size(), 0.0);
+    g.b.assign(l.b.size(), 0.0);
+    grads.push_back(std::move(g));
+  }
+  accumulate_gradient(x, y, grads);
+  std::vector<double> flat;
+  for (const Layer& g : grads) {
+    flat.insert(flat.end(), g.w.begin(), g.w.end());
+    flat.insert(flat.end(), g.b.begin(), g.b.end());
+  }
+  return flat;
+}
+
+std::vector<double> Mlp::parameters() const {
+  std::vector<double> flat;
+  for (const Layer& l : layers_) {
+    flat.insert(flat.end(), l.w.begin(), l.w.end());
+    flat.insert(flat.end(), l.b.begin(), l.b.end());
+  }
+  return flat;
+}
+
+void Mlp::set_parameters(const std::vector<double>& flat) {
+  std::size_t pos = 0;
+  for (Layer& l : layers_) {
+    for (double& w : l.w) w = flat.at(pos++);
+    for (double& b : l.b) b = flat.at(pos++);
+  }
+  if (pos != flat.size()) throw std::invalid_argument("Mlp::set_parameters: size mismatch");
+}
+
+TrainReport Mlp::train(const Matrix& x, const std::vector<double>& y,
+                       const TrainOptions& options) {
+  if (x.rows != y.size()) throw std::invalid_argument("Mlp::train: rows != labels");
+  if (x.cols != sizes_[0]) throw std::invalid_argument("Mlp::train: width mismatch");
+  if (x.rows == 0) throw std::invalid_argument("Mlp::train: empty training set");
+
+  std::mt19937_64 rng(options.seed);
+  std::vector<std::size_t> order(x.rows);
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainReport report;
+  std::vector<Layer> grads;
+  for (const Layer& l : layers_) {
+    Layer g;
+    g.in = l.in;
+    g.out = l.out;
+    g.w.assign(l.w.size(), 0.0);
+    g.b.assign(l.b.size(), 0.0);
+    grads.push_back(std::move(g));
+  }
+
+  const std::size_t batch = std::max<std::size_t>(1, options.batch_size);
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    if (options.shuffle) std::shuffle(order.begin(), order.end(), rng);
+    for (std::size_t start = 0; start < x.rows; start += batch) {
+      const std::size_t end = std::min(x.rows, start + batch);
+      for (Layer& g : grads) {
+        std::fill(g.w.begin(), g.w.end(), 0.0);
+        std::fill(g.b.begin(), g.b.end(), 0.0);
+      }
+      for (std::size_t i = start; i < end; ++i) {
+        accumulate_gradient(x.row(order[i]), y[order[i]], grads);
+      }
+      const double scale = options.learning_rate / static_cast<double>(end - start);
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        for (std::size_t k = 0; k < layers_[l].w.size(); ++k) {
+          layers_[l].w[k] -= scale * grads[l].w[k] +
+                             options.learning_rate * options.l2 * layers_[l].w[k];
+        }
+        for (std::size_t k = 0; k < layers_[l].b.size(); ++k) {
+          layers_[l].b[k] -= scale * grads[l].b[k];
+        }
+      }
+    }
+    report.epoch_loss.push_back(loss(x, y));
+  }
+  report.final_loss = report.epoch_loss.empty() ? loss(x, y) : report.epoch_loss.back();
+  return report;
+}
+
+double Mlp::loss(const Matrix& x, const std::vector<double>& y) const {
+  double total = 0.0;
+  for (std::size_t r = 0; r < x.rows; ++r) total += bce(predict(x.row(r)), y[r]);
+  return total / static_cast<double>(std::max<std::size_t>(1, x.rows));
+}
+
+void Mlp::save(const std::filesystem::path& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("Mlp::save: cannot open " + path.string());
+  f << "mlp 1\nlayers";
+  for (std::size_t s : sizes_) f << ' ' << s;
+  f << '\n';
+  f.precision(17);
+  for (const Layer& l : layers_) {
+    for (double w : l.w) f << w << ' ';
+    for (double b : l.b) f << b << ' ';
+    f << '\n';
+  }
+  if (!f) throw std::runtime_error("Mlp::save: short write to " + path.string());
+}
+
+Mlp Mlp::load(const std::filesystem::path& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("Mlp::load: cannot open " + path.string());
+  std::string magic;
+  int version = 0;
+  f >> magic >> version;
+  if (magic != "mlp" || version != 1) {
+    throw std::runtime_error("Mlp::load: bad header in " + path.string());
+  }
+  std::string key;
+  f >> key;
+  if (key != "layers") throw std::runtime_error("Mlp::load: missing layers");
+  std::vector<std::size_t> sizes;
+  {
+    std::string line;
+    std::getline(f, line);
+    std::istringstream is(line);
+    std::size_t s;
+    while (is >> s) sizes.push_back(s);
+  }
+  Mlp net(sizes, 0);
+  for (Layer& l : net.layers_) {
+    for (double& w : l.w) f >> w;
+    for (double& b : l.b) f >> b;
+  }
+  if (!f) throw std::runtime_error("Mlp::load: truncated parameters in " + path.string());
+  return net;
+}
+
+double roc_auc(const std::vector<double>& scores, const std::vector<double>& labels) {
+  if (scores.size() != labels.size()) throw std::invalid_argument("roc_auc: size mismatch");
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&scores](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+
+  // Mean rank of positives (ties averaged), Mann-Whitney U.
+  double rank_sum = 0.0;
+  std::size_t positives = 0, negatives = 0;
+  std::size_t i = 0;
+  double rank = 1.0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j < order.size() && scores[order[j]] == scores[order[i]]) ++j;
+    const double avg_rank = rank + static_cast<double>(j - i - 1) / 2.0;
+    for (std::size_t k = i; k < j; ++k) {
+      if (labels[order[k]] > 0.5) {
+        rank_sum += avg_rank;
+        ++positives;
+      } else {
+        ++negatives;
+      }
+    }
+    rank += static_cast<double>(j - i);
+    i = j;
+  }
+  if (positives == 0 || negatives == 0) return 0.5;
+  const double u = rank_sum - static_cast<double>(positives) *
+                                  (static_cast<double>(positives) + 1.0) / 2.0;
+  return u / (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+double accuracy(const std::vector<double>& scores, const std::vector<double>& labels,
+                double threshold) {
+  if (scores.size() != labels.size()) throw std::invalid_argument("accuracy: size mismatch");
+  if (scores.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const bool pred = scores[i] >= threshold;
+    if (pred == (labels[i] > 0.5)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(scores.size());
+}
+
+}  // namespace h4d::ml

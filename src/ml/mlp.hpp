@@ -1,0 +1,117 @@
+// A small feedforward neural network (multi-layer perceptron).
+//
+// The paper's clinical workflow feeds Haralick texture features into a
+// neural network trained against radiologist-annotated images: "once
+// trained, the neural network becomes a convenient tool for discovering
+// cancerous tissue given the texture analysis results" (Sec. 1). This
+// module provides that downstream consumer: dense layers with tanh hidden
+// activations and a sigmoid output, trained with mini-batch SGD on binary
+// cross-entropy. Deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <random>
+#include <vector>
+
+namespace h4d::ml {
+
+/// Row-major sample matrix: samples.size() == rows * cols.
+struct Matrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<double> data;
+
+  Matrix() = default;
+  Matrix(std::size_t r, std::size_t c) : rows(r), cols(c), data(r * c, 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return data[r * cols + c]; }
+  double at(std::size_t r, std::size_t c) const { return data[r * cols + c]; }
+  const double* row(std::size_t r) const { return data.data() + r * cols; }
+};
+
+/// Per-feature standardization (zero mean, unit variance) fitted on the
+/// training set and applied to any future input.
+class Standardizer {
+ public:
+  Standardizer() = default;
+  static Standardizer fit(const Matrix& x);
+  void apply(Matrix& x) const;
+  std::vector<double> apply(const std::vector<double>& row) const;
+
+  const std::vector<double>& means() const { return mean_; }
+  const std::vector<double>& stddevs() const { return std_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+struct TrainOptions {
+  int epochs = 200;
+  std::size_t batch_size = 32;
+  double learning_rate = 0.05;
+  double l2 = 1e-5;
+  unsigned seed = 1;
+  bool shuffle = true;
+};
+
+struct TrainReport {
+  std::vector<double> epoch_loss;  ///< mean BCE per epoch
+  double final_loss = 0.0;
+};
+
+/// Binary classifier MLP: D inputs -> hidden layers (tanh) -> 1 sigmoid.
+class Mlp {
+ public:
+  /// `layers` = {inputs, hidden..., 1}; the last layer must be 1 wide.
+  Mlp(std::vector<std::size_t> layers, unsigned seed = 1);
+
+  /// Probability of the positive class for one standardized sample.
+  double predict(const double* x) const;
+  double predict(const std::vector<double>& x) const;
+
+  /// Mini-batch SGD on binary cross-entropy. `y` holds 0/1 labels.
+  TrainReport train(const Matrix& x, const std::vector<double>& y,
+                    const TrainOptions& options);
+
+  /// Mean binary cross-entropy over a set.
+  double loss(const Matrix& x, const std::vector<double>& y) const;
+
+  const std::vector<std::size_t>& layer_sizes() const { return sizes_; }
+
+  void save(const std::filesystem::path& path) const;
+  static Mlp load(const std::filesystem::path& path);
+
+  /// Analytic gradient of the loss on one sample w.r.t. every parameter,
+  /// flattened in (layer, weight-then-bias) order. Exposed for the
+  /// numerical gradient check in the tests.
+  std::vector<double> gradient(const double* x, double y) const;
+  std::vector<double> parameters() const;
+  void set_parameters(const std::vector<double>& flat);
+
+ private:
+  struct Layer {
+    std::size_t in = 0, out = 0;
+    std::vector<double> w;  // out x in, row-major
+    std::vector<double> b;  // out
+  };
+
+  /// Forward pass keeping activations; returns output probability.
+  double forward(const double* x, std::vector<std::vector<double>>& acts) const;
+  void accumulate_gradient(const double* x, double y,
+                           std::vector<Layer>& grads) const;
+
+  std::vector<std::size_t> sizes_;
+  std::vector<Layer> layers_;
+};
+
+/// Area under the ROC curve from scores and binary labels (rank statistic;
+/// ties get half credit). Returns 0.5 when one class is absent.
+double roc_auc(const std::vector<double>& scores, const std::vector<double>& labels);
+
+/// Classification accuracy at a 0.5 threshold.
+double accuracy(const std::vector<double>& scores, const std::vector<double>& labels,
+                double threshold = 0.5);
+
+}  // namespace h4d::ml

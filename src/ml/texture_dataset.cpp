@@ -1,0 +1,52 @@
+#include "ml/texture_dataset.hpp"
+
+#include <random>
+#include <stdexcept>
+
+#include "nd/raster.hpp"
+
+namespace h4d::ml {
+
+LabeledSamples build_samples(const std::map<haralick::Feature, Volume4<float>>& maps,
+                             const Volume4<std::uint8_t>& labels, const Vec4& roi_dims,
+                             double negative_keep, unsigned seed) {
+  if (maps.empty()) throw std::invalid_argument("build_samples: no feature maps");
+  if (!(negative_keep > 0.0) || negative_keep > 1.0) {
+    throw std::invalid_argument("build_samples: negative_keep must be in (0, 1]");
+  }
+
+  const Vec4 map_dims = maps.begin()->second.dims();
+  for (const auto& [f, m] : maps) {
+    if (m.dims() != map_dims) {
+      throw std::invalid_argument("build_samples: inconsistent map dimensions");
+    }
+  }
+  const Vec4 half{roi_dims[0] / 2, roi_dims[1] / 2, roi_dims[2] / 2, roi_dims[3] / 2};
+  // Map origin o corresponds to labels voxel o + half (ROI center).
+  const Vec4 needed = map_dims + half;
+  if (!needed.all_le(labels.dims())) {
+    throw std::invalid_argument("build_samples: label volume too small for the maps");
+  }
+
+  LabeledSamples out;
+  for (const auto& [f, m] : maps) out.features.push_back(f);
+
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<double> rows;
+  const Region4 all = Region4::whole(map_dims);
+  for (const Vec4& o : raster(all)) {
+    const bool positive = labels.at(o + half) != 0;
+    if (!positive && u(rng) > negative_keep) continue;
+    for (const auto& [f, m] : maps) rows.push_back(static_cast<double>(m.at(o)));
+    out.y.push_back(positive ? 1.0 : 0.0);
+    out.origins.push_back(o);
+  }
+
+  out.x.rows = out.y.size();
+  out.x.cols = maps.size();
+  out.x.data = std::move(rows);
+  return out;
+}
+
+}  // namespace h4d::ml

@@ -1,0 +1,28 @@
+// Bridges texture feature maps and the classifier: builds labeled per-ROI
+// sample matrices from analysis results and a ground-truth mask.
+#pragma once
+
+#include <map>
+
+#include "haralick/features.hpp"
+#include "ml/mlp.hpp"
+#include "nd/volume4.hpp"
+
+namespace h4d::ml {
+
+struct LabeledSamples {
+  Matrix x;                   ///< one row per ROI origin, one column per feature
+  std::vector<double> y;      ///< 0/1 labels
+  std::vector<Vec4> origins;  ///< origin of each row
+  std::vector<haralick::Feature> features;  ///< column order
+};
+
+/// One sample per ROI origin: the feature vector is each map's value at the
+/// origin; the label is labels.at(origin + roi_dims/2) != 0 (the ROI's
+/// center voxel). `negative_keep` in (0, 1] subsamples the (usually
+/// dominant) negative class deterministically by `seed`.
+LabeledSamples build_samples(const std::map<haralick::Feature, Volume4<float>>& maps,
+                             const Volume4<std::uint8_t>& labels, const Vec4& roi_dims,
+                             double negative_keep = 1.0, unsigned seed = 1);
+
+}  // namespace h4d::ml

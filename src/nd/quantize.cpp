@@ -1,0 +1,26 @@
+#include "nd/quantize.hpp"
+
+#include <algorithm>
+
+namespace h4d {
+
+EqualizedQuantizer::EqualizedQuantizer(std::vector<double> samples, int num_levels)
+    : ng_(num_levels) {
+  if (num_levels < 2 || num_levels > 256) {
+    throw std::invalid_argument("EqualizedQuantizer: Ng must be in [2, 256]");
+  }
+  if (samples.empty()) {
+    throw std::invalid_argument("EqualizedQuantizer: need at least one sample");
+  }
+  std::sort(samples.begin(), samples.end());
+  thresholds_.reserve(static_cast<std::size_t>(ng_ - 1));
+  const auto n = static_cast<std::int64_t>(samples.size());
+  for (int level = 1; level < ng_; ++level) {
+    // Threshold at the level/Ng quantile. upper_bound semantics in
+    // operator() mean a value equal to the threshold falls below it.
+    const auto idx = std::min<std::int64_t>(n - 1, (n * level) / ng_);
+    thresholds_.push_back(samples[static_cast<std::size_t>(idx)]);
+  }
+}
+
+}  // namespace h4d

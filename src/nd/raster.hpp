@@ -1,0 +1,65 @@
+// Raster-scan iteration over 4D index ranges (paper Sec. 3, Fig. 1-2).
+#pragma once
+
+#include <cstdint>
+#include <iterator>
+
+#include "nd/region.hpp"
+
+namespace h4d {
+
+/// Forward iterator enumerating every point of a Region4 in raster order
+/// (x fastest, then y, z, t) — the scan order of the sequential algorithm
+/// in the paper's Figure 2.
+class RasterIterator {
+ public:
+  using iterator_category = std::forward_iterator_tag;
+  using value_type = Vec4;
+  using difference_type = std::int64_t;
+  using pointer = const Vec4*;
+  using reference = const Vec4&;
+
+  RasterIterator() = default;
+  RasterIterator(const Region4& r, std::int64_t idx) : region_(r), idx_(idx) {}
+
+  reference operator*() const {
+    cur_ = region_.origin + delinearize(idx_, region_.size);
+    return cur_;
+  }
+  pointer operator->() const { return &operator*(); }
+
+  RasterIterator& operator++() {
+    ++idx_;
+    return *this;
+  }
+  RasterIterator operator++(int) {
+    RasterIterator t = *this;
+    ++idx_;
+    return t;
+  }
+
+  friend bool operator==(const RasterIterator& a, const RasterIterator& b) {
+    return a.idx_ == b.idx_;
+  }
+
+ private:
+  Region4 region_{};
+  std::int64_t idx_ = 0;
+  mutable Vec4 cur_{};
+};
+
+/// Range adaptor: `for (Vec4 p : raster(region)) ...`
+class RasterRange {
+ public:
+  explicit RasterRange(const Region4& r) : region_(r) {}
+  RasterIterator begin() const { return {region_, 0}; }
+  RasterIterator end() const { return {region_, region_.empty() ? 0 : region_.volume()}; }
+  std::int64_t size() const { return region_.empty() ? 0 : region_.volume(); }
+
+ private:
+  Region4 region_;
+};
+
+inline RasterRange raster(const Region4& r) { return RasterRange(r); }
+
+}  // namespace h4d

@@ -1,0 +1,76 @@
+// Axis-aligned 4D boxes (origin + size) with intersection/containment math.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "nd/vec4.hpp"
+
+namespace h4d {
+
+/// A half-open axis-aligned box: points p with origin[i] <= p[i] < origin[i]+size[i].
+struct Region4 {
+  Vec4 origin;
+  Vec4 size;
+
+  constexpr Region4() = default;
+  constexpr Region4(Vec4 o, Vec4 s) : origin(o), size(s) {}
+
+  /// Region covering an entire volume of the given dimensions.
+  static constexpr Region4 whole(Vec4 dims) { return {Vec4{}, dims}; }
+
+  constexpr Vec4 end() const { return origin + size; }
+  constexpr std::int64_t volume() const { return size.volume(); }
+  constexpr bool empty() const { return !size.all_positive(); }
+
+  friend constexpr bool operator==(const Region4&, const Region4&) = default;
+
+  /// True when point p lies inside this region.
+  constexpr bool contains(const Vec4& p) const {
+    for (int i = 0; i < kDims; ++i) {
+      if (p[i] < origin[i] || p[i] >= origin[i] + size[i]) return false;
+    }
+    return true;
+  }
+
+  /// True when r is fully inside this region.
+  constexpr bool contains(const Region4& r) const {
+    if (r.empty()) return true;
+    return origin.all_le(r.origin) && r.end().all_le(end());
+  }
+
+  /// Intersection; returns an empty region when disjoint.
+  constexpr Region4 intersect(const Region4& r) const {
+    const Vec4 o = Vec4::max(origin, r.origin);
+    const Vec4 e = Vec4::min(end(), r.end());
+    Region4 out;
+    out.origin = o;
+    for (int i = 0; i < kDims; ++i) out.size[i] = e[i] > o[i] ? e[i] - o[i] : 0;
+    return out;
+  }
+
+  constexpr bool intersects(const Region4& r) const { return !intersect(r).empty(); }
+
+  std::string str() const { return origin.str() + "+" + size.str(); }
+};
+
+/// Linear offset of point p inside a row-major (t slowest, x fastest) box of
+/// dimensions `dims`, with p expressed relative to the box origin.
+constexpr std::int64_t linear_index(const Vec4& p, const Vec4& dims) {
+  return ((p[3] * dims[2] + p[2]) * dims[1] + p[1]) * dims[0] + p[0];
+}
+
+/// Inverse of linear_index.
+constexpr Vec4 delinearize(std::int64_t idx, const Vec4& dims) {
+  Vec4 p;
+  p[0] = idx % dims[0];
+  idx /= dims[0];
+  p[1] = idx % dims[1];
+  idx /= dims[1];
+  p[2] = idx % dims[2];
+  idx /= dims[2];
+  p[3] = idx;
+  return p;
+}
+
+}  // namespace h4d

@@ -1,0 +1,98 @@
+// 4-component integer vector used for coordinates, sizes and displacement
+// directions in (x, y, z, t) order. x is the fastest-varying storage axis.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace h4d {
+
+/// Number of spatial+temporal dimensions handled by the library.
+inline constexpr int kDims = 4;
+
+/// A 4-vector of 64-bit integers in (x, y, z, t) order.
+///
+/// Used both for points/sizes (non-negative) and for GLCM displacement
+/// directions (components in [-d, d]).
+struct Vec4 {
+  std::array<std::int64_t, kDims> v{0, 0, 0, 0};
+
+  constexpr Vec4() = default;
+  constexpr Vec4(std::int64_t x, std::int64_t y, std::int64_t z, std::int64_t t)
+      : v{x, y, z, t} {}
+
+  constexpr std::int64_t& operator[](int i) { return v[static_cast<std::size_t>(i)]; }
+  constexpr std::int64_t operator[](int i) const { return v[static_cast<std::size_t>(i)]; }
+
+  constexpr std::int64_t x() const { return v[0]; }
+  constexpr std::int64_t y() const { return v[1]; }
+  constexpr std::int64_t z() const { return v[2]; }
+  constexpr std::int64_t t() const { return v[3]; }
+
+  friend constexpr bool operator==(const Vec4&, const Vec4&) = default;
+
+  friend constexpr Vec4 operator+(const Vec4& a, const Vec4& b) {
+    return {a.v[0] + b.v[0], a.v[1] + b.v[1], a.v[2] + b.v[2], a.v[3] + b.v[3]};
+  }
+  friend constexpr Vec4 operator-(const Vec4& a, const Vec4& b) {
+    return {a.v[0] - b.v[0], a.v[1] - b.v[1], a.v[2] - b.v[2], a.v[3] - b.v[3]};
+  }
+  friend constexpr Vec4 operator*(const Vec4& a, std::int64_t s) {
+    return {a.v[0] * s, a.v[1] * s, a.v[2] * s, a.v[3] * s};
+  }
+  friend constexpr Vec4 operator-(const Vec4& a) { return {-a.v[0], -a.v[1], -a.v[2], -a.v[3]}; }
+
+  /// Component-wise minimum.
+  static constexpr Vec4 min(const Vec4& a, const Vec4& b) {
+    Vec4 r;
+    for (int i = 0; i < kDims; ++i) r[i] = a[i] < b[i] ? a[i] : b[i];
+    return r;
+  }
+  /// Component-wise maximum.
+  static constexpr Vec4 max(const Vec4& a, const Vec4& b) {
+    Vec4 r;
+    for (int i = 0; i < kDims; ++i) r[i] = a[i] > b[i] ? a[i] : b[i];
+    return r;
+  }
+
+  /// Product of all components. For a size vector this is the element count.
+  constexpr std::int64_t volume() const { return v[0] * v[1] * v[2] * v[3]; }
+
+  /// True when every component is strictly positive.
+  constexpr bool all_positive() const {
+    return v[0] > 0 && v[1] > 0 && v[2] > 0 && v[3] > 0;
+  }
+  /// True when every component is >= 0.
+  constexpr bool all_non_negative() const {
+    return v[0] >= 0 && v[1] >= 0 && v[2] >= 0 && v[3] >= 0;
+  }
+  /// True when every component of *this is <= the matching component of o.
+  constexpr bool all_le(const Vec4& o) const {
+    return v[0] <= o.v[0] && v[1] <= o.v[1] && v[2] <= o.v[2] && v[3] <= o.v[3];
+  }
+  /// True when every component of *this is < the matching component of o.
+  constexpr bool all_lt(const Vec4& o) const {
+    return v[0] < o.v[0] && v[1] < o.v[1] && v[2] < o.v[2] && v[3] < o.v[3];
+  }
+
+  std::string str() const {
+    return "(" + std::to_string(v[0]) + "," + std::to_string(v[1]) + "," +
+           std::to_string(v[2]) + "," + std::to_string(v[3]) + ")";
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Vec4& a) { return os << a.str(); }
+};
+
+/// Strict total order for use as a map key (lexicographic, x major).
+struct Vec4Less {
+  constexpr bool operator()(const Vec4& a, const Vec4& b) const {
+    for (int i = 0; i < kDims; ++i) {
+      if (a[i] != b[i]) return a[i] < b[i];
+    }
+    return false;
+  }
+};
+
+}  // namespace h4d

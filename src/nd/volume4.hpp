@@ -1,0 +1,140 @@
+// Owning and non-owning 4D array types with strided element access and
+// subregion copy helpers. Storage is row-major with x fastest and t slowest.
+#pragma once
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "nd/region.hpp"
+#include "nd/vec4.hpp"
+
+namespace h4d {
+
+/// Non-owning strided view over 4D data.
+///
+/// `dims` are the logical extents; `strides` are element (not byte) strides
+/// per axis. A contiguous view has strides {1, Nx, Nx*Ny, Nx*Ny*Nz}.
+template <typename T>
+class Vol4View {
+ public:
+  Vol4View() = default;
+  Vol4View(T* data, Vec4 dims)
+      : data_(data),
+        dims_(dims),
+        strides_{1, dims[0], dims[0] * dims[1], dims[0] * dims[1] * dims[2]} {}
+  Vol4View(T* data, Vec4 dims, Vec4 strides) : data_(data), dims_(dims), strides_(strides) {}
+
+  /// Implicit widening conversion Vol4View<U> -> Vol4View<const U>.
+  template <typename U>
+    requires(std::is_same_v<T, const U> && !std::is_const_v<U>)
+  Vol4View(const Vol4View<U>& o)  // NOLINT(google-explicit-constructor)
+      : data_(o.data()), dims_(o.dims()), strides_(o.strides()) {}
+
+  T* data() const { return data_; }
+  const Vec4& dims() const { return dims_; }
+  const Vec4& strides() const { return strides_; }
+  std::int64_t size() const { return dims_.volume(); }
+  bool valid() const { return data_ != nullptr; }
+
+  T& at(std::int64_t x, std::int64_t y, std::int64_t z, std::int64_t t) const {
+    assert(x >= 0 && x < dims_[0] && y >= 0 && y < dims_[1] && z >= 0 && z < dims_[2] &&
+           t >= 0 && t < dims_[3]);
+    return data_[x * strides_[0] + y * strides_[1] + z * strides_[2] + t * strides_[3]];
+  }
+  T& at(const Vec4& p) const { return at(p[0], p[1], p[2], p[3]); }
+
+  /// Subview covering region r (expressed in this view's coordinates).
+  Vol4View<T> subview(const Region4& r) const {
+    assert(Region4::whole(dims_).contains(r));
+    T* base = &at(r.origin);
+    return Vol4View<T>(base, r.size, strides_);
+  }
+
+  Vol4View<const T> as_const() const { return Vol4View<const T>(data_, dims_, strides_); }
+
+ private:
+  T* data_ = nullptr;
+  Vec4 dims_{};
+  Vec4 strides_{};
+};
+
+/// Owning contiguous 4D array.
+template <typename T>
+class Volume4 {
+ public:
+  Volume4() = default;
+  explicit Volume4(Vec4 dims, T fill = T{})
+      : dims_(validated(dims)), data_(static_cast<std::size_t>(dims.volume()), fill) {}
+
+  const Vec4& dims() const { return dims_; }
+  std::int64_t size() const { return dims_.volume(); }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::vector<T>& storage() { return data_; }
+  const std::vector<T>& storage() const { return data_; }
+
+  T& at(std::int64_t x, std::int64_t y, std::int64_t z, std::int64_t t) {
+    return data_[static_cast<std::size_t>(linear_index({x, y, z, t}, dims_))];
+  }
+  const T& at(std::int64_t x, std::int64_t y, std::int64_t z, std::int64_t t) const {
+    return data_[static_cast<std::size_t>(linear_index({x, y, z, t}, dims_))];
+  }
+  T& at(const Vec4& p) { return at(p[0], p[1], p[2], p[3]); }
+  const T& at(const Vec4& p) const { return at(p[0], p[1], p[2], p[3]); }
+
+  Vol4View<T> view() { return Vol4View<T>(data_.data(), dims_); }
+  Vol4View<const T> view() const { return Vol4View<const T>(data_.data(), dims_); }
+
+  /// View of a subregion (must be inside the volume).
+  Vol4View<T> subview(const Region4& r) { return view().subview(r); }
+  Vol4View<const T> subview(const Region4& r) const { return view().subview(r); }
+
+ private:
+  static Vec4 validated(Vec4 dims) {
+    if (!dims.all_positive()) throw std::invalid_argument("Volume4: dims must be positive");
+    return dims;
+  }
+
+  Vec4 dims_{};
+  std::vector<T> data_;
+};
+
+/// Copy the overlap of `src_region` (coordinates of `src`'s frame) into `dst`.
+///
+/// `src` covers `src_region` of some global space; `dst` covers `dst_region`.
+/// Elements in the intersection are copied; x-runs are memcpy'd.
+template <typename T>
+void copy_region(Vol4View<const T> src, const Region4& src_region, Vol4View<T> dst,
+                 const Region4& dst_region) {
+  const Region4 common = src_region.intersect(dst_region);
+  if (common.empty()) return;
+  const Vec4 so = common.origin - src_region.origin;
+  const Vec4 dpo = common.origin - dst_region.origin;
+  const std::int64_t run = common.size[0];
+  for (std::int64_t t = 0; t < common.size[3]; ++t) {
+    for (std::int64_t z = 0; z < common.size[2]; ++z) {
+      for (std::int64_t y = 0; y < common.size[1]; ++y) {
+        const T* s = &src.at(so[0], so[1] + y, so[2] + z, so[3] + t);
+        T* d = &dst.at(dpo[0], dpo[1] + y, dpo[2] + z, dpo[3] + t);
+        if (src.strides()[0] == 1 && dst.strides()[0] == 1) {
+          std::memcpy(d, s, static_cast<std::size_t>(run) * sizeof(T));
+        } else {
+          for (std::int64_t x = 0; x < run; ++x) {
+            d[x * dst.strides()[0]] = s[x * src.strides()[0]];
+          }
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void copy_region(const Volume4<T>& src, const Region4& src_region, Volume4<T>& dst,
+                 const Region4& dst_region) {
+  copy_region<T>(src.view(), src_region, dst.view(), dst_region);
+}
+
+}  // namespace h4d

@@ -1,0 +1,511 @@
+#include "sim/executor_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+
+namespace h4d::sim {
+
+namespace {
+
+using fs::BufferPtr;
+using fs::CopyStats;
+using fs::EdgeSpec;
+using fs::Filter;
+using fs::FilterContext;
+using fs::FilterGraph;
+using fs::Policy;
+using fs::WorkMeter;
+
+constexpr std::size_t kEosBytes = 64;  ///< wire size of an end-of-stream token
+
+/// Min-heap discrete event queue with deterministic FIFO tie-breaking.
+class EventQueue {
+ public:
+  void schedule(double time, std::function<void()> fn) {
+    heap_.push(Event{time, seq_++, std::move(fn)});
+  }
+  bool empty() const { return heap_.empty(); }
+  double now() const { return now_; }
+
+  void run_next() {
+    Event e = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = e.time;
+    e.fn();
+  }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::uint64_t seq_ = 0;
+  double now_ = 0.0;
+};
+
+struct Item {
+  enum class Kind { Data, SourceRun, Flush };
+  Kind kind = Kind::Data;
+  int port = 0;
+  BufferPtr buffer;
+  bool remote = false;  ///< arrived over the network (recv CPU applies)
+};
+
+struct SimCopy {
+  int group = 0;
+  int copy = 0;
+  int node = 0;
+  int ncopies = 1;
+  std::unique_ptr<Filter> filter;
+  std::deque<Item> inbox;
+  bool busy = false;
+  bool queued = false;          ///< waiting in the node's ready queue
+  bool flush_enqueued = false;
+  bool done = false;
+  int remaining_eos = 0;
+  int pending_deliveries = 0;  ///< buffers routed here but not yet arrived
+  double available_at = 0.0;    ///< blocking-send release time
+  CopyStats stats;
+};
+
+struct SimNode {
+  NodeSpec spec;
+  int busy_cores = 0;
+  std::deque<SimCopy*> ready;
+  double nic_free = 0.0;
+};
+
+struct EdgeRt {
+  const EdgeSpec* spec = nullptr;
+  std::vector<SimCopy*> consumers;
+  std::uint64_t rr_next = 0;
+};
+
+/// Collects emissions from a filter call together with the cumulative
+/// compute cost at each emission point (used to stream source output over
+/// virtual time instead of releasing it all at completion).
+class RecordingContext final : public FilterContext {
+ public:
+  RecordingContext(SimCopy* self, const CostModel* cost)
+      : self_(self), cost_(cost), base_(self->stats.meter) {}
+
+  void emit(int port, BufferPtr buffer) override {
+    if (!buffer) return;
+    buffer->header.from_copy = self_->copy;
+    const WorkMeter d = delta(base_, self_->stats.meter);
+    emissions_.push_back({port, std::move(buffer), cost_->compute_seconds(d)});
+  }
+  int copy_index() const override { return self_->copy; }
+  int num_copies() const override { return self_->ncopies; }
+  WorkMeter& meter() override { return self_->stats.meter; }
+
+  struct Emission {
+    int port;
+    BufferPtr buffer;
+    double cum_cost;  ///< compute cost accumulated before this emission
+  };
+  const std::vector<Emission>& emissions() const { return emissions_; }
+
+  /// Total compute cost of the whole call (speed-1 seconds).
+  double total_cost() const {
+    return cost_->compute_seconds(delta(base_, self_->stats.meter));
+  }
+
+ private:
+  SimCopy* self_;
+  const CostModel* cost_;
+  WorkMeter base_;
+  std::vector<Emission> emissions_;
+};
+
+class Simulator {
+ public:
+  Simulator(const FilterGraph& graph, const SimOptions& opt) : graph_(graph), opt_(opt) {
+    build();
+  }
+
+  SimStats run() {
+    // Seed source copies.
+    for (auto& group : copies_) {
+      for (auto& c : group) {
+        if (graph_.is_source(c->group)) {
+          c->inbox.push_back(Item{Item::Kind::SourceRun, 0, nullptr, false});
+          SimCopy* cp = c.get();
+          events_.schedule(0.0, [this, cp] { request_run(cp); });
+        }
+      }
+    }
+    while (!events_.empty()) events_.run_next();
+
+    SimStats out;
+    out.total_seconds = finish_time_;
+    out.network_transfers = net_transfers_;
+    out.network_bytes = net_bytes_;
+    out.network_busy_seconds = net_busy_;
+    for (auto& group : copies_) {
+      for (auto& c : group) {
+        if (!c->done) {
+          throw std::logic_error("simulation ended with unfinished filter copy " +
+                                 c->stats.filter + "[" + std::to_string(c->copy) + "]");
+        }
+        out.copies.push_back(c->stats);
+      }
+    }
+    return out;
+  }
+
+ private:
+  void build() {
+    graph_.validate();
+    for (const NodeSpec& n : opt_.cluster.nodes) nodes_.push_back(SimNode{n, 0, {}, 0.0});
+    if (nodes_.empty()) throw std::invalid_argument("sim: cluster has no nodes");
+
+    // Shared-link resources: one slot per shared group plus one per
+    // dedicated link.
+    int max_group = -1;
+    for (const InterLink& l : opt_.cluster.inter_links) {
+      max_group = std::max(max_group, l.shared_group);
+    }
+    link_free_.assign(
+        static_cast<std::size_t>(max_group + 1) + opt_.cluster.inter_links.size(), 0.0);
+
+    const auto& filters = graph_.filters();
+    copies_.resize(filters.size());
+    for (std::size_t f = 0; f < filters.size(); ++f) {
+      for (int k = 0; k < filters[f].copies; ++k) {
+        auto c = std::make_unique<SimCopy>();
+        c->group = static_cast<int>(f);
+        c->copy = k;
+        c->node = filters[f].node_of_copy(k);
+        if (c->node < 0 || c->node >= static_cast<int>(nodes_.size())) {
+          throw std::invalid_argument("sim: filter " + filters[f].name + " copy " +
+                                      std::to_string(k) + " placed on invalid node " +
+                                      std::to_string(c->node));
+        }
+        c->ncopies = filters[f].copies;
+        c->filter = filters[f].factory();
+        c->stats.filter = filters[f].name;
+        c->stats.copy = k;
+        c->stats.node = c->node;
+        copies_[f].push_back(std::move(c));
+      }
+    }
+    for (const EdgeSpec& e : graph_.edges()) {
+      EdgeRt rt;
+      rt.spec = &e;
+      for (auto& c : copies_[static_cast<std::size_t>(e.to)]) rt.consumers.push_back(c.get());
+      const int producer_copies = filters[static_cast<std::size_t>(e.from)].copies;
+      for (auto& c : copies_[static_cast<std::size_t>(e.to)]) {
+        c->remaining_eos += producer_copies;
+      }
+      edges_.push_back(std::move(rt));
+    }
+  }
+
+  // ---- node scheduling ----
+
+  void request_run(SimCopy* c) {
+    const double now = events_.now();
+    if (c->busy || c->done || c->inbox.empty()) return;
+    if (now < c->available_at) {
+      // Still blocked draining a send; retry when released.
+      if (!c->queued) {
+        c->queued = true;
+        events_.schedule(c->available_at, [this, c] {
+          c->queued = false;
+          request_run(c);
+        });
+      }
+      return;
+    }
+    // FIFO-fair core allocation: always queue behind already-waiting
+    // co-located copies (a copy finishing a task must not starve its
+    // neighbours — the co-location pipelining of paper Sec. 5.2 depends on
+    // the OS multiplexing filters fairly).
+    SimNode& node = nodes_[static_cast<std::size_t>(c->node)];
+    if (!c->queued) {
+      c->queued = true;
+      node.ready.push_back(c);
+    }
+    node_dispatch(node);
+  }
+
+  void node_dispatch(SimNode& node) {
+    while (node.busy_cores < node.spec.cores && !node.ready.empty()) {
+      SimCopy* c = node.ready.front();
+      node.ready.pop_front();
+      c->queued = false;
+      if (!c->busy && !c->done && !c->inbox.empty() && events_.now() >= c->available_at) {
+        start_task(c);
+      } else if (!c->inbox.empty() && !c->busy && !c->done) {
+        request_run(c);  // re-queue with the availability retry path
+      }
+    }
+  }
+
+  void start_task(SimCopy* c) {
+    const double now = events_.now();
+    Item item = std::move(c->inbox.front());
+    c->inbox.pop_front();
+    c->busy = true;
+    SimNode& node = nodes_[static_cast<std::size_t>(c->node)];
+    node.busy_cores++;
+
+    RecordingContext ctx(c, &opt_.cost);
+    double duration = 0.0;  // speed-1 seconds, scaled below
+
+    switch (item.kind) {
+      case Item::Kind::SourceRun:
+        c->filter->run_source(ctx);
+        c->filter->flush(ctx);
+        break;
+      case Item::Kind::Data:
+        if (item.remote) {
+          duration += opt_.cost.recv_cpu_seconds(item.buffer->wire_bytes());
+          c->stats.meter.bytes_in += static_cast<std::int64_t>(item.buffer->wire_bytes());
+        }
+        c->stats.meter.buffers_in++;
+        c->filter->process(item.port, item.buffer, ctx);
+        break;
+      case Item::Kind::Flush:
+        c->filter->flush(ctx);
+        break;
+    }
+    duration += ctx.total_cost();
+
+    const double speed = node.spec.speed;
+    const bool is_source = item.kind == Item::Kind::SourceRun;
+    const bool is_flush = item.kind == Item::Kind::Flush;
+
+    // Routing decisions (demand-driven load inspection, network queueing)
+    // happen at emission release time: completion for ordinary tasks, the
+    // emission's own cumulative-cost point for sources, which stream output
+    // while they run.
+    const double completion = now + duration / speed;
+    c->stats.busy_seconds += duration / speed;
+
+    const auto emissions = ctx.emissions();  // copy (ctx dies with this scope)
+    events_.schedule(completion, [this, c, emissions, is_source, is_flush, now, speed,
+                                  completion] {
+      double release = completion;
+      for (const auto& em : emissions) {
+        const double when =
+            is_source ? std::min(completion, now + em.cum_cost / speed) : completion;
+        const double r = route_emission(c, em.port, em.buffer, when);
+        release = std::max(release, r);
+      }
+      finish_task(c, completion, release, is_flush || is_source);
+    });
+  }
+
+  void finish_task(SimCopy* c, double /*completion*/, double release, bool was_final) {
+    SimNode& node = nodes_[static_cast<std::size_t>(c->node)];
+    c->busy = false;
+    node.busy_cores--;
+    c->available_at = release;
+
+    if (was_final) {
+      // Source completed or flush completed: emit EOS downstream and retire.
+      c->done = true;
+      c->stats.finish_time = release;
+      finish_time_ = std::max(finish_time_, release);
+      send_eos(c, release);
+    } else {
+      request_run(c);
+    }
+    node_dispatch(node);
+  }
+
+  // ---- streams and network ----
+
+  /// Route one buffer; returns the sender-release time (when its bytes have
+  /// left the NIC — equal to `when` for local deliveries).
+  double route_emission(SimCopy* from, int port, const BufferPtr& buffer, double when) {
+    double release = when;
+    for (EdgeRt& e : edges_) {
+      if (e.spec->from != from->group || e.spec->port != port) continue;
+      const int eport = e.spec->port;
+      switch (e.spec->policy) {
+        case Policy::Broadcast:
+          for (SimCopy* dst : e.consumers) {
+            release = std::max(release, deliver(from, dst, eport, buffer, when, false));
+          }
+          break;
+        case Policy::RoundRobin: {
+          SimCopy* dst = e.consumers[static_cast<std::size_t>(
+              e.rr_next++ % static_cast<std::uint64_t>(e.consumers.size()))];
+          release = std::max(release, deliver(from, dst, eport, buffer, when, false));
+          break;
+        }
+        case Policy::DemandDriven: {
+          SimCopy* best = e.consumers[0];
+          double best_load = load_of(best);
+          for (SimCopy* dst : e.consumers) {
+            const double l = load_of(dst);
+            if (l < best_load) {
+              best = dst;
+              best_load = l;
+            }
+          }
+          release = std::max(release, deliver(from, best, eport, buffer, when, false));
+          break;
+        }
+        case Policy::Explicit: {
+          const int k = e.spec->route(buffer->header, static_cast<int>(e.consumers.size()));
+          if (k < 0 || k >= static_cast<int>(e.consumers.size())) {
+            throw std::out_of_range("sim: explicit route out of range");
+          }
+          release = std::max(release,
+                             deliver(from, e.consumers[static_cast<std::size_t>(k)], eport,
+                                     buffer, when, false));
+          break;
+        }
+      }
+    }
+    return release;
+  }
+
+  /// Load metric for demand-driven distribution (paper Sec. 4.1: route to
+  /// the copy with the highest buffer *consumption rate*): outstanding work
+  /// divided by the hosting node's speed. In-flight deliveries count because
+  /// routing decisions for a burst are made before their arrivals run.
+  double load_of(const SimCopy* c) const {
+    const double backlog = static_cast<double>(c->inbox.size()) +
+                           static_cast<double>(c->pending_deliveries) +
+                           (c->busy ? 1.0 : 0.0);
+    return backlog / nodes_[static_cast<std::size_t>(c->node)].spec.speed;
+  }
+
+  /// Deliver a buffer (or EOS when eos==true). Returns sender-release time.
+  double deliver(SimCopy* from, SimCopy* to, int port, const BufferPtr& buffer, double when,
+                 bool eos) {
+    const std::size_t bytes = eos ? kEosBytes : buffer->wire_bytes();
+    from->stats.meter.buffers_out += eos ? 0 : 1;
+    if (!eos) to->pending_deliveries++;
+
+    if (from->node == to->node) {
+      // Co-located: pointer copy, no wire cost, arrival immediate.
+      schedule_arrival(to, port, buffer, when, false, eos);
+      return when;
+    }
+
+    from->stats.meter.bytes_out += static_cast<std::int64_t>(bytes);
+    // Send CPU extends the sender's blocking window.
+    const double send_cpu =
+        opt_.cost.send_cpu_seconds(bytes) / nodes_[static_cast<std::size_t>(from->node)].spec.speed;
+
+    const auto [sender_release, arrival] = transfer(from->node, to->node, bytes, when);
+    schedule_arrival(to, port, buffer, arrival, true, eos);
+    return sender_release + send_cpu;
+  }
+
+  void schedule_arrival(SimCopy* to, int port, const BufferPtr& buffer, double at,
+                        bool remote, bool eos) {
+    events_.schedule(at, [this, to, port, buffer, remote, eos] {
+      if (eos) {
+        if (--to->remaining_eos == 0 && !to->flush_enqueued) {
+          to->flush_enqueued = true;
+          to->inbox.push_back(Item{Item::Kind::Flush, 0, nullptr, false});
+          request_run(to);
+        }
+        return;
+      }
+      to->pending_deliveries--;
+      to->inbox.push_back(Item{Item::Kind::Data, port, buffer, remote});
+      to->stats.max_inbox = std::max(to->stats.max_inbox, to->inbox.size());
+      request_run(to);
+    });
+  }
+
+  /// (start+duration, arrival) of a network transfer.
+  std::pair<double, double> transfer(int from_node, int to_node, std::size_t bytes,
+                                     double ready) {
+    SimNode& a = nodes_[static_cast<std::size_t>(from_node)];
+    SimNode& b = nodes_[static_cast<std::size_t>(to_node)];
+    const ClusterNet& ca = opt_.cluster.clusters[static_cast<std::size_t>(a.spec.cluster)];
+    const ClusterNet& cb = opt_.cluster.clusters[static_cast<std::size_t>(b.spec.cluster)];
+
+    double bw = std::min(ca.nic_bandwidth, cb.nic_bandwidth);
+    double latency = 0.0;
+    double* link_slot = nullptr;
+
+    if (a.spec.cluster == b.spec.cluster) {
+      latency = ca.latency;
+    } else {
+      const int li = opt_.cluster.find_inter_link(a.spec.cluster, b.spec.cluster);
+      if (li < 0) {
+        throw std::invalid_argument("sim: no link between clusters " +
+                                    std::to_string(a.spec.cluster) + " and " +
+                                    std::to_string(b.spec.cluster));
+      }
+      const InterLink& l = opt_.cluster.inter_links[static_cast<std::size_t>(li)];
+      bw = std::min(bw, l.bandwidth);
+      latency = ca.latency + l.latency + cb.latency;
+      const std::size_t slot =
+          l.shared_group >= 0
+              ? static_cast<std::size_t>(l.shared_group)
+              : num_shared_groups_() + static_cast<std::size_t>(li);
+      link_slot = &link_free_[slot];
+    }
+
+    double start = std::max(ready, std::max(a.nic_free, b.nic_free));
+    if (link_slot != nullptr) start = std::max(start, *link_slot);
+    const double dur = static_cast<double>(bytes) / bw;
+    a.nic_free = start + dur;
+    b.nic_free = start + dur;
+    if (link_slot != nullptr) *link_slot = start + dur;
+
+    net_transfers_++;
+    net_bytes_ += static_cast<std::int64_t>(bytes);
+    net_busy_ += dur;
+    return {start + dur, start + dur + latency};
+  }
+
+  std::size_t num_shared_groups_() const {
+    int max_group = -1;
+    for (const InterLink& l : opt_.cluster.inter_links) {
+      max_group = std::max(max_group, l.shared_group);
+    }
+    return static_cast<std::size_t>(max_group + 1);
+  }
+
+  void send_eos(SimCopy* from, double when) {
+    for (EdgeRt& e : edges_) {
+      if (e.spec->from != from->group) continue;
+      for (SimCopy* dst : e.consumers) {
+        deliver(from, dst, e.spec->port, nullptr, when, true);
+      }
+    }
+  }
+
+  const FilterGraph& graph_;
+  const SimOptions& opt_;
+  EventQueue events_;
+  std::vector<SimNode> nodes_;
+  std::vector<std::vector<std::unique_ptr<SimCopy>>> copies_;
+  std::vector<EdgeRt> edges_;
+  std::vector<double> link_free_;
+  double finish_time_ = 0.0;
+  std::int64_t net_transfers_ = 0;
+  std::int64_t net_bytes_ = 0;
+  double net_busy_ = 0.0;
+};
+
+}  // namespace
+
+SimStats run_simulated(const fs::FilterGraph& graph, const SimOptions& options) {
+  Simulator sim(graph, options);
+  return sim.run();
+}
+
+}  // namespace h4d::sim

@@ -1,0 +1,63 @@
+#include "sim/machine.hpp"
+
+#include <stdexcept>
+
+namespace h4d::sim {
+
+int ClusterSpec::add_cluster(const std::string& name, int count, double speed, int cores,
+                             double nic_bandwidth, double latency) {
+  if (count < 1) throw std::invalid_argument("add_cluster: count must be >= 1");
+  if (speed <= 0.0) throw std::invalid_argument("add_cluster: speed must be positive");
+  if (cores < 1) throw std::invalid_argument("add_cluster: cores must be >= 1");
+  const int id = static_cast<int>(clusters.size());
+  clusters.push_back(ClusterNet{name, nic_bandwidth, latency});
+  for (int i = 0; i < count; ++i) {
+    nodes.push_back(NodeSpec{name + "_" + std::to_string(i), id, speed, cores});
+  }
+  return id;
+}
+
+void ClusterSpec::link_clusters(int a, int b, double bandwidth, double latency,
+                                int shared_group) {
+  if (a == b) throw std::invalid_argument("link_clusters: a == b");
+  inter_links.push_back(InterLink{a, b, bandwidth, latency, shared_group});
+}
+
+std::vector<int> ClusterSpec::nodes_in_cluster(int cluster) const {
+  std::vector<int> ids;
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (nodes[static_cast<std::size_t>(i)].cluster == cluster) ids.push_back(i);
+  }
+  return ids;
+}
+
+int ClusterSpec::find_inter_link(int cluster_a, int cluster_b) const {
+  for (std::size_t i = 0; i < inter_links.size(); ++i) {
+    const InterLink& l = inter_links[i];
+    if ((l.cluster_a == cluster_a && l.cluster_b == cluster_b) ||
+        (l.cluster_a == cluster_b && l.cluster_b == cluster_a)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+ClusterSpec make_piii_cluster(int nodes) {
+  ClusterSpec spec;
+  spec.add_cluster("piii", nodes, kPiiiSpeed, 1, 100 * kMbit, 100e-6);
+  return spec;
+}
+
+ClusterSpec make_paper_testbed() {
+  ClusterSpec spec;
+  const int piii = spec.add_cluster("piii", 24, kPiiiSpeed, 1, 100 * kMbit, 100e-6);
+  const int xeon = spec.add_cluster("xeon", 5, kXeonSpeed, 2, kGbit, 50e-6);
+  const int opteron = spec.add_cluster("opteron", 6, kOpteronSpeed, 2, kGbit, 50e-6);
+  // PIII reaches both Gigabit clusters through one shared 100 Mbit/s uplink.
+  spec.link_clusters(piii, xeon, 100 * kMbit, 500e-6, /*shared_group=*/0);
+  spec.link_clusters(piii, opteron, 100 * kMbit, 500e-6, /*shared_group=*/0);
+  spec.link_clusters(xeon, opteron, kGbit, 200e-6);
+  return spec;
+}
+
+}  // namespace h4d::sim

@@ -1,0 +1,86 @@
+// Cluster hardware model for the discrete-event executor.
+//
+// Nodes have a relative CPU speed (PIII @ ~900 MHz == 1.0) and a core count;
+// every node belongs to a cluster with an intra-cluster switch (per-NIC
+// bandwidth + latency). Clusters are joined by inter-cluster links that may
+// be shared (a single resource all flows serialize through, like the paper's
+// 100 Mbit/s link between PIII and the XEON/OPTERON clusters).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace h4d::sim {
+
+inline constexpr double kMbit = 1e6 / 8.0;  ///< bytes/s in one Mbit/s
+inline constexpr double kGbit = 1e9 / 8.0;
+
+struct NodeSpec {
+  std::string name;
+  int cluster = 0;
+  double speed = 1.0;  ///< relative to a PIII reference node
+  int cores = 1;
+};
+
+struct ClusterNet {
+  std::string name;
+  double nic_bandwidth = 100 * kMbit;  ///< per-node NIC/switch port
+  double latency = 100e-6;             ///< one-way message latency (s)
+};
+
+struct InterLink {
+  int cluster_a = 0;
+  int cluster_b = 0;
+  double bandwidth = 100 * kMbit;
+  double latency = 500e-6;
+  /// Links with the same non-negative group id serialize on one physical
+  /// resource (the paper's single 100 Mbit/s uplink carries both the
+  /// PIII<->XEON and PIII<->OPTERON flows). -1: dedicated link.
+  int shared_group = -1;
+};
+
+/// A complete machine description.
+struct ClusterSpec {
+  std::vector<NodeSpec> nodes;
+  std::vector<ClusterNet> clusters;
+  std::vector<InterLink> inter_links;
+
+  /// Append `count` identical nodes forming a new cluster; returns cluster id.
+  int add_cluster(const std::string& name, int count, double speed, int cores,
+                  double nic_bandwidth, double latency);
+
+  /// Connect two clusters.
+  void link_clusters(int a, int b, double bandwidth, double latency, int shared_group = -1);
+
+  int num_nodes() const { return static_cast<int>(nodes.size()); }
+  /// Node ids belonging to a cluster.
+  std::vector<int> nodes_in_cluster(int cluster) const;
+
+  /// Find the inter-link joining two clusters; -1 when none (throws on use).
+  int find_inter_link(int cluster_a, int cluster_b) const;
+};
+
+/// The paper's testbed (Sec. 5.2-5.3).
+///
+/// PIII: 24 single-CPU nodes, 512 MB, Fast Ethernet (100 Mbit/s).
+/// XEON: 5 nodes, dual Xeon 2.4 GHz, 2 GB, Gigabit.
+/// OPTERON: 6 nodes, dual Opteron 1.4 GHz, 8 GB, Gigabit.
+/// PIII <-> XEON and PIII <-> OPTERON share one 100 Mbit/s uplink;
+/// XEON <-> OPTERON have a Gigabit path.
+ClusterSpec make_piii_cluster(int nodes = 24);
+ClusterSpec make_paper_testbed();
+
+/// Cluster ids inside make_paper_testbed()'s spec.
+inline constexpr int kPiii = 0;
+inline constexpr int kXeon = 1;
+inline constexpr int kOpteron = 2;
+
+/// Relative CPU speeds used by the presets. Roughly clock x IPC scaled to a
+/// ~900 MHz PIII reference; Haralick inner loops are integer/cache bound so
+/// scaling is sublinear in clock.
+inline constexpr double kPiiiSpeed = 1.0;
+inline constexpr double kXeonSpeed = 2.6;
+inline constexpr double kOpteronSpeed = 1.9;
+
+}  // namespace h4d::sim

@@ -1,0 +1,44 @@
+// A FilterContext capturing emissions for unit-testing filters in isolation.
+#pragma once
+
+#include <vector>
+
+#include "fs/filter.hpp"
+
+namespace h4d::fs::testing {
+
+class MockContext final : public FilterContext {
+ public:
+  explicit MockContext(int copy = 0, int copies = 1) : copy_(copy), copies_(copies) {}
+
+  void emit(int port, BufferPtr buffer) override {
+    buffer->header.from_copy = copy_;
+    emitted.push_back({port, std::move(buffer)});
+  }
+  int copy_index() const override { return copy_; }
+  int num_copies() const override { return copies_; }
+  WorkMeter& meter() override { return meter_; }
+
+  struct Emission {
+    int port;
+    BufferPtr buffer;
+  };
+  std::vector<Emission> emitted;
+  const WorkMeter& work() const { return meter_; }
+
+  /// Emissions of one buffer kind.
+  std::vector<BufferPtr> of_kind(BufferKind kind) const {
+    std::vector<BufferPtr> out;
+    for (const Emission& e : emitted) {
+      if (e.buffer->header.kind == kind) out.push_back(e.buffer);
+    }
+    return out;
+  }
+
+ private:
+  int copy_;
+  int copies_;
+  WorkMeter meter_;
+};
+
+}  // namespace h4d::fs::testing

@@ -1,0 +1,164 @@
+#include "io/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <random>
+
+namespace h4d::io {
+namespace {
+
+namespace fsys = std::filesystem;
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fsys::temp_directory_path() /
+            ("h4d_dataset_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fsys::remove_all(root_);
+  }
+  void TearDown() override { fsys::remove_all(root_); }
+
+  static Volume4<std::uint16_t> sample_volume(Vec4 dims, unsigned seed = 7) {
+    Volume4<std::uint16_t> v(dims);
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<int> u(0, 4000);
+    for (auto& x : v.storage()) x = static_cast<std::uint16_t>(u(rng));
+    return v;
+  }
+
+  fsys::path root_;
+};
+
+TEST_F(DatasetTest, CreateAndReadAllRoundTrips) {
+  const auto vol = sample_volume({8, 8, 4, 3});
+  const DiskDataset ds = DiskDataset::create(root_, vol, 3);
+  const auto back = ds.read_all();
+  EXPECT_EQ(back.dims(), vol.dims());
+  EXPECT_EQ(back.storage(), vol.storage());
+}
+
+TEST_F(DatasetTest, MetaPersistsRangeAndLayout) {
+  auto vol = sample_volume({4, 4, 2, 2});
+  vol.at(0, 0, 0, 0) = 17;
+  vol.at(1, 0, 0, 0) = 3999;
+  DiskDataset::create(root_, vol, 2);
+
+  const DiskDataset ds = DiskDataset::open(root_);
+  EXPECT_EQ(ds.meta().dims, Vec4(4, 4, 2, 2));
+  EXPECT_EQ(ds.meta().storage_nodes, 2);
+  EXPECT_EQ(ds.meta().dtype, Dtype::U16);
+  double lo = 1e9, hi = -1;
+  for (auto v : vol.storage()) {
+    lo = std::min<double>(lo, v);
+    hi = std::max<double>(hi, v);
+  }
+  EXPECT_DOUBLE_EQ(ds.meta().value_min, lo);
+  EXPECT_DOUBLE_EQ(ds.meta().value_max, hi);
+}
+
+TEST_F(DatasetTest, RoundRobinSliceDistribution) {
+  const auto vol = sample_volume({4, 4, 3, 4});  // 12 slices
+  const DiskDataset ds = DiskDataset::create(root_, vol, 3);
+  // Every node holds exactly 4 slices, and node_of_slice matches the index.
+  for (int n = 0; n < 3; ++n) {
+    const StorageNodeReader reader = ds.node_reader(n);
+    EXPECT_EQ(reader.slices().size(), 4u) << "node " << n;
+    for (const SliceRef& s : reader.slices()) {
+      EXPECT_EQ(ds.meta().node_of_slice(s.z, s.t), n);
+    }
+  }
+}
+
+TEST_F(DatasetTest, NodeReaderReadsLocalSubregion) {
+  const auto vol = sample_volume({8, 6, 2, 2});
+  const DiskDataset ds = DiskDataset::create(root_, vol, 2);
+  const StorageNodeReader reader = ds.node_reader(0);
+  ASSERT_FALSE(reader.slices().empty());
+  const SliceRef s = reader.slices().front();
+
+  std::vector<std::uint16_t> out(3 * 2);
+  reader.read_slice_region(s, 2, 1, 3, 2, out.data());
+  for (std::int64_t y = 0; y < 2; ++y) {
+    for (std::int64_t x = 0; x < 3; ++x) {
+      EXPECT_EQ(out[static_cast<std::size_t>(y * 3 + x)], vol.at(2 + x, 1 + y, s.z, s.t));
+    }
+  }
+}
+
+TEST_F(DatasetTest, NodeReaderRejectsForeignSlice) {
+  const auto vol = sample_volume({4, 4, 2, 2});
+  const DiskDataset ds = DiskDataset::create(root_, vol, 2);
+  const StorageNodeReader reader0 = ds.node_reader(0);
+  const StorageNodeReader reader1 = ds.node_reader(1);
+  const SliceRef foreign = reader1.slices().front();
+  std::vector<std::uint16_t> out(16);
+  EXPECT_THROW(reader0.read_slice_region(foreign, 0, 0, 4, 4, out.data()),
+               std::invalid_argument);
+}
+
+TEST_F(DatasetTest, NodeReaderRejectsOutOfBoundsRect) {
+  const auto vol = sample_volume({4, 4, 2, 2});
+  const DiskDataset ds = DiskDataset::create(root_, vol, 1);
+  const StorageNodeReader reader = ds.node_reader(0);
+  const SliceRef s = reader.slices().front();
+  std::vector<std::uint16_t> out(100);
+  EXPECT_THROW(reader.read_slice_region(s, 2, 0, 3, 4, out.data()), std::invalid_argument);
+  EXPECT_THROW(reader.read_slice_region(s, 0, 0, 0, 4, out.data()), std::invalid_argument);
+}
+
+TEST_F(DatasetTest, ReadRegionMatchesMemory) {
+  const auto vol = sample_volume({10, 9, 4, 5});
+  const DiskDataset ds = DiskDataset::create(root_, vol, 4);
+  const Region4 r{{2, 3, 1, 1}, {5, 4, 2, 3}};
+  const auto sub = ds.read_region(r);
+  for (std::int64_t t = 0; t < r.size[3]; ++t)
+    for (std::int64_t z = 0; z < r.size[2]; ++z)
+      for (std::int64_t y = 0; y < r.size[1]; ++y)
+        for (std::int64_t x = 0; x < r.size[0]; ++x) {
+          EXPECT_EQ(sub.at(x, y, z, t), vol.at(r.origin[0] + x, r.origin[1] + y,
+                                               r.origin[2] + z, r.origin[3] + t));
+        }
+}
+
+TEST_F(DatasetTest, ReadRegionRejectsOutOfBounds) {
+  const auto vol = sample_volume({4, 4, 2, 2});
+  const DiskDataset ds = DiskDataset::create(root_, vol, 1);
+  EXPECT_THROW(ds.read_region(Region4{{0, 0, 0, 0}, {5, 4, 2, 2}}), std::invalid_argument);
+  EXPECT_THROW(ds.read_region(Region4{{0, 0, 0, 0}, {0, 0, 0, 0}}), std::invalid_argument);
+}
+
+TEST_F(DatasetTest, SeekAccountingFullVsPartialRows) {
+  const auto vol = sample_volume({16, 16, 2, 1});
+  const DiskDataset ds = DiskDataset::create(root_, vol, 1);
+  const StorageNodeReader reader = ds.node_reader(0);
+  const SliceRef s = reader.slices().front();
+
+  std::vector<std::uint16_t> out(16 * 16);
+  reader.read_slice_region(s, 0, 0, 16, 16, out.data());
+  const std::int64_t after_full = reader.seeks_performed();
+  EXPECT_EQ(after_full, 1);  // full-width read: one seek
+
+  reader.read_slice_region(s, 4, 0, 8, 16, out.data());
+  EXPECT_EQ(reader.seeks_performed() - after_full, 16);  // one per partial row
+}
+
+TEST_F(DatasetTest, CreateRejectsBadNodeCount) {
+  const auto vol = sample_volume({4, 4, 1, 1});
+  EXPECT_THROW(DiskDataset::create(root_, vol, 0), std::invalid_argument);
+}
+
+TEST_F(DatasetTest, OpenMissingDatasetThrows) {
+  EXPECT_THROW(DiskDataset::open(root_ / "nope"), std::runtime_error);
+}
+
+TEST_F(DatasetTest, MoreNodesThanSlicesStillWorks) {
+  const auto vol = sample_volume({4, 4, 1, 2});  // 2 slices, 5 nodes
+  const DiskDataset ds = DiskDataset::create(root_, vol, 5);
+  EXPECT_EQ(ds.read_all().storage(), vol.storage());
+  EXPECT_TRUE(ds.node_reader(4).slices().empty());
+}
+
+}  // namespace
+}  // namespace h4d::io

@@ -1,0 +1,79 @@
+#include "haralick/directions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace h4d::haralick {
+namespace {
+
+TEST(Directions, CountsMatchFormula) {
+  EXPECT_EQ(num_unique_directions(1), 1);
+  EXPECT_EQ(num_unique_directions(2), 4);   // paper Sec. 3: 4 unique in 2D
+  EXPECT_EQ(num_unique_directions(3), 13);
+  EXPECT_EQ(num_unique_directions(4), 40);  // full 4D
+}
+
+TEST(Directions, Planar2DMatchesPaper) {
+  const auto dirs = unique_directions(ActiveDims::planar2());
+  ASSERT_EQ(dirs.size(), 4u);
+  const std::set<Vec4, Vec4Less> got(dirs.begin(), dirs.end());
+  // 0, 45, 90, 135 degrees (y up); opposite angles deduplicated.
+  const std::set<Vec4, Vec4Less> want{{1, 0, 0, 0}, {1, 1, 0, 0}, {0, 1, 0, 0}, {-1, 1, 0, 0}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(Directions, Full4DCount) {
+  EXPECT_EQ(unique_directions(ActiveDims::all4()).size(), 40u);
+  EXPECT_EQ(unique_directions(ActiveDims::spatial3()).size(), 13u);
+}
+
+TEST(Directions, NoOppositePairs) {
+  const auto dirs = unique_directions(ActiveDims::all4());
+  const std::set<Vec4, Vec4Less> got(dirs.begin(), dirs.end());
+  EXPECT_EQ(got.size(), dirs.size());  // no duplicates
+  for (const Vec4& d : dirs) {
+    EXPECT_FALSE(got.count(-d)) << "both " << d.str() << " and its opposite present";
+  }
+}
+
+TEST(Directions, NoZeroVector) {
+  for (const Vec4& d : unique_directions(ActiveDims::all4())) {
+    EXPECT_NE(d, Vec4(0, 0, 0, 0));
+  }
+}
+
+TEST(Directions, DistanceScalesComponents) {
+  const auto d1 = unique_directions(ActiveDims::planar2(), 1);
+  const auto d3 = unique_directions(ActiveDims::planar2(), 3);
+  ASSERT_EQ(d1.size(), d3.size());
+  for (std::size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_EQ(d3[i], d1[i] * 3);
+  }
+}
+
+TEST(Directions, InactiveAxesStayZero) {
+  for (const Vec4& d : unique_directions(ActiveDims::planar2())) {
+    EXPECT_EQ(d.z(), 0);
+    EXPECT_EQ(d.t(), 0);
+  }
+  for (const Vec4& d : unique_directions(ActiveDims::spatial3())) {
+    EXPECT_EQ(d.t(), 0);
+  }
+}
+
+TEST(Directions, RejectsBadDistance) {
+  EXPECT_THROW(unique_directions(ActiveDims::all4(), 0), std::invalid_argument);
+  EXPECT_THROW(axis_directions(ActiveDims::all4(), -1), std::invalid_argument);
+}
+
+TEST(AxisDirections, OnePerActiveAxis) {
+  const auto dirs = axis_directions(ActiveDims::all4(), 2);
+  ASSERT_EQ(dirs.size(), 4u);
+  EXPECT_EQ(dirs[0], Vec4(2, 0, 0, 0));
+  EXPECT_EQ(dirs[3], Vec4(0, 0, 0, 2));
+  EXPECT_EQ(axis_directions(ActiveDims::planar2()).size(), 2u);
+}
+
+}  // namespace
+}  // namespace h4d::haralick

@@ -1,0 +1,96 @@
+#include "haralick/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace h4d::haralick {
+namespace {
+
+TEST(Eigen, EmptyAndScalar) {
+  EXPECT_TRUE(symmetric_eigenvalues({}, 0).empty());
+  const auto e = symmetric_eigenvalues({4.0}, 1);
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_DOUBLE_EQ(e[0], 4.0);
+}
+
+TEST(Eigen, DiagonalMatrix) {
+  const auto e = symmetric_eigenvalues({3, 0, 0, 0, 1, 0, 0, 0, 2}, 3);
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_NEAR(e[0], 3.0, 1e-12);
+  EXPECT_NEAR(e[1], 2.0, 1e-12);
+  EXPECT_NEAR(e[2], 1.0, 1e-12);
+}
+
+TEST(Eigen, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  const auto e = symmetric_eigenvalues({2, 1, 1, 2}, 2);
+  EXPECT_NEAR(e[0], 3.0, 1e-10);
+  EXPECT_NEAR(e[1], 1.0, 1e-10);
+}
+
+TEST(Eigen, RejectsSizeMismatch) {
+  EXPECT_THROW(symmetric_eigenvalues({1, 2, 3}, 2), std::invalid_argument);
+  EXPECT_THROW(symmetric_eigenvalues({1}, -1), std::invalid_argument);
+}
+
+TEST(Eigen, TraceAndFrobeniusPreserved) {
+  // Random symmetric matrices: sum of eigenvalues == trace, sum of squares
+  // == Frobenius norm^2.
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  for (int n : {2, 5, 16, 32}) {
+    std::vector<double> a(static_cast<std::size_t>(n) * n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i; j < n; ++j) {
+        const double v = u(rng);
+        a[static_cast<std::size_t>(i) * n + j] = v;
+        a[static_cast<std::size_t>(j) * n + i] = v;
+      }
+    }
+    double trace = 0.0, frob2 = 0.0;
+    for (int i = 0; i < n; ++i) trace += a[static_cast<std::size_t>(i) * n + i];
+    for (double v : a) frob2 += v * v;
+
+    const auto e = symmetric_eigenvalues(a, n);
+    double esum = 0.0, e2sum = 0.0;
+    for (double v : e) {
+      esum += v;
+      e2sum += v * v;
+    }
+    EXPECT_NEAR(esum, trace, 1e-8) << "n=" << n;
+    EXPECT_NEAR(e2sum, frob2, 1e-8) << "n=" << n;
+  }
+}
+
+TEST(Eigen, SortedDescending) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> u(-2.0, 2.0);
+  const int n = 12;
+  std::vector<double> a(static_cast<std::size_t>(n) * n);
+  for (int i = 0; i < n; ++i)
+    for (int j = i; j < n; ++j) {
+      const double v = u(rng);
+      a[static_cast<std::size_t>(i) * n + j] = v;
+      a[static_cast<std::size_t>(j) * n + i] = v;
+    }
+  const auto e = symmetric_eigenvalues(a, n);
+  for (std::size_t i = 1; i < e.size(); ++i) EXPECT_GE(e[i - 1], e[i]);
+}
+
+TEST(Eigen, RankOneMatrix) {
+  // v v^T with |v|^2 = 14 has eigenvalues {14, 0, 0}.
+  const std::vector<double> v{1, 2, 3};
+  std::vector<double> a(9);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      a[static_cast<std::size_t>(i) * 3 + j] = v[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(j)];
+  const auto e = symmetric_eigenvalues(a, 3);
+  EXPECT_NEAR(e[0], 14.0, 1e-10);
+  EXPECT_NEAR(e[1], 0.0, 1e-10);
+  EXPECT_NEAR(e[2], 0.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace h4d::haralick

@@ -1,0 +1,100 @@
+#include "nd/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace h4d {
+namespace {
+
+TEST(EqualizedQuantizer, RejectsBadArguments) {
+  EXPECT_THROW(EqualizedQuantizer({}, 4), std::invalid_argument);
+  EXPECT_THROW(EqualizedQuantizer({1.0}, 1), std::invalid_argument);
+  EXPECT_THROW(EqualizedQuantizer({1.0}, 300), std::invalid_argument);
+}
+
+TEST(EqualizedQuantizer, UniformSamplesGiveEqualBins) {
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) samples.push_back(i);
+  const EqualizedQuantizer q(samples, 4);
+  int hist[4] = {};
+  for (double v : samples) hist[q(v)]++;
+  for (int h : hist) EXPECT_NEAR(h, 250, 2);
+}
+
+TEST(EqualizedQuantizer, SkewedDistributionStillBalanced) {
+  // Heavily skewed data: linear min/max quantization would put almost
+  // everything into the bottom level; equalization balances the levels.
+  std::mt19937_64 rng(1);
+  std::exponential_distribution<double> expo(1.0);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(expo(rng));
+
+  const EqualizedQuantizer eq(samples, 8);
+  const auto [lo, hi] = std::pair{*std::min_element(samples.begin(), samples.end()),
+                                  *std::max_element(samples.begin(), samples.end())};
+  const Quantizer linear(lo, hi, 8);
+
+  int eq_hist[8] = {}, lin_hist[8] = {};
+  for (double v : samples) {
+    eq_hist[eq(v)]++;
+    lin_hist[linear(v)]++;
+  }
+  // Linear: bottom level dominated; equalized: every level populated evenly.
+  EXPECT_GT(lin_hist[0], 10000);
+  for (int h : eq_hist) {
+    EXPECT_GT(h, 20000 / 8 / 2);
+    EXPECT_LT(h, 20000 / 8 * 2);
+  }
+}
+
+TEST(EqualizedQuantizer, MonotoneMapping) {
+  std::mt19937_64 rng(2);
+  std::normal_distribution<double> norm(100.0, 15.0);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) samples.push_back(norm(rng));
+  const EqualizedQuantizer q(samples, 32);
+  Level prev = q(-1e9);
+  for (double v = 40; v <= 160; v += 0.5) {
+    const Level l = q(v);
+    EXPECT_GE(l, prev);
+    prev = l;
+  }
+  EXPECT_EQ(q(-1e9), 0);
+  EXPECT_EQ(q(1e9), 31);
+}
+
+TEST(EqualizedQuantizer, ConstantSamplesMapToZero) {
+  const EqualizedQuantizer q(std::vector<double>(100, 7.0), 16);
+  EXPECT_EQ(q(7.0), 0);  // all thresholds equal 7; upper_bound(7) == begin
+  EXPECT_EQ(q(6.0), 0);
+  EXPECT_EQ(q(8.0), 15);
+}
+
+TEST(EqualizedQuantizer, ScaleInvarianceOfLevels) {
+  // Gain drift: scaling all intensities by a constant must not change the
+  // level assignment when the quantizer is rebuilt from the scaled data —
+  // the robustness property motivating equalization.
+  std::mt19937_64 rng(3);
+  std::lognormal_distribution<double> dist(3.0, 0.5);
+  std::vector<double> samples;
+  for (int i = 0; i < 4000; ++i) samples.push_back(dist(rng));
+  std::vector<double> scaled;
+  for (double v : samples) scaled.push_back(v * 1.37);
+
+  const EqualizedQuantizer a(samples, 16);
+  const EqualizedQuantizer b(scaled, 16);
+  for (std::size_t i = 0; i < samples.size(); i += 7) {
+    EXPECT_EQ(a(samples[i]), b(samples[i] * 1.37));
+  }
+}
+
+TEST(EqualizedQuantizer, ThresholdCountAndOrder) {
+  std::vector<double> samples{5, 1, 3, 2, 4, 9, 7, 8, 6, 0};
+  const EqualizedQuantizer q(samples, 5);
+  ASSERT_EQ(q.thresholds().size(), 4u);
+  EXPECT_TRUE(std::is_sorted(q.thresholds().begin(), q.thresholds().end()));
+}
+
+}  // namespace
+}  // namespace h4d

@@ -1,0 +1,187 @@
+#include "sim/executor_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "toy_filters.hpp"
+
+namespace h4d::sim {
+namespace {
+
+using fs::FilterGraph;
+using fs::Policy;
+using fs::RunStats;
+using fs::testing::CollectSink;
+using fs::testing::NumberSource;
+using fs::testing::ScaleFilter;
+using fs::testing::SinkState;
+
+constexpr std::int64_t kWork = 1'000'000;  // 5 ms at the default cost model
+
+/// source -> scale(copies) -> sink, with explicit placement.
+FilterGraph make_graph(std::shared_ptr<SinkState> state, int items, int copies,
+                       std::vector<int> scale_nodes, Policy policy = Policy::DemandDriven,
+                       int src_node = 0, int sink_node = 0) {
+  FilterGraph g;
+  const int src = g.add_filter(
+      {"source", [items] { return std::make_unique<NumberSource>(items, kWork / 10); }, 1,
+       {src_node}});
+  const int mid = g.add_filter(
+      {"scale", [] { return std::make_unique<ScaleFilter>(2, kWork); }, copies,
+       std::move(scale_nodes)});
+  const int sink = g.add_filter(
+      {"sink", [state] { return std::make_unique<CollectSink>(state, kWork / 100); }, 1,
+       {sink_node}});
+  g.connect(src, 0, mid, policy);
+  g.connect(mid, 0, sink, Policy::DemandDriven);
+  return g;
+}
+
+SimOptions single_node_options(int nodes = 1, int cores = 1) {
+  SimOptions opt;
+  opt.cluster.add_cluster("test", nodes, 1.0, cores, 100 * kMbit, 100e-6);
+  return opt;
+}
+
+TEST(SimExecutor, DeliversSameResultsAsLogicRequires) {
+  auto state = std::make_shared<SinkState>();
+  const auto stats =
+      run_simulated(make_graph(state, 50, 1, {0}), single_node_options());
+  EXPECT_EQ(state->count(), 50u);
+  std::int64_t sum = state->sum();
+  EXPECT_EQ(sum, 2 * 50 * 49 / 2);
+  EXPECT_GT(stats.total_seconds, 0.0);
+}
+
+TEST(SimExecutor, DeterministicVirtualTime) {
+  auto s1 = std::make_shared<SinkState>();
+  auto s2 = std::make_shared<SinkState>();
+  const auto a = run_simulated(make_graph(s1, 40, 2, {0, 0}), single_node_options());
+  const auto b = run_simulated(make_graph(s2, 40, 2, {0, 0}), single_node_options());
+  EXPECT_DOUBLE_EQ(a.total_seconds, b.total_seconds);
+}
+
+TEST(SimExecutor, MoreNodesReduceMakespan) {
+  // The headline scaling property behind paper Fig. 7.
+  double prev = 1e18;
+  for (int n : {1, 2, 4, 8}) {
+    auto state = std::make_shared<SinkState>();
+    std::vector<int> nodes;
+    for (int i = 0; i < n; ++i) nodes.push_back(i);
+    const auto stats = run_simulated(make_graph(state, 64, n, nodes),
+                                     single_node_options(/*nodes=*/n));
+    EXPECT_EQ(state->count(), 64u);
+    EXPECT_LT(stats.total_seconds, prev) << n << " nodes";
+    prev = stats.total_seconds;
+  }
+}
+
+TEST(SimExecutor, TwoCopiesOneCoreNoSpeedup) {
+  // Two copies multiplexed on a single-CPU node share its power
+  // (paper Sec. 5.2): makespan must not improve materially.
+  auto s1 = std::make_shared<SinkState>();
+  auto s2 = std::make_shared<SinkState>();
+  const auto one = run_simulated(make_graph(s1, 64, 1, {0}), single_node_options(1, 1));
+  const auto two = run_simulated(make_graph(s2, 64, 2, {0, 0}), single_node_options(1, 1));
+  EXPECT_GE(two.total_seconds, 0.95 * one.total_seconds);
+}
+
+TEST(SimExecutor, DualCoreNodeRunsTwoCopies) {
+  auto s1 = std::make_shared<SinkState>();
+  auto s2 = std::make_shared<SinkState>();
+  const auto one = run_simulated(make_graph(s1, 64, 1, {0}), single_node_options(1, 2));
+  const auto two = run_simulated(make_graph(s2, 64, 2, {0, 0}), single_node_options(1, 2));
+  EXPECT_LT(two.total_seconds, 0.7 * one.total_seconds);
+}
+
+TEST(SimExecutor, FasterNodesFinishSooner) {
+  SimOptions slow;
+  slow.cluster.add_cluster("slow", 2, 1.0, 1, 100 * kMbit, 100e-6);
+  SimOptions fast;
+  fast.cluster.add_cluster("fast", 2, 2.6, 1, 100 * kMbit, 100e-6);
+  auto s1 = std::make_shared<SinkState>();
+  auto s2 = std::make_shared<SinkState>();
+  const auto a = run_simulated(make_graph(s1, 48, 1, {1}), slow);
+  const auto b = run_simulated(make_graph(s2, 48, 1, {1}), fast);
+  EXPECT_GT(a.total_seconds, 1.5 * b.total_seconds);
+}
+
+TEST(SimExecutor, RemoteStreamsCostMoreThanColocated) {
+  auto s1 = std::make_shared<SinkState>();
+  auto s2 = std::make_shared<SinkState>();
+  // Co-located everything vs worker on another node.
+  const auto local = run_simulated(make_graph(s1, 64, 1, {0}), single_node_options(2));
+  const auto remote = run_simulated(make_graph(s2, 64, 1, {1}), single_node_options(2));
+  EXPECT_GT(remote.total_seconds, local.total_seconds);
+  EXPECT_GT(remote.network_transfers, 0);
+  EXPECT_EQ(s1->sum(), s2->sum());
+}
+
+TEST(SimExecutor, DemandDrivenBeatsRoundRobinOnHeterogeneousWorkers) {
+  // Paper Fig. 11: demand-driven buffer scheduling outperforms round-robin
+  // when transparent copies drain at different speeds.
+  SimOptions opt;
+  opt.cluster.add_cluster("mixed", 1, 1.0, 1, kGbit, 50e-6);   // node 0: slow (src/sink)
+  opt.cluster.nodes.push_back({"fast", 0, 4.0, 1});            // node 1: fast worker
+  opt.cluster.nodes.push_back({"slowworker", 0, 1.0, 1});      // node 2: slow worker
+
+  auto s_rr = std::make_shared<SinkState>();
+  auto s_dd = std::make_shared<SinkState>();
+  const auto rr = run_simulated(make_graph(s_rr, 80, 2, {1, 2}, Policy::RoundRobin), opt);
+  const auto dd = run_simulated(make_graph(s_dd, 80, 2, {1, 2}, Policy::DemandDriven), opt);
+  EXPECT_LT(dd.total_seconds, rr.total_seconds);
+  EXPECT_EQ(s_rr->sum(), s_dd->sum());  // scheduling never changes results
+}
+
+TEST(SimExecutor, SharedInterClusterLinkSerializesFlows) {
+  // Two clusters joined by a link; sending to two remote workers through a
+  // shared link is slower than through dedicated ones.
+  auto build = [](int shared_group) {
+    SimOptions opt;
+    opt.cluster.add_cluster("a", 1, 1.0, 1, kGbit, 50e-6);
+    opt.cluster.add_cluster("b", 2, 1.0, 1, kGbit, 50e-6);
+    opt.cluster.link_clusters(0, 1, 10 * kMbit, 1e-3, shared_group);
+    return opt;
+  };
+  auto s1 = std::make_shared<SinkState>();
+  const auto shared =
+      run_simulated(make_graph(s1, 40, 2, {1, 2}, Policy::RoundRobin, 0, 0), build(0));
+  EXPECT_EQ(s1->count(), 40u);
+  EXPECT_GT(shared.network_bytes, 0);
+  EXPECT_GT(shared.network_busy_seconds, 0.0);
+}
+
+TEST(SimExecutor, InvalidPlacementRejected) {
+  auto state = std::make_shared<SinkState>();
+  EXPECT_THROW(run_simulated(make_graph(state, 4, 1, {5}), single_node_options(2)),
+               std::invalid_argument);
+}
+
+TEST(SimExecutor, MissingInterClusterLinkRejected) {
+  SimOptions opt;
+  opt.cluster.add_cluster("a", 1, 1.0, 1, kGbit, 50e-6);
+  opt.cluster.add_cluster("b", 1, 1.0, 1, kGbit, 50e-6);
+  // no link_clusters call
+  auto state = std::make_shared<SinkState>();
+  EXPECT_THROW(run_simulated(make_graph(state, 4, 1, {1}), opt), std::invalid_argument);
+}
+
+TEST(SimExecutor, BusySecondsAccountedPerCopy) {
+  auto state = std::make_shared<SinkState>();
+  const auto stats = run_simulated(make_graph(state, 32, 2, {0, 1}),
+                                   single_node_options(2));
+  const double scale_busy = stats.filter_busy_seconds("scale");
+  // 32 items x kWork updates at the model's per-update cost.
+  const double expect = 32.0 * static_cast<double>(kWork) * CostModel{}.glcm_update;
+  EXPECT_NEAR(scale_busy, expect, 0.3 * expect);
+}
+
+TEST(SimExecutor, FinishTimesMonotoneDownThePipeline) {
+  auto state = std::make_shared<SinkState>();
+  const auto stats =
+      run_simulated(make_graph(state, 16, 1, {0}), single_node_options());
+  EXPECT_LE(stats.filter_finish_time("source"), stats.filter_finish_time("sink"));
+  EXPECT_NEAR(stats.filter_finish_time("sink"), stats.total_seconds, 1e-9);
+}
+
+}  // namespace
+}  // namespace h4d::sim

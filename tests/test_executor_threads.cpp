@@ -1,0 +1,185 @@
+#include "fs/executor_threads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "toy_filters.hpp"
+
+namespace h4d::fs {
+namespace {
+
+using testing::CollectSink;
+using testing::NumberSource;
+using testing::PoisonFilter;
+using testing::ScaleFilter;
+using testing::SinkState;
+
+FilterGraph linear_graph(std::shared_ptr<SinkState> state, int items, int scale_copies,
+                         Policy policy) {
+  FilterGraph g;
+  const int src = g.add_filter({"source", [items] { return std::make_unique<NumberSource>(items); },
+                                1, {}});
+  const int mid = g.add_filter(
+      {"scale", [] { return std::make_unique<ScaleFilter>(3); }, scale_copies, {}});
+  const int sink =
+      g.add_filter({"sink", [state] { return std::make_unique<CollectSink>(state); }, 1, {}});
+  g.connect(src, 0, mid, policy);
+  g.connect(mid, 0, sink, Policy::DemandDriven);
+  return g;
+}
+
+std::int64_t expected_sum(int items, std::int64_t factor) {
+  return factor * static_cast<std::int64_t>(items) * (items - 1) / 2;
+}
+
+TEST(ThreadedExecutor, LinearPipelineDeliversEverything) {
+  auto state = std::make_shared<SinkState>();
+  const RunStats stats = run_threaded(linear_graph(state, 100, 1, Policy::RoundRobin));
+  EXPECT_EQ(state->count(), 100u);
+  EXPECT_EQ(state->sum(), expected_sum(100, 3));
+  EXPECT_EQ(state->flushes.load(), 1);
+  EXPECT_GT(stats.total_seconds, 0.0);
+}
+
+class CopiesAndPolicies
+    : public ::testing::TestWithParam<std::tuple<int, Policy>> {};
+
+TEST_P(CopiesAndPolicies, ResultsIndependentOfParallelismAndPolicy) {
+  const auto [copies, policy] = GetParam();
+  auto state = std::make_shared<SinkState>();
+  run_threaded(linear_graph(state, 200, copies, policy));
+  EXPECT_EQ(state->count(), 200u);
+  EXPECT_EQ(state->sum(), expected_sum(200, 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CopiesAndPolicies,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(Policy::RoundRobin, Policy::DemandDriven)));
+
+TEST(ThreadedExecutor, RoundRobinSpreadsEvenly) {
+  auto state = std::make_shared<SinkState>();
+  FilterGraph g;
+  const int src =
+      g.add_filter({"source", [] { return std::make_unique<NumberSource>(90); }, 1, {}});
+  const int mid =
+      g.add_filter({"scale", [] { return std::make_unique<ScaleFilter>(1); }, 3, {}});
+  auto sink_state = state;
+  const int sink = g.add_filter(
+      {"sink", [sink_state] { return std::make_unique<CollectSink>(sink_state); }, 1, {}});
+  g.connect(src, 0, mid, Policy::RoundRobin);
+  g.connect(mid, 0, sink);
+  const RunStats stats = run_threaded(g);
+
+  for (const CopyStats& c : stats.copies) {
+    if (c.filter == "scale") EXPECT_EQ(c.meter.buffers_in, 30);
+  }
+}
+
+TEST(ThreadedExecutor, BroadcastDuplicatesToEveryCopy) {
+  auto state = std::make_shared<SinkState>();
+  FilterGraph g;
+  const int src =
+      g.add_filter({"source", [] { return std::make_unique<NumberSource>(10); }, 1, {}});
+  const int sink = g.add_filter(
+      {"sink", [state] { return std::make_unique<CollectSink>(state); }, 4, {}});
+  g.connect(src, 0, sink, Policy::Broadcast);
+  run_threaded(g);
+  EXPECT_EQ(state->count(), 40u);  // every copy got all 10
+  EXPECT_EQ(state->flushes.load(), 4);
+}
+
+TEST(ThreadedExecutor, ExplicitRoutingHonored) {
+  auto state = std::make_shared<SinkState>();
+  FilterGraph g;
+  const int src =
+      g.add_filter({"source", [] { return std::make_unique<NumberSource>(20); }, 1, {}});
+  const int sink = g.add_filter(
+      {"sink", [state] { return std::make_unique<CollectSink>(state); }, 2, {}});
+  // Evens to copy 0, odds to copy 1.
+  g.connect(src, 0, sink, Policy::Explicit,
+            [](const BufferHeader& h, int) { return static_cast<int>(h.seq % 2); });
+  const RunStats stats = run_threaded(g);
+  EXPECT_EQ(state->count(), 20u);
+  for (const CopyStats& c : stats.copies) {
+    if (c.filter == "sink") EXPECT_EQ(c.meter.buffers_in, 10);
+  }
+}
+
+TEST(ThreadedExecutor, ExplicitRouteOutOfRangeSurfacesError) {
+  auto state = std::make_shared<SinkState>();
+  FilterGraph g;
+  const int src =
+      g.add_filter({"source", [] { return std::make_unique<NumberSource>(3); }, 1, {}});
+  const int sink = g.add_filter(
+      {"sink", [state] { return std::make_unique<CollectSink>(state); }, 2, {}});
+  g.connect(src, 0, sink, Policy::Explicit, [](const BufferHeader&, int) { return 7; });
+  EXPECT_THROW(run_threaded(g), std::out_of_range);
+}
+
+TEST(ThreadedExecutor, FilterExceptionPropagates) {
+  FilterGraph g;
+  const int src =
+      g.add_filter({"source", [] { return std::make_unique<NumberSource>(10); }, 1, {}});
+  const int bad =
+      g.add_filter({"poison", [] { return std::make_unique<PoisonFilter>(5); }, 1, {}});
+  auto state = std::make_shared<SinkState>();
+  const int sink = g.add_filter(
+      {"sink", [state] { return std::make_unique<CollectSink>(state); }, 1, {}});
+  g.connect(src, 0, bad);
+  g.connect(bad, 0, sink);
+  EXPECT_THROW(run_threaded(g), std::runtime_error);
+}
+
+TEST(ThreadedExecutor, MultiStageFanInCountsAllProducers) {
+  // Two sources fan into one sink; sink must see both streams end.
+  auto state = std::make_shared<SinkState>();
+  FilterGraph g;
+  const int s1 =
+      g.add_filter({"s1", [] { return std::make_unique<NumberSource>(5); }, 1, {}});
+  const int s2 =
+      g.add_filter({"s2", [] { return std::make_unique<NumberSource>(7); }, 1, {}});
+  const int sink = g.add_filter(
+      {"sink", [state] { return std::make_unique<CollectSink>(state); }, 1, {}});
+  g.connect(s1, 0, sink);
+  g.connect(s2, 0, sink);
+  run_threaded(g);
+  EXPECT_EQ(state->count(), 12u);
+  EXPECT_EQ(state->flushes.load(), 1);
+}
+
+TEST(ThreadedExecutor, SourceCopiesEachRun) {
+  auto state = std::make_shared<SinkState>();
+  FilterGraph g;
+  const int src =
+      g.add_filter({"source", [] { return std::make_unique<NumberSource>(4); }, 3, {}});
+  const int sink = g.add_filter(
+      {"sink", [state] { return std::make_unique<CollectSink>(state); }, 1, {}});
+  g.connect(src, 0, sink);
+  run_threaded(g);
+  EXPECT_EQ(state->count(), 12u);  // 3 copies x 4 items
+}
+
+TEST(ThreadedExecutor, StatsCarryMeterAndBytes) {
+  auto state = std::make_shared<SinkState>();
+  const RunStats stats = run_threaded(linear_graph(state, 50, 2, Policy::RoundRobin));
+  std::int64_t source_out = 0, sink_in = 0;
+  for (const CopyStats& c : stats.copies) {
+    if (c.filter == "source") source_out += c.meter.buffers_out;
+    if (c.filter == "sink") sink_in += c.meter.buffers_in;
+  }
+  EXPECT_EQ(source_out, 50);
+  EXPECT_EQ(sink_in, 50);
+}
+
+TEST(ThreadedExecutor, SmallQueueCapacityStillCompletes) {
+  auto state = std::make_shared<SinkState>();
+  ThreadedOptions opt;
+  opt.queue_capacity = 1;  // maximal backpressure
+  run_threaded(linear_graph(state, 300, 2, Policy::DemandDriven), opt);
+  EXPECT_EQ(state->count(), 300u);
+}
+
+}  // namespace
+}  // namespace h4d::fs

@@ -1,0 +1,92 @@
+#include "io/image_write.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace h4d::io {
+namespace {
+
+namespace fsys = std::filesystem;
+
+class ImageWriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fsys::temp_directory_path() /
+           ("h4d_img_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fsys::remove_all(dir_);
+    fsys::create_directories(dir_);
+  }
+  void TearDown() override { fsys::remove_all(dir_); }
+  fsys::path dir_;
+};
+
+TEST_F(ImageWriteTest, PgmRoundTrips) {
+  std::vector<std::uint8_t> img(6 * 4);
+  for (std::size_t i = 0; i < img.size(); ++i) img[i] = static_cast<std::uint8_t>(i * 10);
+  write_pgm(dir_ / "a.pgm", 6, 4, img.data());
+
+  std::int64_t w = 0, h = 0;
+  const auto back = read_pgm(dir_ / "a.pgm", w, h);
+  EXPECT_EQ(w, 6);
+  EXPECT_EQ(h, 4);
+  EXPECT_EQ(back, img);
+}
+
+TEST_F(ImageWriteTest, PgmRejectsBadDims) {
+  std::uint8_t px = 0;
+  EXPECT_THROW(write_pgm(dir_ / "b.pgm", 0, 4, &px), std::invalid_argument);
+}
+
+TEST_F(ImageWriteTest, ReadPgmRejectsMissingFile) {
+  std::int64_t w, h;
+  EXPECT_THROW(read_pgm(dir_ / "missing.pgm", w, h), std::runtime_error);
+}
+
+TEST_F(ImageWriteTest, FeatureMapSeriesNormalizesToFullRange) {
+  Volume4<float> map({4, 4, 2, 3});
+  for (std::int64_t t = 0; t < 3; ++t)
+    for (std::int64_t z = 0; z < 2; ++z)
+      for (std::int64_t y = 0; y < 4; ++y)
+        for (std::int64_t x = 0; x < 4; ++x)
+          map.at(x, y, z, t) = static_cast<float>(x + y + z + t);
+
+  const int n = write_feature_map_images(dir_, "contrast", map, 0.0f, 3 + 3 + 1 + 2);
+  EXPECT_EQ(n, 6);  // z * t slices
+
+  std::int64_t w, h;
+  const auto img = read_pgm(dir_ / "contrast_t0_z0.pgm", w, h);
+  EXPECT_EQ(img[0], 0);  // min -> black
+  const auto last = read_pgm(dir_ / "contrast_t2_z1.pgm", w, h);
+  EXPECT_EQ(last.back(), 255);  // max -> white
+}
+
+TEST_F(ImageWriteTest, FeatureMapConstantInputIsBlack) {
+  Volume4<float> map({3, 3, 1, 1}, 5.0f);
+  write_feature_map_images(dir_, "flat", map, 5.0f, 5.0f);
+  std::int64_t w, h;
+  const auto img = read_pgm(dir_ / "flat_t0_z0.pgm", w, h);
+  for (auto px : img) EXPECT_EQ(px, 0);
+}
+
+TEST(CsvWriter, FormatsHeaderAndRows) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"1", "x"});
+  csv.add_row({"2", "y"});
+  EXPECT_EQ(csv.str(), "a,b\n1,x\n2,y\n");
+}
+
+TEST(CsvWriter, RejectsBadShape) {
+  EXPECT_THROW(CsvWriter({}), std::invalid_argument);
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(CsvWriter, NumFormatting) {
+  EXPECT_EQ(CsvWriter::num(1.5), "1.5");
+  EXPECT_EQ(CsvWriter::num(42), "42");
+}
+
+}  // namespace
+}  // namespace h4d::io

@@ -1,0 +1,75 @@
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace h4d::sim {
+namespace {
+
+TEST(ClusterSpec, AddClusterValidation) {
+  ClusterSpec s;
+  EXPECT_THROW(s.add_cluster("x", 0, 1.0, 1, kGbit, 1e-4), std::invalid_argument);
+  EXPECT_THROW(s.add_cluster("x", 2, 0.0, 1, kGbit, 1e-4), std::invalid_argument);
+  EXPECT_THROW(s.add_cluster("x", 2, 1.0, 0, kGbit, 1e-4), std::invalid_argument);
+  EXPECT_EQ(s.add_cluster("a", 3, 1.0, 1, kGbit, 1e-4), 0);
+  EXPECT_EQ(s.add_cluster("b", 2, 2.0, 2, kGbit, 1e-4), 1);
+  EXPECT_EQ(s.num_nodes(), 5);
+}
+
+TEST(ClusterSpec, NodesInCluster) {
+  ClusterSpec s;
+  s.add_cluster("a", 3, 1.0, 1, kGbit, 1e-4);
+  s.add_cluster("b", 2, 2.0, 2, kGbit, 1e-4);
+  EXPECT_EQ(s.nodes_in_cluster(0), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(s.nodes_in_cluster(1), (std::vector<int>{3, 4}));
+  EXPECT_TRUE(s.nodes_in_cluster(9).empty());
+}
+
+TEST(ClusterSpec, InterLinkLookupIsSymmetric) {
+  ClusterSpec s;
+  s.add_cluster("a", 1, 1.0, 1, kGbit, 1e-4);
+  s.add_cluster("b", 1, 1.0, 1, kGbit, 1e-4);
+  EXPECT_EQ(s.find_inter_link(0, 1), -1);
+  s.link_clusters(0, 1, 100 * kMbit, 1e-3);
+  EXPECT_EQ(s.find_inter_link(0, 1), 0);
+  EXPECT_EQ(s.find_inter_link(1, 0), 0);
+  EXPECT_THROW(s.link_clusters(1, 1, kGbit, 1e-3), std::invalid_argument);
+}
+
+TEST(ClusterSpec, PaperTestbedLayout) {
+  const ClusterSpec s = make_paper_testbed();
+  EXPECT_EQ(s.num_nodes(), 24 + 5 + 6);
+  EXPECT_EQ(s.nodes_in_cluster(kPiii).size(), 24u);
+  EXPECT_EQ(s.nodes_in_cluster(kXeon).size(), 5u);
+  EXPECT_EQ(s.nodes_in_cluster(kOpteron).size(), 6u);
+
+  // Single CPU on PIII, dual elsewhere; relative speeds ordered.
+  EXPECT_EQ(s.nodes[0].cores, 1);
+  EXPECT_EQ(s.nodes[24].cores, 2);
+  EXPECT_EQ(s.nodes[29].cores, 2);
+  EXPECT_GT(s.nodes[24].speed, s.nodes[29].speed);  // Xeon > Opteron
+  EXPECT_GT(s.nodes[29].speed, s.nodes[0].speed);   // Opteron > PIII
+
+  // PIII reaches both Gigabit clusters through one shared 100 Mbit uplink.
+  const int a = s.find_inter_link(kPiii, kXeon);
+  const int b = s.find_inter_link(kPiii, kOpteron);
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  EXPECT_EQ(s.inter_links[static_cast<std::size_t>(a)].shared_group,
+            s.inter_links[static_cast<std::size_t>(b)].shared_group);
+  EXPECT_GE(s.inter_links[static_cast<std::size_t>(a)].shared_group, 0);
+  EXPECT_DOUBLE_EQ(s.inter_links[static_cast<std::size_t>(a)].bandwidth, 100 * kMbit);
+  // XEON <-> OPTERON is a dedicated Gigabit path.
+  const int c = s.find_inter_link(kXeon, kOpteron);
+  ASSERT_GE(c, 0);
+  EXPECT_EQ(s.inter_links[static_cast<std::size_t>(c)].shared_group, -1);
+  EXPECT_DOUBLE_EQ(s.inter_links[static_cast<std::size_t>(c)].bandwidth, kGbit);
+}
+
+TEST(ClusterSpec, PiiiPresetSized) {
+  EXPECT_EQ(make_piii_cluster().num_nodes(), 24);
+  EXPECT_EQ(make_piii_cluster(30).num_nodes(), 30);
+  EXPECT_DOUBLE_EQ(make_piii_cluster().clusters[0].nic_bandwidth, 100 * kMbit);
+}
+
+}  // namespace
+}  // namespace h4d::sim

@@ -1,0 +1,126 @@
+#include "io/mhd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <random>
+
+namespace h4d::io {
+namespace {
+
+namespace fsys = std::filesystem;
+
+class MhdTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fsys::temp_directory_path() /
+           ("h4d_mhd_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fsys::remove_all(dir_);
+    fsys::create_directories(dir_);
+  }
+  void TearDown() override { fsys::remove_all(dir_); }
+
+  static Volume4<std::uint16_t> sample(Vec4 dims, unsigned seed = 1) {
+    Volume4<std::uint16_t> v(dims);
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<int> u(0, 4000);
+    for (auto& x : v.storage()) x = static_cast<std::uint16_t>(u(rng));
+    return v;
+  }
+
+  fsys::path dir_;
+};
+
+TEST_F(MhdTest, RoundTrips4D) {
+  const auto vol = sample({6, 5, 4, 3});
+  write_mhd(dir_ / "study.mhd", vol);
+  const auto back = read_mhd(dir_ / "study.mhd");
+  EXPECT_EQ(back.dims(), vol.dims());
+  EXPECT_EQ(back.storage(), vol.storage());
+}
+
+TEST_F(MhdTest, SingleTimestepWritesAs3D) {
+  const auto vol = sample({6, 5, 4, 1});
+  write_mhd(dir_ / "v3.mhd", vol);
+  std::ifstream h(dir_ / "v3.mhd");
+  std::string text((std::istreambuf_iterator<char>(h)), std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("NDims = 3"), std::string::npos);
+  const auto back = read_mhd(dir_ / "v3.mhd");
+  EXPECT_EQ(back.dims(), vol.dims());  // reader pads t back to 1
+  EXPECT_EQ(back.storage(), vol.storage());
+}
+
+TEST_F(MhdTest, Reads2DImage) {
+  std::ofstream h(dir_ / "img.mhd");
+  h << "ObjectType = Image\nNDims = 2\nDimSize = 4 3\nElementType = MET_UCHAR\n"
+    << "ElementDataFile = img.raw\n";
+  h.close();
+  std::ofstream raw(dir_ / "img.raw", std::ios::binary);
+  for (int i = 0; i < 12; ++i) raw.put(static_cast<char>(i * 10));
+  raw.close();
+
+  const auto vol = read_mhd(dir_ / "img.mhd");
+  EXPECT_EQ(vol.dims(), Vec4(4, 3, 1, 1));
+  EXPECT_EQ(vol.at(0, 0, 0, 0), 0);
+  EXPECT_EQ(vol.at(1, 0, 0, 0), 10);
+  EXPECT_EQ(vol.at(3, 2, 0, 0), 110);
+}
+
+TEST_F(MhdTest, RejectsBadHeaders) {
+  const auto write_header = [&](const std::string& body) {
+    std::ofstream h(dir_ / "bad.mhd");
+    h << body;
+  };
+  write_header("NDims = 5\nDimSize = 1 1 1 1 1\nElementType = MET_USHORT\n"
+               "ElementDataFile = x.raw\n");
+  EXPECT_THROW(read_mhd(dir_ / "bad.mhd"), std::runtime_error);
+
+  write_header("NDims = 3\nDimSize = 2 2 2\nElementType = MET_FLOAT\n"
+               "ElementDataFile = x.raw\n");
+  EXPECT_THROW(read_mhd(dir_ / "bad.mhd"), std::runtime_error);
+
+  write_header("NDims = 3\nDimSize = 2 2 2\nElementType = MET_USHORT\n"
+               "BinaryDataByteOrderMSB = True\nElementDataFile = x.raw\n");
+  EXPECT_THROW(read_mhd(dir_ / "bad.mhd"), std::runtime_error);
+
+  write_header("NDims = 3\nDimSize = 2 2 2\nElementType = MET_USHORT\n"
+               "ElementDataFile = LOCAL\n");
+  EXPECT_THROW(read_mhd(dir_ / "bad.mhd"), std::runtime_error);
+
+  write_header("NDims = 3\nDimSize = 2 2 2\nElementType = MET_USHORT\n"
+               "ElementDataFile = missing.raw\n");
+  EXPECT_THROW(read_mhd(dir_ / "bad.mhd"), std::runtime_error);
+
+  // Truncated data file.
+  write_header("NDims = 3\nDimSize = 2 2 2\nElementType = MET_USHORT\n"
+               "ElementDataFile = short.raw\n");
+  std::ofstream raw(dir_ / "short.raw", std::ios::binary);
+  raw.put(0);
+  raw.close();
+  EXPECT_THROW(read_mhd(dir_ / "bad.mhd"), std::runtime_error);
+
+  EXPECT_THROW(read_mhd(dir_ / "does_not_exist.mhd"), std::runtime_error);
+}
+
+TEST_F(MhdTest, UnknownKeysIgnored) {
+  const auto vol = sample({3, 3, 2, 1});
+  write_mhd(dir_ / "v.mhd", vol);
+  // Append harmless extra keys.
+  std::ofstream h(dir_ / "v.mhd", std::ios::app);
+  h << "ElementSpacing = 1 1 1\nOffset = 0 0 0\nTransformMatrix = 1 0 0 0 1 0 0 0 1\n";
+  h.close();
+  EXPECT_EQ(read_mhd(dir_ / "v.mhd").storage(), vol.storage());
+}
+
+TEST_F(MhdTest, ImportProducesEquivalentDataset) {
+  const auto vol = sample({8, 8, 4, 3});
+  write_mhd(dir_ / "study.mhd", vol);
+  const DiskDataset ds = import_mhd(dir_ / "study.mhd", dir_ / "dataset", 3);
+  EXPECT_EQ(ds.meta().dims, vol.dims());
+  EXPECT_EQ(ds.num_nodes(), 3);
+  EXPECT_EQ(ds.read_all().storage(), vol.storage());
+}
+
+}  // namespace
+}  // namespace h4d::io

@@ -1,0 +1,193 @@
+#include "ml/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <random>
+
+namespace h4d::ml {
+namespace {
+
+namespace fsys = std::filesystem;
+
+TEST(Matrix, Layout) {
+  Matrix m(2, 3);
+  m.at(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(m.data[5], 7.0);
+  EXPECT_DOUBLE_EQ(m.row(1)[2], 7.0);
+}
+
+TEST(Standardizer, ZeroMeanUnitVariance) {
+  Matrix x(4, 2);
+  const double vals[4][2] = {{1, 10}, {2, 20}, {3, 30}, {4, 40}};
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 2; ++c) x.at(r, c) = vals[r][c];
+  const Standardizer s = Standardizer::fit(x);
+  Matrix z = x;
+  s.apply(z);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double mean = 0, var = 0;
+    for (std::size_t r = 0; r < 4; ++r) mean += z.at(r, c);
+    mean /= 4;
+    for (std::size_t r = 0; r < 4; ++r) var += (z.at(r, c) - mean) * (z.at(r, c) - mean);
+    EXPECT_NEAR(mean, 0.0, 1e-12);
+    EXPECT_NEAR(var / 4, 1.0, 1e-12);
+  }
+}
+
+TEST(Standardizer, ConstantFeaturePassesThroughCentered) {
+  Matrix x(3, 1);
+  for (std::size_t r = 0; r < 3; ++r) x.at(r, 0) = 5.0;
+  const Standardizer s = Standardizer::fit(x);
+  EXPECT_DOUBLE_EQ(s.apply(std::vector<double>{5.0})[0], 0.0);
+  EXPECT_DOUBLE_EQ(s.apply(std::vector<double>{6.0})[0], 1.0);
+}
+
+TEST(Mlp, ConstructionValidation) {
+  EXPECT_THROW(Mlp({4}), std::invalid_argument);
+  EXPECT_THROW(Mlp({4, 2}), std::invalid_argument);  // output must be 1
+  EXPECT_THROW(Mlp({4, 0, 1}), std::invalid_argument);
+  EXPECT_NO_THROW(Mlp({4, 8, 1}));
+}
+
+TEST(Mlp, GradientMatchesNumericalDifferentiation) {
+  Mlp net({3, 5, 4, 1}, 7);
+  const std::vector<double> x{0.3, -1.2, 0.8};
+  const double y = 1.0;
+
+  const std::vector<double> analytic = net.gradient(x.data(), y);
+  std::vector<double> params = net.parameters();
+  ASSERT_EQ(analytic.size(), params.size());
+
+  const double h = 1e-6;
+  const auto loss_at = [&](const std::vector<double>& p) {
+    Mlp probe({3, 5, 4, 1}, 7);
+    probe.set_parameters(p);
+    const double prob = probe.predict(x);
+    const double c = std::clamp(prob, 1e-12, 1.0 - 1e-12);
+    return -(y * std::log(c) + (1 - y) * std::log(1 - c));
+  };
+  for (std::size_t i = 0; i < params.size(); i += 7) {  // sample every 7th param
+    std::vector<double> plus = params, minus = params;
+    plus[i] += h;
+    minus[i] -= h;
+    const double numeric = (loss_at(plus) - loss_at(minus)) / (2 * h);
+    EXPECT_NEAR(analytic[i], numeric, 1e-5 * std::max(1.0, std::abs(numeric)))
+        << "param " << i;
+  }
+}
+
+TEST(Mlp, LearnsXor) {
+  Matrix x(4, 2);
+  std::vector<double> y{0, 1, 1, 0};
+  const double inputs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 2; ++c) x.at(r, c) = inputs[r][c];
+
+  Mlp net({2, 8, 1}, 3);
+  TrainOptions opt;
+  opt.epochs = 3000;
+  opt.batch_size = 4;
+  opt.learning_rate = 0.5;
+  opt.l2 = 0.0;
+  const TrainReport report = net.train(x, y, opt);
+  EXPECT_LT(report.final_loss, 0.1);
+  EXPECT_LT(net.predict(std::vector<double>{0, 0}), 0.5);
+  EXPECT_GT(net.predict(std::vector<double>{0, 1}), 0.5);
+  EXPECT_GT(net.predict(std::vector<double>{1, 0}), 0.5);
+  EXPECT_LT(net.predict(std::vector<double>{1, 1}), 0.5);
+}
+
+TEST(Mlp, TrainingLossDecreases) {
+  std::mt19937_64 rng(5);
+  std::normal_distribution<double> noise(0.0, 0.3);
+  Matrix x(200, 2);
+  std::vector<double> y(200);
+  for (std::size_t r = 0; r < 200; ++r) {
+    const double cls = r % 2 ? 1.0 : -1.0;
+    x.at(r, 0) = cls + noise(rng);
+    x.at(r, 1) = -cls + noise(rng);
+    y[r] = cls > 0 ? 1.0 : 0.0;
+  }
+  Mlp net({2, 6, 1}, 9);
+  TrainOptions opt;
+  opt.epochs = 50;
+  const TrainReport report = net.train(x, y, opt);
+  EXPECT_LT(report.epoch_loss.back(), report.epoch_loss.front());
+  EXPECT_LT(report.final_loss, 0.2);
+}
+
+TEST(Mlp, DeterministicGivenSeeds) {
+  Matrix x(50, 3);
+  std::vector<double> y(50);
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> u(-1, 1);
+  for (auto& v : x.data) v = u(rng);
+  for (std::size_t i = 0; i < 50; ++i) y[i] = u(rng) > 0 ? 1.0 : 0.0;
+
+  Mlp a({3, 4, 1}, 2);
+  Mlp b({3, 4, 1}, 2);
+  TrainOptions opt;
+  opt.epochs = 10;
+  a.train(x, y, opt);
+  b.train(x, y, opt);
+  EXPECT_EQ(a.parameters(), b.parameters());
+}
+
+TEST(Mlp, SaveLoadRoundTrip) {
+  const fsys::path path =
+      fsys::temp_directory_path() / ("h4d_mlp_" + std::to_string(::getpid()) + ".txt");
+  Mlp net({4, 6, 3, 1}, 13);
+  net.save(path);
+  const Mlp back = Mlp::load(path);
+  EXPECT_EQ(back.layer_sizes(), net.layer_sizes());
+  EXPECT_EQ(back.parameters(), net.parameters());
+  const std::vector<double> x{0.1, -0.5, 2.0, 0.7};
+  EXPECT_DOUBLE_EQ(back.predict(x), net.predict(x));
+  fsys::remove(path);
+}
+
+TEST(Mlp, LoadRejectsGarbage) {
+  const fsys::path path =
+      fsys::temp_directory_path() / ("h4d_mlp_bad_" + std::to_string(::getpid()) + ".txt");
+  std::ofstream(path) << "not an mlp";
+  EXPECT_THROW(Mlp::load(path), std::runtime_error);
+  fsys::remove(path);
+  EXPECT_THROW(Mlp::load(path), std::runtime_error);  // missing file
+}
+
+TEST(Mlp, TrainValidation) {
+  Mlp net({2, 3, 1});
+  Matrix x(4, 3);  // wrong width
+  std::vector<double> y(4, 0.0);
+  EXPECT_THROW(net.train(x, y, {}), std::invalid_argument);
+  Matrix ok(3, 2);
+  EXPECT_THROW(net.train(ok, y, {}), std::invalid_argument);  // rows != labels
+}
+
+TEST(RocAuc, PerfectAndRandomAndInverted) {
+  EXPECT_DOUBLE_EQ(roc_auc({0.1, 0.2, 0.8, 0.9}, {0, 0, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(roc_auc({0.9, 0.8, 0.2, 0.1}, {0, 0, 1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(roc_auc({0.5, 0.5, 0.5, 0.5}, {0, 1, 0, 1}), 0.5);  // all tied
+  EXPECT_DOUBLE_EQ(roc_auc({0.3, 0.7}, {1, 1}), 0.5);                  // one class only
+}
+
+TEST(RocAuc, HandChecked) {
+  // scores: n(0.1) p(0.4) n(0.35) p(0.8) => one inversion-free ordering
+  // except p(0.4) vs n(0.35): AUC = 4/4 = 1? ranks: 0.1 n, 0.35 n, 0.4 p, 0.8 p -> 1.0
+  EXPECT_DOUBLE_EQ(roc_auc({0.1, 0.4, 0.35, 0.8}, {0, 1, 0, 1}), 1.0);
+  // Swap one pair: p(0.2) below n(0.35): U = 1 of 4 pairs misordered -> 0.75.
+  EXPECT_DOUBLE_EQ(roc_auc({0.1, 0.2, 0.35, 0.8}, {0, 1, 0, 1}), 0.75);
+}
+
+TEST(Accuracy, Basics) {
+  EXPECT_DOUBLE_EQ(accuracy({0.9, 0.1}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy({0.9, 0.1}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(accuracy({0.6, 0.6, 0.4, 0.4}, {1, 0, 1, 0}), 0.5);
+  EXPECT_THROW(accuracy({0.5}, {1, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace h4d::ml

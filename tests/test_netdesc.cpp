@@ -1,0 +1,153 @@
+#include "fs/netdesc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fs/executor_threads.hpp"
+#include "toy_filters.hpp"
+
+namespace h4d::fs {
+namespace {
+
+using testing::CollectSink;
+using testing::NumberSource;
+using testing::ScaleFilter;
+using testing::SinkState;
+
+FilterRegistry toy_registry(std::shared_ptr<SinkState> state) {
+  FilterRegistry reg;
+  reg.register_type("source", [] { return std::make_unique<NumberSource>(30); });
+  reg.register_type("scale", [] { return std::make_unique<ScaleFilter>(2); });
+  reg.register_type("sink", [state] { return std::make_unique<CollectSink>(state); });
+  return reg;
+}
+
+TEST(FilterRegistry, RegisterAndLookup) {
+  FilterRegistry reg;
+  reg.register_type("a", [] { return std::unique_ptr<Filter>(); });
+  EXPECT_TRUE(reg.has("a"));
+  EXPECT_FALSE(reg.has("b"));
+  EXPECT_NO_THROW(reg.get("a"));
+  EXPECT_THROW(reg.get("b"), std::runtime_error);
+  EXPECT_THROW(reg.register_type("a", [] { return std::unique_ptr<Filter>(); }),
+               std::invalid_argument);
+  EXPECT_THROW(reg.register_type("c", nullptr), std::invalid_argument);
+  EXPECT_EQ(reg.types().size(), 1u);
+}
+
+TEST(NetDesc, BuildsAndRunsLinearPipeline) {
+  auto state = std::make_shared<SinkState>();
+  const FilterGraph g = graph_from_xml(R"(
+    <filtergraph>
+      <filter name="src" type="source"/>
+      <filter name="mid" type="scale" copies="3"/>
+      <filter name="out" type="sink"/>
+      <stream from="src" to="mid" policy="round-robin"/>
+      <stream from="mid" to="out"/>
+    </filtergraph>)",
+                                       toy_registry(state));
+  EXPECT_EQ(g.filters().size(), 3u);
+  EXPECT_EQ(g.filters()[1].copies, 3);
+  run_threaded(g);
+  EXPECT_EQ(state->count(), 30u);
+  EXPECT_EQ(state->sum(), 2 * 30 * 29 / 2);
+}
+
+TEST(NetDesc, PlacementParsed) {
+  auto state = std::make_shared<SinkState>();
+  const FilterGraph g = graph_from_xml(R"(
+    <filtergraph>
+      <filter name="src" type="source" copies="2" nodes="3 5"/>
+      <filter name="out" type="sink"/>
+      <stream from="src" to="out"/>
+    </filtergraph>)",
+                                       toy_registry(state));
+  EXPECT_EQ(g.filters()[0].placement, (std::vector<int>{3, 5}));
+}
+
+TEST(NetDesc, ExplicitAuxPolicy) {
+  auto state = std::make_shared<SinkState>();
+  const FilterGraph g = graph_from_xml(R"(
+    <filtergraph>
+      <filter name="src" type="source"/>
+      <filter name="out" type="sink" copies="2"/>
+      <stream from="src" to="out" policy="explicit-aux"/>
+    </filtergraph>)",
+                                       toy_registry(state));
+  const auto& edge = g.edges()[0];
+  EXPECT_EQ(edge.policy, Policy::Explicit);
+  BufferHeader h;
+  h.aux = 5;
+  EXPECT_EQ(edge.route(h, 2), 1);
+  h.aux = 4;
+  EXPECT_EQ(edge.route(h, 2), 0);
+}
+
+TEST(NetDesc, ExplicitFromCopyPolicy) {
+  auto state = std::make_shared<SinkState>();
+  const FilterGraph g = graph_from_xml(R"(
+    <filtergraph>
+      <filter name="src" type="source" copies="4"/>
+      <filter name="out" type="sink" copies="4"/>
+      <stream from="src" to="out" policy="explicit-from-copy"/>
+    </filtergraph>)",
+                                       toy_registry(state));
+  BufferHeader h;
+  h.from_copy = 3;
+  EXPECT_EQ(g.edges()[0].route(h, 4), 3);
+}
+
+TEST(NetDesc, SchemaErrors) {
+  auto state = std::make_shared<SinkState>();
+  const FilterRegistry reg = toy_registry(state);
+  // Unknown type.
+  EXPECT_THROW(graph_from_xml(R"(<filtergraph><filter name="a" type="nope"/></filtergraph>)",
+                              reg),
+               std::runtime_error);
+  // Duplicate filter name.
+  EXPECT_THROW(graph_from_xml(R"(<filtergraph>
+      <filter name="a" type="source"/><filter name="a" type="sink"/>
+    </filtergraph>)",
+                              reg),
+               std::runtime_error);
+  // Dangling stream endpoint.
+  EXPECT_THROW(graph_from_xml(R"(<filtergraph>
+      <filter name="a" type="source"/>
+      <stream from="a" to="ghost"/>
+    </filtergraph>)",
+                              reg),
+               std::runtime_error);
+  // Bad policy.
+  EXPECT_THROW(graph_from_xml(R"(<filtergraph>
+      <filter name="a" type="source"/><filter name="b" type="sink"/>
+      <stream from="a" to="b" policy="psychic"/>
+    </filtergraph>)",
+                              reg),
+               std::runtime_error);
+  // copies/nodes mismatch.
+  EXPECT_THROW(graph_from_xml(R"(<filtergraph>
+      <filter name="a" type="source" copies="2" nodes="1"/>
+    </filtergraph>)",
+                              reg),
+               std::runtime_error);
+  // Bad integer.
+  EXPECT_THROW(graph_from_xml(R"(<filtergraph>
+      <filter name="a" type="source" copies="two"/>
+    </filtergraph>)",
+                              reg),
+               std::runtime_error);
+  // Wrong root element.
+  EXPECT_THROW(graph_from_xml(R"(<network/>)", reg), std::runtime_error);
+  // Unexpected child element.
+  EXPECT_THROW(graph_from_xml(R"(<filtergraph><widget/></filtergraph>)", reg),
+               std::runtime_error);
+  // Cycle.
+  EXPECT_THROW(graph_from_xml(R"(<filtergraph>
+      <filter name="a" type="scale"/><filter name="b" type="scale"/>
+      <stream from="a" to="b"/><stream from="b" to="a"/>
+    </filtergraph>)",
+                              reg),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace h4d::fs

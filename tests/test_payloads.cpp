@@ -1,0 +1,123 @@
+#include "filters/payloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "haralick/directions.hpp"
+
+namespace h4d::filters {
+namespace {
+
+using haralick::Glcm;
+using haralick::Representation;
+
+Glcm sample_glcm(int ng, unsigned seed) {
+  Volume4<Level> v({7, 7, 3, 3});
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> u(0, ng - 1);
+  for (Level& l : v.storage()) l = static_cast<Level>(u(rng));
+  Glcm g(ng);
+  g.accumulate(v.view(), Region4::whole(v.dims()),
+               haralick::unique_directions(haralick::ActiveDims::all4()));
+  return g;
+}
+
+TEST(FeatureSample, PacksOriginAndValue) {
+  const FeatureSample s = FeatureSample::make({1, 2, 3, 4}, 7.5f);
+  EXPECT_EQ(s.origin(), Vec4(1, 2, 3, 4));
+  EXPECT_FLOAT_EQ(s.value, 7.5f);
+}
+
+class MatrixPacketRoundTrip : public ::testing::TestWithParam<Representation> {};
+
+TEST_P(MatrixPacketRoundTrip, PreservesMatricesAndOrigins) {
+  const Representation repr = GetParam();
+  MatrixPacketWriter writer(repr, 16);
+  std::vector<Glcm> matrices;
+  std::vector<Vec4> origins;
+  for (unsigned seed = 1; seed <= 5; ++seed) {
+    matrices.push_back(sample_glcm(16, seed));
+    origins.push_back({seed, seed + 1, seed + 2, seed + 3});
+    writer.add(origins.back(), matrices.back());
+  }
+  EXPECT_EQ(writer.count(), 5u);
+  const fs::BufferPtr buffer = writer.take(/*chunk_id=*/9, /*seq=*/2);
+  EXPECT_TRUE(writer.empty());
+  EXPECT_EQ(buffer->header.kind, fs::BufferKind::MatrixPacket);
+  EXPECT_EQ(buffer->header.chunk_id, 9);
+
+  MatrixPacketReader reader(*buffer);
+  EXPECT_EQ(reader.representation(), repr);
+  EXPECT_EQ(reader.count(), 5u);
+  std::size_t i = 0;
+  while (reader.next()) {
+    ASSERT_LT(i, matrices.size());
+    EXPECT_EQ(reader.origin(), origins[i]);
+    const Glcm restored = repr == Representation::Sparse ? reader.sparse().to_dense()
+                                                         : reader.dense();
+    EXPECT_EQ(restored.total(), matrices[i].total());
+    for (int a = 0; a < 16; ++a)
+      for (int b = 0; b < 16; ++b) EXPECT_EQ(restored.count(a, b), matrices[i].count(a, b));
+    ++i;
+  }
+  EXPECT_EQ(i, 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Reprs, MatrixPacketRoundTrip,
+                         ::testing::Values(Representation::Full, Representation::Sparse));
+
+TEST(MatrixPacket, SparsePayloadMuchSmallerOnSparseData) {
+  // Smooth data: sparse wire format should be a small fraction of full.
+  Volume4<Level> v({7, 7, 3, 3});
+  for (std::int64_t t = 0; t < 3; ++t)
+    for (std::int64_t z = 0; z < 3; ++z)
+      for (std::int64_t y = 0; y < 7; ++y)
+        for (std::int64_t x = 0; x < 7; ++x)
+          v.at(x, y, z, t) = static_cast<Level>((x + y) / 2);
+  Glcm g(32);
+  g.accumulate(v.view(), Region4::whole(v.dims()),
+               haralick::unique_directions(haralick::ActiveDims::all4()));
+
+  MatrixPacketWriter full(Representation::Full, 32);
+  MatrixPacketWriter sparse(Representation::Sparse, 32);
+  for (int i = 0; i < 10; ++i) {
+    full.add({0, 0, 0, 0}, g);
+    sparse.add({0, 0, 0, 0}, g);
+  }
+  const auto fb = full.take(0, 0);
+  const auto sb = sparse.take(0, 0);
+  EXPECT_LT(sb->payload.size() * 5, fb->payload.size());
+}
+
+TEST(MatrixPacket, WriterRejectsNgMismatch) {
+  MatrixPacketWriter writer(Representation::Full, 16);
+  EXPECT_THROW(writer.add({0, 0, 0, 0}, Glcm(32)), std::invalid_argument);
+}
+
+TEST(MatrixPacket, ReaderRejectsWrongKind) {
+  fs::BufferHeader h;
+  h.kind = fs::BufferKind::Control;
+  const auto buf = fs::make_buffer(h);
+  EXPECT_THROW(MatrixPacketReader{*buf}, std::invalid_argument);
+}
+
+TEST(MatrixPacket, ReaderRejectsTruncatedPayload) {
+  MatrixPacketWriter writer(Representation::Full, 16);
+  writer.add({0, 0, 0, 0}, sample_glcm(16, 3));
+  auto buf = writer.take(0, 0);
+  buf->payload.resize(buf->payload.size() / 2);
+  MatrixPacketReader reader(*buf);
+  EXPECT_THROW(reader.next(), std::runtime_error);
+}
+
+TEST(MatrixPacket, EmptyPacketIterates) {
+  MatrixPacketWriter writer(Representation::Sparse, 16);
+  const auto buf = writer.take(0, 0);
+  MatrixPacketReader reader(*buf);
+  EXPECT_EQ(reader.count(), 0u);
+  EXPECT_FALSE(reader.next());
+}
+
+}  // namespace
+}  // namespace h4d::filters

@@ -1,0 +1,85 @@
+#include "nd/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace h4d {
+namespace {
+
+TEST(Quantizer, MapsRangeOntoLevels) {
+  const Quantizer q(0.0, 100.0, 4);
+  EXPECT_EQ(q(0.0), 0);
+  EXPECT_EQ(q(24.9), 0);
+  EXPECT_EQ(q(25.0), 1);
+  EXPECT_EQ(q(50.0), 2);
+  EXPECT_EQ(q(75.0), 3);
+  EXPECT_EQ(q(100.0), 3);  // max clamps into the top level
+}
+
+TEST(Quantizer, ClampsOutOfRange) {
+  const Quantizer q(10.0, 20.0, 8);
+  EXPECT_EQ(q(-100.0), 0);
+  EXPECT_EQ(q(1000.0), 7);
+}
+
+TEST(Quantizer, DegenerateRangeMapsToZero) {
+  const Quantizer q(5.0, 5.0, 32);
+  EXPECT_EQ(q(5.0), 0);
+  EXPECT_EQ(q(4.0), 0);
+  EXPECT_EQ(q(6.0), 0);
+}
+
+TEST(Quantizer, RejectsBadLevelCount) {
+  EXPECT_THROW(Quantizer(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(Quantizer(0, 1, 257), std::invalid_argument);
+  EXPECT_NO_THROW(Quantizer(0, 1, 2));
+  EXPECT_NO_THROW(Quantizer(0, 1, 256));
+}
+
+TEST(QuantizeVolume, UsesGlobalMinMax) {
+  Volume4<std::uint16_t> v({4, 1, 1, 1});
+  v.at(0, 0, 0, 0) = 100;
+  v.at(1, 0, 0, 0) = 200;
+  v.at(2, 0, 0, 0) = 300;
+  v.at(3, 0, 0, 0) = 400;
+  const Volume4<Level> q = quantize_volume(v, 4);
+  EXPECT_EQ(q.at(0, 0, 0, 0), 0);
+  EXPECT_EQ(q.at(1, 0, 0, 0), 1);
+  EXPECT_EQ(q.at(2, 0, 0, 0), 2);
+  EXPECT_EQ(q.at(3, 0, 0, 0), 3);
+}
+
+TEST(QuantizeVolume, ConstantVolumeAllZero) {
+  Volume4<std::uint16_t> v({3, 3, 2, 2}, 123);
+  const Volume4<Level> q = quantize_volume(v, 32);
+  for (Level l : q.storage()) EXPECT_EQ(l, 0);
+}
+
+TEST(QuantizeVolume, AllLevelsReachable) {
+  // 0..255 input, 32 levels => exactly 8 input values per level.
+  Volume4<std::uint16_t> v({256, 1, 1, 1});
+  for (std::int64_t x = 0; x < 256; ++x) v.at(x, 0, 0, 0) = static_cast<std::uint16_t>(x);
+  const Volume4<Level> q = quantize_volume(v, 32);
+  EXPECT_EQ(q.at(0, 0, 0, 0), 0);
+  EXPECT_EQ(q.at(255, 0, 0, 0), 31);
+  int hist[32] = {};
+  for (Level l : q.storage()) hist[l]++;
+  for (int h : hist) EXPECT_EQ(h, 8);
+}
+
+TEST(QuantizeInto, MatchesQuantizerOnSubview) {
+  Volume4<float> src({4, 4, 1, 1});
+  for (std::int64_t y = 0; y < 4; ++y)
+    for (std::int64_t x = 0; x < 4; ++x) src.at(x, y, 0, 0) = static_cast<float>(x * 4 + y);
+  const Quantizer q(0.0, 15.0, 16);
+  Volume4<Level> dst({4, 4, 1, 1}, 255);
+  quantize_into<float>(src.view().as_const(), q, dst.view());
+  for (std::int64_t y = 0; y < 4; ++y)
+    for (std::int64_t x = 0; x < 4; ++x) {
+      EXPECT_EQ(dst.at(x, y, 0, 0), q(src.at(x, y, 0, 0)));
+    }
+}
+
+}  // namespace
+}  // namespace h4d

@@ -1,0 +1,113 @@
+#include "fs/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace h4d::fs {
+namespace {
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.push(i));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.pop(), i);
+}
+
+TEST(BoundedQueue, SizeTracksContents) {
+  BoundedQueue<int> q(8);
+  EXPECT_EQ(q.size(), 0u);
+  q.push(1);
+  q.push(2);
+  EXPECT_EQ(q.size(), 2u);
+  q.pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BoundedQueue, CloseDrainsThenReturnsNullopt) {
+  BoundedQueue<int> q(8);
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_FALSE(q.push(3));  // push after close fails
+  EXPECT_EQ(q.pop(), 1);    // existing items drain
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, PopBlocksUntilPush) {
+  BoundedQueue<int> q(4);
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.push(42);
+  });
+  EXPECT_EQ(q.pop(), 42);  // blocks until the producer delivers
+  producer.join();
+}
+
+TEST(BoundedQueue, PushBlocksWhenFull) {
+  BoundedQueue<int> q(2);
+  q.push(1);
+  q.push(2);
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    q.push(3);  // blocks until a pop frees a slot
+    third_pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(third_pushed.load());
+  EXPECT_EQ(q.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+}
+
+TEST(BoundedQueue, CloseUnblocksWaitingPop) {
+  BoundedQueue<int> q(4);
+  std::thread closer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+  });
+  EXPECT_EQ(q.pop(), std::nullopt);
+  closer.join();
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumers) {
+  constexpr int kProducers = 4;
+  constexpr int kItemsEach = 500;
+  BoundedQueue<int> q(16);
+  std::atomic<long> sum{0};
+  std::atomic<int> count{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kItemsEach; ++i) q.push(p * kItemsEach + i);
+    });
+  }
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum += *v;
+        count++;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  q.close();
+  for (std::size_t i = kProducers; i < threads.size(); ++i) threads[i].join();
+
+  const long n = kProducers * kItemsEach;
+  EXPECT_EQ(count.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(BoundedQueue, ZeroCapacityClampedToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  q.push(9);
+  EXPECT_EQ(q.pop(), 9);
+}
+
+}  // namespace
+}  // namespace h4d::fs

@@ -1,0 +1,79 @@
+#include "nd/region.hpp"
+
+#include <gtest/gtest.h>
+
+namespace h4d {
+namespace {
+
+TEST(Region4, WholeCoversDims) {
+  const Region4 r = Region4::whole({4, 5, 6, 7});
+  EXPECT_EQ(r.origin, Vec4(0, 0, 0, 0));
+  EXPECT_EQ(r.size, Vec4(4, 5, 6, 7));
+  EXPECT_EQ(r.volume(), 4 * 5 * 6 * 7);
+}
+
+TEST(Region4, ContainsPoint) {
+  const Region4 r{{1, 1, 1, 1}, {2, 2, 2, 2}};
+  EXPECT_TRUE(r.contains(Vec4{1, 1, 1, 1}));
+  EXPECT_TRUE(r.contains(Vec4{2, 2, 2, 2}));
+  EXPECT_FALSE(r.contains(Vec4{3, 2, 2, 2}));  // end is exclusive
+  EXPECT_FALSE(r.contains(Vec4{0, 1, 1, 1}));
+}
+
+TEST(Region4, ContainsRegion) {
+  const Region4 outer{{0, 0, 0, 0}, {10, 10, 10, 10}};
+  const Region4 inner{{2, 3, 4, 5}, {1, 2, 3, 4}};
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+  EXPECT_TRUE(outer.contains(outer));
+  // Empty regions are contained anywhere.
+  EXPECT_TRUE(inner.contains(Region4{{100, 100, 100, 100}, {0, 1, 1, 1}}));
+}
+
+TEST(Region4, IntersectOverlapping) {
+  const Region4 a{{0, 0, 0, 0}, {5, 5, 5, 5}};
+  const Region4 b{{3, 3, 3, 3}, {5, 5, 5, 5}};
+  const Region4 c = a.intersect(b);
+  EXPECT_EQ(c.origin, Vec4(3, 3, 3, 3));
+  EXPECT_EQ(c.size, Vec4(2, 2, 2, 2));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_EQ(c, b.intersect(a));
+}
+
+TEST(Region4, IntersectDisjointIsEmpty) {
+  const Region4 a{{0, 0, 0, 0}, {2, 2, 2, 2}};
+  const Region4 b{{2, 0, 0, 0}, {2, 2, 2, 2}};  // touching, half-open => disjoint
+  EXPECT_TRUE(a.intersect(b).empty());
+  EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(Region4, EmptyPredicate) {
+  EXPECT_TRUE((Region4{{0, 0, 0, 0}, {0, 1, 1, 1}}).empty());
+  EXPECT_FALSE((Region4{{0, 0, 0, 0}, {1, 1, 1, 1}}).empty());
+}
+
+TEST(LinearIndex, RoundTripsWithDelinearize) {
+  const Vec4 dims{3, 4, 5, 6};
+  std::int64_t expect = 0;
+  for (std::int64_t t = 0; t < dims[3]; ++t)
+    for (std::int64_t z = 0; z < dims[2]; ++z)
+      for (std::int64_t y = 0; y < dims[1]; ++y)
+        for (std::int64_t x = 0; x < dims[0]; ++x) {
+          const Vec4 p{x, y, z, t};
+          const std::int64_t idx = linear_index(p, dims);
+          EXPECT_EQ(idx, expect);
+          EXPECT_EQ(delinearize(idx, dims), p);
+          ++expect;
+        }
+}
+
+TEST(LinearIndex, XIsFastest) {
+  const Vec4 dims{10, 10, 10, 10};
+  EXPECT_EQ(linear_index({1, 0, 0, 0}, dims), 1);
+  EXPECT_EQ(linear_index({0, 1, 0, 0}, dims), 10);
+  EXPECT_EQ(linear_index({0, 0, 1, 0}, dims), 100);
+  EXPECT_EQ(linear_index({0, 0, 0, 1}, dims), 1000);
+}
+
+}  // namespace
+}  // namespace h4d

@@ -1,0 +1,176 @@
+#include "haralick/sliding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "haralick/directions.hpp"
+#include "haralick/roi_engine.hpp"
+#include "nd/raster.hpp"
+
+namespace h4d::haralick {
+namespace {
+
+Volume4<Level> random_volume(Vec4 dims, int ng, unsigned seed) {
+  Volume4<Level> v(dims);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> u(0, ng - 1);
+  for (Level& l : v.storage()) l = static_cast<Level>(u(rng));
+  return v;
+}
+
+void expect_same(const Glcm& a, const Glcm& b) {
+  ASSERT_EQ(a.num_levels(), b.num_levels());
+  EXPECT_EQ(a.total(), b.total());
+  for (int i = 0; i < a.num_levels(); ++i)
+    for (int j = 0; j < a.num_levels(); ++j) {
+      ASSERT_EQ(a.count(i, j), b.count(i, j)) << "cell (" << i << "," << j << ")";
+    }
+}
+
+Glcm reference(const Volume4<Level>& v, const Vec4& origin, const Vec4& roi,
+               const std::vector<Vec4>& dirs, int ng) {
+  Glcm g(ng);
+  g.accumulate(v.view(), Region4{origin, roi}, dirs);
+  return g;
+}
+
+TEST(SlidingGlcm, ResetMatchesFromScratch) {
+  const auto v = random_volume({10, 9, 5, 4}, 8, 1);
+  const auto dirs = unique_directions(ActiveDims::all4());
+  const Vec4 roi{4, 4, 3, 2};
+  SlidingGlcm s(v.view(), roi, dirs, 8);
+  s.reset({2, 1, 1, 1});
+  expect_same(s.glcm(), reference(v, {2, 1, 1, 1}, roi, dirs, 8));
+}
+
+class SlidingAxis : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlidingAxis, SingleSlideMatchesFromScratch) {
+  const int axis = GetParam();
+  const auto v = random_volume({10, 9, 6, 5}, 8, 2);
+  const auto dirs = unique_directions(ActiveDims::all4());
+  const Vec4 roi{4, 4, 3, 3};
+  SlidingGlcm s(v.view(), roi, dirs, 8);
+  s.reset({1, 1, 1, 1});
+  s.slide(axis);
+  Vec4 o{1, 1, 1, 1};
+  o[axis] += 1;
+  expect_same(s.glcm(), reference(v, o, roi, dirs, 8));
+  EXPECT_EQ(s.origin(), o);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAxes, SlidingAxis, ::testing::Values(0, 1, 2, 3));
+
+TEST(SlidingGlcm, FullRowScanMatchesEverywhere) {
+  const auto v = random_volume({16, 6, 4, 4}, 16, 3);
+  const auto dirs = unique_directions(ActiveDims::all4());
+  const Vec4 roi{5, 4, 3, 3};
+  SlidingGlcm s(v.view(), roi, dirs, 16);
+  s.reset({0, 1, 0, 0});
+  for (std::int64_t x = 0; x + roi[0] <= 16; ++x) {
+    if (x > 0) s.slide(0);
+    expect_same(s.glcm(), reference(v, {x, 1, 0, 0}, roi, dirs, 16));
+  }
+}
+
+TEST(SlidingGlcm, MixedAxisWalkMatches) {
+  const auto v = random_volume({9, 9, 6, 6}, 8, 4);
+  const auto dirs = unique_directions(ActiveDims::all4());
+  const Vec4 roi{3, 3, 3, 3};
+  SlidingGlcm s(v.view(), roi, dirs, 8);
+  Vec4 o{0, 0, 0, 0};
+  s.reset(o);
+  for (const int axis : {0, 0, 1, 2, 3, 1, 0, 2, 3, 3}) {
+    s.slide(axis);
+    o[axis] += 1;
+    expect_same(s.glcm(), reference(v, o, roi, dirs, 8));
+  }
+}
+
+TEST(SlidingGlcm, CheaperThanRecomputeOnRowScan) {
+  const auto v = random_volume({32, 8, 4, 4}, 8, 5);
+  const auto dirs = unique_directions(ActiveDims::all4());
+  const Vec4 roi{7, 5, 3, 3};
+  SlidingGlcm s(v.view(), roi, dirs, 8);
+  s.reset({0, 0, 0, 0});
+  const std::int64_t reset_cost = s.updates_performed();
+  for (int x = 1; x + roi[0] <= 32; ++x) s.slide(0);
+  const std::int64_t per_slide =
+      (s.updates_performed() - reset_cost) / (32 - roi[0]);
+  EXPECT_LT(per_slide, reset_cost / 2) << "sliding should beat full recompute";
+}
+
+TEST(SlidingGlcm, AxisAlignedDirectionsOnly) {
+  const auto v = random_volume({12, 8, 4, 4}, 8, 6);
+  const auto dirs = axis_directions(ActiveDims::all4());
+  const Vec4 roi{4, 4, 3, 3};
+  SlidingGlcm s(v.view(), roi, dirs, 8);
+  s.reset({0, 0, 0, 0});
+  for (int i = 0; i < 5; ++i) s.slide(0);
+  expect_same(s.glcm(), reference(v, {5, 0, 0, 0}, roi, dirs, 8));
+}
+
+TEST(SlidingGlcm, Distance2Directions) {
+  const auto v = random_volume({14, 10, 5, 5}, 8, 7);
+  const auto dirs = unique_directions(ActiveDims::planar2(), 2);
+  const Vec4 roi{6, 6, 2, 2};
+  SlidingGlcm s(v.view(), roi, dirs, 8);
+  s.reset({1, 1, 1, 1});
+  s.slide(0);
+  s.slide(1);
+  expect_same(s.glcm(), reference(v, {2, 2, 1, 1}, roi, dirs, 8));
+}
+
+TEST(SlidingGlcm, Guards) {
+  const auto v = random_volume({8, 8, 4, 4}, 8, 8);
+  const auto dirs = axis_directions(ActiveDims::all4());
+  SlidingGlcm s(v.view(), {4, 4, 3, 3}, dirs, 8);
+  EXPECT_THROW(s.slide(0), std::logic_error);  // before reset
+  s.reset({4, 4, 1, 1});
+  EXPECT_THROW(s.slide(0), std::invalid_argument);  // would escape volume
+  EXPECT_THROW(s.slide(7), std::invalid_argument);  // bad axis
+  EXPECT_THROW(s.reset({9, 0, 0, 0}), std::invalid_argument);
+  // Direction larger than the ROI is rejected at construction.
+  EXPECT_THROW(SlidingGlcm(v.view(), {2, 2, 2, 2},
+                           axis_directions(ActiveDims::all4(), 3), 8),
+               std::invalid_argument);
+}
+
+TEST(SlidingEngine, AnalyzeVolumeMatchesNonSliding) {
+  const auto v = random_volume({12, 10, 6, 5}, 16, 9);
+  EngineConfig base;
+  base.roi_dims = {4, 4, 3, 3};
+  base.num_levels = 16;
+  base.features = FeatureSet::all();
+  EngineConfig slid = base;
+  slid.sliding_window = true;
+
+  const auto a = analyze_volume(v, base);
+  const auto b = analyze_volume(v, slid);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].values.size(), b[i].values.size());
+    for (std::size_t j = 0; j < a[i].values.size(); ++j) {
+      EXPECT_FLOAT_EQ(a[i].values[j], b[i].values[j]) << feature_name(a[i].feature);
+    }
+  }
+}
+
+TEST(SlidingEngine, ReportsFewerPairUpdates) {
+  const auto v = random_volume({24, 10, 5, 4}, 16, 10);
+  EngineConfig base;
+  base.roi_dims = {6, 4, 3, 3};
+  base.num_levels = 16;
+  EngineConfig slid = base;
+  slid.sliding_window = true;
+
+  WorkCounters wa{}, wb{};
+  analyze_volume(v, base, &wa);
+  analyze_volume(v, slid, &wb);
+  EXPECT_EQ(wa.matrices_built, wb.matrices_built);
+  EXPECT_LT(wb.glcm_pair_updates, wa.glcm_pair_updates / 2);
+}
+
+}  // namespace
+}  // namespace h4d::haralick

@@ -1,0 +1,126 @@
+// Geometric symmetry properties of the pooled analysis: the full unique
+// 4D direction set is closed under axis permutation and reflection, so
+// pooled GLCM features must be invariant under transposing the volume.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "haralick/directions.hpp"
+#include "haralick/roi_engine.hpp"
+
+namespace h4d::haralick {
+namespace {
+
+Volume4<Level> random_volume(Vec4 dims, int ng, unsigned seed) {
+  Volume4<Level> v(dims);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> u(0, ng - 1);
+  for (Level& l : v.storage()) l = static_cast<Level>(u(rng));
+  return v;
+}
+
+/// Transpose x and y of a volume.
+Volume4<Level> transpose_xy(const Volume4<Level>& v) {
+  const Vec4 d = v.dims();
+  Volume4<Level> out({d[1], d[0], d[2], d[3]});
+  for (std::int64_t t = 0; t < d[3]; ++t)
+    for (std::int64_t z = 0; z < d[2]; ++z)
+      for (std::int64_t y = 0; y < d[1]; ++y)
+        for (std::int64_t x = 0; x < d[0]; ++x) out.at(y, x, z, t) = v.at(x, y, z, t);
+  return out;
+}
+
+/// Mirror the volume along x.
+Volume4<Level> mirror_x(const Volume4<Level>& v) {
+  const Vec4 d = v.dims();
+  Volume4<Level> out(d);
+  for (std::int64_t t = 0; t < d[3]; ++t)
+    for (std::int64_t z = 0; z < d[2]; ++z)
+      for (std::int64_t y = 0; y < d[1]; ++y)
+        for (std::int64_t x = 0; x < d[0]; ++x)
+          out.at(d[0] - 1 - x, y, z, t) = v.at(x, y, z, t);
+  return out;
+}
+
+TEST(SymmetryProperties, PooledFeaturesInvariantUnderXyTranspose) {
+  const auto v = random_volume({9, 9, 4, 4}, 8, 1);
+  const auto vt = transpose_xy(v);
+
+  EngineConfig cfg;
+  cfg.roi_dims = {4, 4, 3, 3};  // square in x/y so the window transposes onto itself
+  cfg.num_levels = 8;
+  cfg.features = FeatureSet::all();
+
+  const auto a = analyze_volume(v, cfg);
+  const auto b = analyze_volume(vt, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  // Origin (x, y) of the original corresponds to (y, x) of the transposed.
+  const Region4 origins = a[0].origins;
+  for (std::size_t f = 0; f < a.size(); ++f) {
+    for (std::int64_t t = 0; t < origins.size[3]; ++t)
+      for (std::int64_t z = 0; z < origins.size[2]; ++z)
+        for (std::int64_t y = 0; y < origins.size[1]; ++y)
+          for (std::int64_t x = 0; x < origins.size[0]; ++x) {
+            const auto ia = linear_index({x, y, z, t}, origins.size);
+            const auto ib = linear_index({y, x, z, t}, b[f].origins.size);
+            EXPECT_NEAR(a[f].values[static_cast<std::size_t>(ia)],
+                        b[f].values[static_cast<std::size_t>(ib)], 1e-4)
+                << feature_name(a[f].feature);
+          }
+  }
+}
+
+TEST(SymmetryProperties, PooledFeaturesInvariantUnderMirror) {
+  const auto v = random_volume({10, 8, 4, 4}, 8, 2);
+  const auto vm = mirror_x(v);
+
+  EngineConfig cfg;
+  cfg.roi_dims = {4, 4, 3, 3};
+  cfg.num_levels = 8;
+  cfg.features = FeatureSet::all();
+
+  const auto a = analyze_volume(v, cfg);
+  const auto b = analyze_volume(vm, cfg);
+  const Region4 origins = a[0].origins;
+  for (std::size_t f = 0; f < a.size(); ++f) {
+    for (std::int64_t t = 0; t < origins.size[3]; ++t)
+      for (std::int64_t z = 0; z < origins.size[2]; ++z)
+        for (std::int64_t y = 0; y < origins.size[1]; ++y)
+          for (std::int64_t x = 0; x < origins.size[0]; ++x) {
+            // Mirrored ROI origin: x' = Nx - roi_x - x.
+            const std::int64_t xm = origins.size[0] - 1 - x;
+            const auto ia = linear_index({x, y, z, t}, origins.size);
+            const auto ib = linear_index({xm, y, z, t}, origins.size);
+            EXPECT_NEAR(a[f].values[static_cast<std::size_t>(ia)],
+                        b[f].values[static_cast<std::size_t>(ib)], 1e-4)
+                << feature_name(a[f].feature);
+          }
+  }
+}
+
+TEST(SymmetryProperties, LevelComplementPreservesContrastAndEntropy) {
+  // Complementing gray levels (l -> Ng-1-l) reverses intensity but keeps
+  // neighbor *differences*, so contrast/entropy/ASM/IDM are invariant.
+  const int ng = 8;
+  const auto v = random_volume({8, 8, 4, 4}, ng, 3);
+  Volume4<Level> c(v.dims());
+  for (std::int64_t i = 0; i < v.size(); ++i) {
+    c.storage()[static_cast<std::size_t>(i)] =
+        static_cast<Level>(ng - 1 - v.storage()[static_cast<std::size_t>(i)]);
+  }
+  EngineConfig cfg;
+  cfg.roi_dims = {4, 4, 3, 3};
+  cfg.num_levels = ng;
+  cfg.features = {Feature::AngularSecondMoment, Feature::Contrast, Feature::Entropy,
+                  Feature::InverseDifferenceMoment, Feature::Correlation};
+  const auto a = analyze_volume(v, cfg);
+  const auto b = analyze_volume(c, cfg);
+  for (std::size_t f = 0; f < a.size(); ++f) {
+    for (std::size_t i = 0; i < a[f].values.size(); ++i) {
+      EXPECT_NEAR(a[f].values[i], b[f].values[i], 1e-4) << feature_name(a[f].feature);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace h4d::haralick

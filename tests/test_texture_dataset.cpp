@@ -1,0 +1,143 @@
+#include "ml/texture_dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "io/phantom.hpp"
+
+namespace h4d::ml {
+namespace {
+
+using haralick::Feature;
+
+std::map<Feature, Volume4<float>> toy_maps(Vec4 dims) {
+  std::map<Feature, Volume4<float>> maps;
+  Volume4<float> a(dims), b(dims);
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    a.storage()[static_cast<std::size_t>(i)] = static_cast<float>(i);
+    b.storage()[static_cast<std::size_t>(i)] = static_cast<float>(-i);
+  }
+  maps.emplace(Feature::Contrast, std::move(a));
+  maps.emplace(Feature::Entropy, std::move(b));
+  return maps;
+}
+
+TEST(TextureDataset, OneRowPerOriginWithFullKeep) {
+  const Vec4 map_dims{4, 3, 2, 2};
+  const Vec4 roi{3, 3, 1, 1};
+  Volume4<std::uint8_t> labels({6, 5, 2, 2}, 0);
+  labels.at(2, 2, 0, 0) = 1;  // ROI origin (1,1,0,0) centers here
+
+  const LabeledSamples s = build_samples(toy_maps(map_dims), labels, roi);
+  EXPECT_EQ(s.x.rows, static_cast<std::size_t>(map_dims.volume()));
+  EXPECT_EQ(s.x.cols, 2u);
+  EXPECT_EQ(s.features, (std::vector<Feature>{Feature::Contrast, Feature::Entropy}));
+
+  double positives = 0;
+  for (double v : s.y) positives += v;
+  EXPECT_EQ(positives, 1.0);
+  // Verify the positive row corresponds to origin (1,1,0,0).
+  for (std::size_t r = 0; r < s.y.size(); ++r) {
+    if (s.y[r] > 0.5) EXPECT_EQ(s.origins[r], Vec4(1, 1, 0, 0));
+  }
+}
+
+TEST(TextureDataset, FeatureColumnsMatchMapValues) {
+  const Vec4 map_dims{3, 3, 1, 1};
+  Volume4<std::uint8_t> labels({5, 5, 1, 1}, 0);
+  const auto maps = toy_maps(map_dims);
+  const LabeledSamples s = build_samples(maps, labels, {3, 3, 1, 1});
+  for (std::size_t r = 0; r < s.x.rows; ++r) {
+    EXPECT_DOUBLE_EQ(s.x.at(r, 0), maps.at(Feature::Contrast).at(s.origins[r]));
+    EXPECT_DOUBLE_EQ(s.x.at(r, 1), maps.at(Feature::Entropy).at(s.origins[r]));
+  }
+}
+
+TEST(TextureDataset, NegativeSubsamplingKeepsAllPositives) {
+  const Vec4 map_dims{6, 6, 2, 2};
+  Volume4<std::uint8_t> labels({8, 8, 2, 2}, 0);
+  for (std::int64_t x = 0; x < 8; ++x) labels.at(x, 3, 0, 0) = 1;
+
+  const LabeledSamples full = build_samples(toy_maps(map_dims), labels, {3, 3, 1, 1});
+  const LabeledSamples sub =
+      build_samples(toy_maps(map_dims), labels, {3, 3, 1, 1}, 0.25, 3);
+  double full_pos = 0, sub_pos = 0;
+  for (double v : full.y) full_pos += v;
+  for (double v : sub.y) sub_pos += v;
+  EXPECT_EQ(full_pos, sub_pos);                 // positives always kept
+  EXPECT_LT(sub.y.size(), full.y.size());       // negatives thinned
+  EXPECT_GT(sub.y.size(), sub_pos);             // but some negatives remain
+}
+
+TEST(TextureDataset, DeterministicSubsampling) {
+  const Vec4 map_dims{6, 6, 2, 2};
+  Volume4<std::uint8_t> labels({8, 8, 2, 2}, 0);
+  const auto a = build_samples(toy_maps(map_dims), labels, {3, 3, 1, 1}, 0.5, 7);
+  const auto b = build_samples(toy_maps(map_dims), labels, {3, 3, 1, 1}, 0.5, 7);
+  EXPECT_EQ(a.y, b.y);
+  EXPECT_EQ(a.x.data, b.x.data);
+}
+
+TEST(TextureDataset, Validation) {
+  Volume4<std::uint8_t> labels({4, 4, 1, 1}, 0);
+  EXPECT_THROW(build_samples({}, labels, {3, 3, 1, 1}), std::invalid_argument);
+  // Label volume too small for map + half-roi offset.
+  EXPECT_THROW(build_samples(toy_maps({4, 4, 1, 1}), labels, {3, 3, 1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(build_samples(toy_maps({2, 2, 1, 1}), labels, {3, 3, 1, 1}, 0.0),
+               std::invalid_argument);
+  // Inconsistent map dims.
+  auto maps = toy_maps({2, 2, 1, 1});
+  maps.emplace(haralick::Feature::Correlation, Volume4<float>({3, 2, 1, 1}));
+  EXPECT_THROW(build_samples(maps, labels, {1, 1, 1, 1}), std::invalid_argument);
+}
+
+TEST(TextureDataset, EndToEndTextureSeparatesLesion) {
+  // The full paper workflow in miniature: phantom -> texture maps ->
+  // labeled samples -> train -> AUC well above chance on held-out data.
+  io::PhantomConfig pcfg;
+  pcfg.dims = {28, 28, 8, 6};
+  pcfg.seed = 31;
+  pcfg.num_tumors = 2;
+  const io::Phantom train_ph = io::generate_phantom(pcfg);
+  pcfg.seed = 77;  // different anatomy for evaluation
+  const io::Phantom test_ph = io::generate_phantom(pcfg);
+
+  haralick::EngineConfig engine;
+  engine.roi_dims = {5, 5, 3, 3};
+  engine.num_levels = 32;
+  engine.features = {Feature::AngularSecondMoment, Feature::Contrast, Feature::Entropy,
+                     Feature::InverseDifferenceMoment};
+
+  const auto analyze = [&engine](const io::Phantom& ph) {
+    const core::AnalysisResult r = core::analyze_in_memory(ph.volume, engine);
+    return r.maps;
+  };
+
+  const auto train_samples =
+      build_samples(analyze(train_ph), io::tumor_mask(pcfg.dims, train_ph.tumors),
+                    engine.roi_dims, 0.5, 5);
+  const auto test_samples =
+      build_samples(analyze(test_ph), io::tumor_mask(pcfg.dims, test_ph.tumors),
+                    engine.roi_dims, 1.0, 5);
+
+  const Standardizer std_fit = Standardizer::fit(train_samples.x);
+  Matrix xtrain = train_samples.x;
+  Matrix xtest = test_samples.x;
+  std_fit.apply(xtrain);
+  std_fit.apply(xtest);
+
+  Mlp net({4, 12, 1}, 17);
+  TrainOptions opt;
+  opt.epochs = 60;
+  opt.learning_rate = 0.1;
+  net.train(xtrain, train_samples.y, opt);
+
+  std::vector<double> scores;
+  for (std::size_t r = 0; r < xtest.rows; ++r) scores.push_back(net.predict(xtest.row(r)));
+  const double auc = roc_auc(scores, test_samples.y);
+  EXPECT_GT(auc, 0.75) << "texture features failed to separate lesion from tissue";
+}
+
+}  // namespace
+}  // namespace h4d::ml

@@ -1,0 +1,79 @@
+#include "nd/vec4.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace h4d {
+namespace {
+
+TEST(Vec4, DefaultIsZero) {
+  Vec4 v;
+  EXPECT_EQ(v, Vec4(0, 0, 0, 0));
+  EXPECT_EQ(v.volume(), 0);
+}
+
+TEST(Vec4, ComponentAccessors) {
+  const Vec4 v{1, 2, 3, 4};
+  EXPECT_EQ(v.x(), 1);
+  EXPECT_EQ(v.y(), 2);
+  EXPECT_EQ(v.z(), 3);
+  EXPECT_EQ(v.t(), 4);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[3], 4);
+}
+
+TEST(Vec4, Arithmetic) {
+  const Vec4 a{1, 2, 3, 4};
+  const Vec4 b{10, 20, 30, 40};
+  EXPECT_EQ(a + b, Vec4(11, 22, 33, 44));
+  EXPECT_EQ(b - a, Vec4(9, 18, 27, 36));
+  EXPECT_EQ(a * 3, Vec4(3, 6, 9, 12));
+  EXPECT_EQ(-a, Vec4(-1, -2, -3, -4));
+}
+
+TEST(Vec4, MinMax) {
+  const Vec4 a{1, 20, 3, 40};
+  const Vec4 b{10, 2, 30, 4};
+  EXPECT_EQ(Vec4::min(a, b), Vec4(1, 2, 3, 4));
+  EXPECT_EQ(Vec4::max(a, b), Vec4(10, 20, 30, 40));
+}
+
+TEST(Vec4, Volume) {
+  EXPECT_EQ(Vec4(2, 3, 4, 5).volume(), 120);
+  EXPECT_EQ(Vec4(1, 1, 1, 1).volume(), 1);
+}
+
+TEST(Vec4, Predicates) {
+  EXPECT_TRUE(Vec4(1, 1, 1, 1).all_positive());
+  EXPECT_FALSE(Vec4(1, 0, 1, 1).all_positive());
+  EXPECT_TRUE(Vec4(0, 0, 0, 0).all_non_negative());
+  EXPECT_FALSE(Vec4(0, -1, 0, 0).all_non_negative());
+  EXPECT_TRUE(Vec4(1, 2, 3, 4).all_le(Vec4(1, 2, 3, 4)));
+  EXPECT_FALSE(Vec4(1, 2, 3, 5).all_le(Vec4(1, 2, 3, 4)));
+  EXPECT_TRUE(Vec4(0, 0, 0, 0).all_lt(Vec4(1, 1, 1, 1)));
+  EXPECT_FALSE(Vec4(1, 0, 0, 0).all_lt(Vec4(1, 1, 1, 1)));
+}
+
+TEST(Vec4, LessIsStrictWeakOrder) {
+  Vec4Less less;
+  const Vec4 a{1, 2, 3, 4};
+  const Vec4 b{1, 2, 4, 0};
+  EXPECT_TRUE(less(a, b));
+  EXPECT_FALSE(less(b, a));
+  EXPECT_FALSE(less(a, a));
+}
+
+TEST(Vec4, UsableAsMapKey) {
+  std::map<Vec4, int, Vec4Less> m;
+  m[{0, 0, 0, 0}] = 1;
+  m[{1, 0, 0, 0}] = 2;
+  m[{0, 1, 0, 0}] = 3;
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ((m[{0, 1, 0, 0}]), 3);
+}
+
+TEST(Vec4, Str) { EXPECT_EQ(Vec4(1, 2, 3, 4).str(), "(1,2,3,4)"); }
+
+}  // namespace
+}  // namespace h4d

@@ -1,0 +1,100 @@
+#include "nd/volume4.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace h4d {
+namespace {
+
+Volume4<int> make_counting(Vec4 dims) {
+  Volume4<int> v(dims);
+  std::iota(v.storage().begin(), v.storage().end(), 0);
+  return v;
+}
+
+TEST(Volume4, ConstructsWithFill) {
+  Volume4<int> v({2, 3, 4, 5}, 7);
+  EXPECT_EQ(v.size(), 120);
+  EXPECT_EQ(v.at(0, 0, 0, 0), 7);
+  EXPECT_EQ(v.at(1, 2, 3, 4), 7);
+}
+
+TEST(Volume4, RejectsNonPositiveDims) {
+  EXPECT_THROW(Volume4<int>({0, 1, 1, 1}), std::invalid_argument);
+  EXPECT_THROW(Volume4<int>({1, 1, -2, 1}), std::invalid_argument);
+}
+
+TEST(Volume4, AtMatchesLinearLayout) {
+  const Volume4<int> v = make_counting({3, 4, 5, 6});
+  for (std::int64_t t = 0; t < 6; ++t)
+    for (std::int64_t z = 0; z < 5; ++z)
+      for (std::int64_t y = 0; y < 4; ++y)
+        for (std::int64_t x = 0; x < 3; ++x) {
+          EXPECT_EQ(v.at(x, y, z, t), linear_index({x, y, z, t}, v.dims()));
+        }
+}
+
+TEST(Vol4View, SubviewSharesStorage) {
+  Volume4<int> v = make_counting({4, 4, 4, 4});
+  const Region4 r{{1, 1, 1, 1}, {2, 2, 2, 2}};
+  Vol4View<int> sub = v.subview(r);
+  EXPECT_EQ(sub.dims(), Vec4(2, 2, 2, 2));
+  EXPECT_EQ(sub.at(0, 0, 0, 0), v.at(1, 1, 1, 1));
+  EXPECT_EQ(sub.at(1, 1, 1, 1), v.at(2, 2, 2, 2));
+  sub.at(0, 0, 0, 0) = -1;
+  EXPECT_EQ(v.at(1, 1, 1, 1), -1);
+}
+
+TEST(Vol4View, NestedSubview) {
+  Volume4<int> v = make_counting({6, 6, 6, 6});
+  Vol4View<int> a = v.subview({{1, 1, 1, 1}, {4, 4, 4, 4}});
+  Vol4View<int> b = a.subview({{1, 1, 1, 1}, {2, 2, 2, 2}});
+  EXPECT_EQ(b.at(0, 0, 0, 0), v.at(2, 2, 2, 2));
+}
+
+TEST(CopyRegion, FullCopy) {
+  Volume4<int> src = make_counting({3, 3, 3, 3});
+  Volume4<int> dst({3, 3, 3, 3}, -1);
+  const Region4 whole = Region4::whole({3, 3, 3, 3});
+  copy_region(src, whole, dst, whole);
+  EXPECT_EQ(src.storage(), dst.storage());
+}
+
+TEST(CopyRegion, PartialOverlapInGlobalFrames) {
+  // src covers global region [0,4)^4; dst covers [2,6)^4. Only [2,4)^4
+  // should transfer.
+  Volume4<int> src = make_counting({4, 4, 4, 4});
+  Volume4<int> dst({4, 4, 4, 4}, -1);
+  const Region4 src_region{{0, 0, 0, 0}, {4, 4, 4, 4}};
+  const Region4 dst_region{{2, 2, 2, 2}, {4, 4, 4, 4}};
+  copy_region(src, src_region, dst, dst_region);
+  // Global point (2,2,2,2) is src(2,2,2,2) and dst(0,0,0,0).
+  EXPECT_EQ(dst.at(0, 0, 0, 0), src.at(2, 2, 2, 2));
+  EXPECT_EQ(dst.at(1, 1, 1, 1), src.at(3, 3, 3, 3));
+  // Outside the overlap stays untouched.
+  EXPECT_EQ(dst.at(2, 0, 0, 0), -1);
+  EXPECT_EQ(dst.at(3, 3, 3, 3), -1);
+}
+
+TEST(CopyRegion, DisjointIsNoOp) {
+  Volume4<int> src = make_counting({2, 2, 2, 2});
+  Volume4<int> dst({2, 2, 2, 2}, -1);
+  copy_region(src, Region4{{0, 0, 0, 0}, {2, 2, 2, 2}}, dst,
+              Region4{{5, 5, 5, 5}, {2, 2, 2, 2}});
+  for (int i : dst.storage()) EXPECT_EQ(i, -1);
+}
+
+TEST(CopyRegion, StridedSubviewDestination) {
+  Volume4<int> src = make_counting({2, 2, 2, 2});
+  Volume4<int> big({6, 6, 6, 6}, 0);
+  Vol4View<int> hole = big.subview({{2, 2, 2, 2}, {2, 2, 2, 2}});
+  copy_region<int>(src.view().as_const(), Region4::whole({2, 2, 2, 2}), hole,
+                   Region4::whole({2, 2, 2, 2}));
+  EXPECT_EQ(big.at(2, 2, 2, 2), src.at(0, 0, 0, 0));
+  EXPECT_EQ(big.at(3, 3, 3, 3), src.at(1, 1, 1, 1));
+  EXPECT_EQ(big.at(1, 2, 2, 2), 0);
+}
+
+}  // namespace
+}  // namespace h4d

@@ -1,0 +1,77 @@
+#include "fs/xml.hpp"
+
+#include <gtest/gtest.h>
+
+namespace h4d::fs {
+namespace {
+
+TEST(Xml, SelfClosingElement) {
+  const XmlNode n = parse_xml("<a x=\"1\" y='two'/>");
+  EXPECT_EQ(n.tag, "a");
+  EXPECT_EQ(n.attr("x"), "1");
+  EXPECT_EQ(n.attr("y"), "two");
+  EXPECT_TRUE(n.children.empty());
+}
+
+TEST(Xml, NestedElements) {
+  const XmlNode n = parse_xml("<root><child a=\"1\"/><child a=\"2\"><grand/></child></root>");
+  EXPECT_EQ(n.tag, "root");
+  ASSERT_EQ(n.children.size(), 2u);
+  EXPECT_EQ(n.children[0].attr("a"), "1");
+  EXPECT_EQ(n.children[1].children.size(), 1u);
+  EXPECT_EQ(n.children[1].children[0].tag, "grand");
+}
+
+TEST(Xml, DeclarationAndComments) {
+  const XmlNode n = parse_xml(
+      "<?xml version=\"1.0\"?>\n"
+      "<!-- a comment -->\n"
+      "<root>\n"
+      "  <!-- another <comment> -->\n"
+      "  <x/>\n"
+      "</root>\n");
+  EXPECT_EQ(n.tag, "root");
+  ASSERT_EQ(n.children.size(), 1u);
+}
+
+TEST(Xml, TextContentIgnored) {
+  const XmlNode n = parse_xml("<a>some text<b/>more text</a>");
+  EXPECT_EQ(n.children.size(), 1u);
+}
+
+TEST(Xml, AttrHelpers) {
+  const XmlNode n = parse_xml("<a x=\"7\"/>");
+  EXPECT_EQ(n.attr_or("x", "0"), "7");
+  EXPECT_EQ(n.attr_or("missing", "fallback"), "fallback");
+  EXPECT_TRUE(n.has_attr("x"));
+  EXPECT_FALSE(n.has_attr("missing"));
+  EXPECT_THROW(n.attr("missing"), std::runtime_error);
+}
+
+TEST(Xml, ChildrenNamed) {
+  const XmlNode n = parse_xml("<g><f/><s/><f/></g>");
+  EXPECT_EQ(n.children_named("f").size(), 2u);
+  EXPECT_EQ(n.children_named("s").size(), 1u);
+  EXPECT_TRUE(n.children_named("zzz").empty());
+}
+
+TEST(Xml, MalformedInputs) {
+  EXPECT_THROW(parse_xml(""), std::runtime_error);
+  EXPECT_THROW(parse_xml("<a>"), std::runtime_error);                 // unterminated
+  EXPECT_THROW(parse_xml("<a></b>"), std::runtime_error);             // mismatched
+  EXPECT_THROW(parse_xml("<a x=1/>"), std::runtime_error);            // unquoted attr
+  EXPECT_THROW(parse_xml("<a x=\"1\" x=\"2\"/>"), std::runtime_error);  // duplicate attr
+  EXPECT_THROW(parse_xml("<a/><b/>"), std::runtime_error);            // two roots
+  EXPECT_THROW(parse_xml("<a x=\"unterminated/>"), std::runtime_error);
+  EXPECT_THROW(parse_xml("<!-- only a comment -->"), std::runtime_error);
+  EXPECT_THROW(parse_xml("<a><!-- unterminated comment </a>"), std::runtime_error);
+}
+
+TEST(Xml, WhitespaceTolerance) {
+  const XmlNode n = parse_xml("  <a   x = \"1\"   >  <b />  </a>  ");
+  EXPECT_EQ(n.attr("x"), "1");
+  ASSERT_EQ(n.children.size(), 1u);
+}
+
+}  // namespace
+}  // namespace h4d::fs

@@ -1,0 +1,113 @@
+// Small synthetic filters shared by the executor tests.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "fs/filter.hpp"
+
+namespace h4d::fs::testing {
+
+/// Emits `count` buffers whose payload is one int64 (0..count-1), charging
+/// `work_per_item` synthetic GLCM updates each.
+class NumberSource final : public Filter {
+ public:
+  NumberSource(int count, std::int64_t work_per_item = 0)
+      : count_(count), work_(work_per_item) {}
+
+  std::string_view name() const override { return "source"; }
+
+  void run_source(FilterContext& ctx) override {
+    for (int i = 0; i < count_; ++i) {
+      ctx.meter().work.glcm_pair_updates += work_;
+      BufferHeader h;
+      h.kind = BufferKind::Control;
+      h.seq = i;
+      auto buf = make_buffer(h);
+      buf->alloc_as<std::int64_t>(1)[0] = i;
+      ctx.emit(0, std::move(buf));
+    }
+  }
+
+ private:
+  int count_;
+  std::int64_t work_;
+};
+
+/// Multiplies the payload by `factor`, charging synthetic work per buffer.
+class ScaleFilter final : public Filter {
+ public:
+  explicit ScaleFilter(std::int64_t factor, std::int64_t work_per_item = 0)
+      : factor_(factor), work_(work_per_item) {}
+
+  std::string_view name() const override { return "scale"; }
+
+  void process(int, const BufferPtr& buffer, FilterContext& ctx) override {
+    ctx.meter().work.glcm_pair_updates += work_;
+    BufferHeader h = buffer->header;
+    auto out = make_buffer(h);
+    out->alloc_as<std::int64_t>(1)[0] = buffer->as<std::int64_t>()[0] * factor_;
+    ctx.emit(0, std::move(out));
+  }
+
+ private:
+  std::int64_t factor_;
+  std::int64_t work_;
+};
+
+/// Shared state collecting everything that reaches the sink copies.
+struct SinkState {
+  std::mutex mu;
+  std::vector<std::int64_t> values;
+  std::atomic<int> flushes{0};
+
+  std::int64_t sum() {
+    std::lock_guard lk(mu);
+    std::int64_t s = 0;
+    for (auto v : values) s += v;
+    return s;
+  }
+  std::size_t count() {
+    std::lock_guard lk(mu);
+    return values.size();
+  }
+};
+
+class CollectSink final : public Filter {
+ public:
+  CollectSink(std::shared_ptr<SinkState> state, std::int64_t work_per_item = 0)
+      : state_(std::move(state)), work_(work_per_item) {}
+
+  std::string_view name() const override { return "sink"; }
+
+  void process(int, const BufferPtr& buffer, FilterContext& ctx) override {
+    ctx.meter().work.glcm_pair_updates += work_;
+    std::lock_guard lk(state_->mu);
+    state_->values.push_back(buffer->as<std::int64_t>()[0]);
+  }
+
+  void flush(FilterContext&) override { state_->flushes++; }
+
+ private:
+  std::shared_ptr<SinkState> state_;
+  std::int64_t work_;
+};
+
+/// Throws on the buffer whose payload equals `poison`.
+class PoisonFilter final : public Filter {
+ public:
+  explicit PoisonFilter(std::int64_t poison) : poison_(poison) {}
+  std::string_view name() const override { return "poison"; }
+  void process(int, const BufferPtr& buffer, FilterContext& ctx) override {
+    if (buffer->as<std::int64_t>()[0] == poison_) {
+      throw std::runtime_error("poisoned buffer");
+    }
+    ctx.emit(0, std::make_shared<DataBuffer>(*buffer));
+  }
+
+ private:
+  std::int64_t poison_;
+};
+
+}  // namespace h4d::fs::testing
