@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07a_hmp_full_vs_sparse.dir/fig07a_hmp_full_vs_sparse.cpp.o"
+  "CMakeFiles/fig07a_hmp_full_vs_sparse.dir/fig07a_hmp_full_vs_sparse.cpp.o.d"
+  "fig07a_hmp_full_vs_sparse"
+  "fig07a_hmp_full_vs_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07a_hmp_full_vs_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

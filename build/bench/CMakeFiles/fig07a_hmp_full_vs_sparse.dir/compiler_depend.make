@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07a_hmp_full_vs_sparse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07a_hmp_full_vs_sparse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07b_split_full_vs_sparse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_overlap_vs_hmp.dir/fig08_overlap_vs_hmp.cpp.o"
+  "CMakeFiles/fig08_overlap_vs_hmp.dir/fig08_overlap_vs_hmp.cpp.o.d"
+  "fig08_overlap_vs_hmp"
+  "fig08_overlap_vs_hmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_overlap_vs_hmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_overlap_vs_hmp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_filter_breakdown.dir/fig09_filter_breakdown.cpp.o"
+  "CMakeFiles/fig09_filter_breakdown.dir/fig09_filter_breakdown.cpp.o.d"
+  "fig09_filter_breakdown"
+  "fig09_filter_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_filter_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09b_iic_scaling.dir/fig09b_iic_scaling.cpp.o"
+  "CMakeFiles/fig09b_iic_scaling.dir/fig09b_iic_scaling.cpp.o.d"
+  "fig09b_iic_scaling"
+  "fig09b_iic_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09b_iic_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

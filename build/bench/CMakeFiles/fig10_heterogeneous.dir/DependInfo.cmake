@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_heterogeneous.cpp" "bench/CMakeFiles/fig10_heterogeneous.dir/fig10_heterogeneous.cpp.o" "gcc" "bench/CMakeFiles/fig10_heterogeneous.dir/fig10_heterogeneous.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/h4d_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/h4d_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/filters/CMakeFiles/h4d_filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/h4d_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/h4d_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/h4d_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/haralick/CMakeFiles/h4d_haralick.dir/DependInfo.cmake"
+  "/root/repo/build/src/nd/CMakeFiles/h4d_nd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_scheduling_policy.dir/fig11_scheduling_policy.cpp.o"
+  "CMakeFiles/fig11_scheduling_policy.dir/fig11_scheduling_policy.cpp.o.d"
+  "fig11_scheduling_policy"
+  "fig11_scheduling_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_scheduling_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h4d_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/h4d_bench_common.dir/bench_common.cpp.o.d"
+  "libh4d_bench_common.a"
+  "libh4d_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h4d_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

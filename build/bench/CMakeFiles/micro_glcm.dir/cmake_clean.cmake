@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_glcm.dir/micro_glcm.cpp.o"
+  "CMakeFiles/micro_glcm.dir/micro_glcm.cpp.o.d"
+  "micro_glcm"
+  "micro_glcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_glcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_zeroskip.dir/micro_zeroskip.cpp.o"
+  "CMakeFiles/micro_zeroskip.dir/micro_zeroskip.cpp.o.d"
+  "micro_zeroskip"
+  "micro_zeroskip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_zeroskip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

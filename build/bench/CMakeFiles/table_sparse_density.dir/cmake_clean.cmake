@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_sparse_density.dir/table_sparse_density.cpp.o"
+  "CMakeFiles/table_sparse_density.dir/table_sparse_density.cpp.o.d"
+  "table_sparse_density"
+  "table_sparse_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_sparse_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table_sparse_density.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dce_mri_study.dir/dce_mri_study.cpp.o"
+  "CMakeFiles/dce_mri_study.dir/dce_mri_study.cpp.o.d"
+  "dce_mri_study"
+  "dce_mri_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dce_mri_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dce_mri_study.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/out_of_core_cluster.dir/out_of_core_cluster.cpp.o"
+  "CMakeFiles/out_of_core_cluster.dir/out_of_core_cluster.cpp.o.d"
+  "out_of_core_cluster"
+  "out_of_core_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/out_of_core_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

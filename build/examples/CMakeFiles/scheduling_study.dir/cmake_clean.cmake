@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduling_study.dir/scheduling_study.cpp.o"
+  "CMakeFiles/scheduling_study.dir/scheduling_study.cpp.o.d"
+  "scheduling_study"
+  "scheduling_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduling_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

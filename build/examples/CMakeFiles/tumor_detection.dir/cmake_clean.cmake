@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tumor_detection.dir/tumor_detection.cpp.o"
+  "CMakeFiles/tumor_detection.dir/tumor_detection.cpp.o.d"
+  "tumor_detection"
+  "tumor_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tumor_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_network.dir/xml_network.cpp.o"
+  "CMakeFiles/xml_network.dir/xml_network.cpp.o.d"
+  "xml_network"
+  "xml_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h4d.dir/main.cpp.o"
+  "CMakeFiles/h4d.dir/main.cpp.o.d"
+  "h4d"
+  "h4d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h4d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h4d_cli.dir/cli.cpp.o"
+  "CMakeFiles/h4d_cli.dir/cli.cpp.o.d"
+  "libh4d_cli.a"
+  "libh4d_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h4d_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libh4d_cli.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h4d_core.dir/analysis.cpp.o"
+  "CMakeFiles/h4d_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/h4d_core.dir/pipeline.cpp.o"
+  "CMakeFiles/h4d_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/h4d_core.dir/planner.cpp.o"
+  "CMakeFiles/h4d_core.dir/planner.cpp.o.d"
+  "libh4d_core.a"
+  "libh4d_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h4d_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filters/input_filters.cpp" "src/filters/CMakeFiles/h4d_filters.dir/input_filters.cpp.o" "gcc" "src/filters/CMakeFiles/h4d_filters.dir/input_filters.cpp.o.d"
+  "/root/repo/src/filters/output_filters.cpp" "src/filters/CMakeFiles/h4d_filters.dir/output_filters.cpp.o" "gcc" "src/filters/CMakeFiles/h4d_filters.dir/output_filters.cpp.o.d"
+  "/root/repo/src/filters/payloads.cpp" "src/filters/CMakeFiles/h4d_filters.dir/payloads.cpp.o" "gcc" "src/filters/CMakeFiles/h4d_filters.dir/payloads.cpp.o.d"
+  "/root/repo/src/filters/registry.cpp" "src/filters/CMakeFiles/h4d_filters.dir/registry.cpp.o" "gcc" "src/filters/CMakeFiles/h4d_filters.dir/registry.cpp.o.d"
+  "/root/repo/src/filters/texture_filters.cpp" "src/filters/CMakeFiles/h4d_filters.dir/texture_filters.cpp.o" "gcc" "src/filters/CMakeFiles/h4d_filters.dir/texture_filters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fs/CMakeFiles/h4d_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/haralick/CMakeFiles/h4d_haralick.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/h4d_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/nd/CMakeFiles/h4d_nd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h4d_filters.dir/input_filters.cpp.o"
+  "CMakeFiles/h4d_filters.dir/input_filters.cpp.o.d"
+  "CMakeFiles/h4d_filters.dir/output_filters.cpp.o"
+  "CMakeFiles/h4d_filters.dir/output_filters.cpp.o.d"
+  "CMakeFiles/h4d_filters.dir/payloads.cpp.o"
+  "CMakeFiles/h4d_filters.dir/payloads.cpp.o.d"
+  "CMakeFiles/h4d_filters.dir/registry.cpp.o"
+  "CMakeFiles/h4d_filters.dir/registry.cpp.o.d"
+  "CMakeFiles/h4d_filters.dir/texture_filters.cpp.o"
+  "CMakeFiles/h4d_filters.dir/texture_filters.cpp.o.d"
+  "libh4d_filters.a"
+  "libh4d_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h4d_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

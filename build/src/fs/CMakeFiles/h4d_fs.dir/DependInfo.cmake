@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/executor_threads.cpp" "src/fs/CMakeFiles/h4d_fs.dir/executor_threads.cpp.o" "gcc" "src/fs/CMakeFiles/h4d_fs.dir/executor_threads.cpp.o.d"
+  "/root/repo/src/fs/graph.cpp" "src/fs/CMakeFiles/h4d_fs.dir/graph.cpp.o" "gcc" "src/fs/CMakeFiles/h4d_fs.dir/graph.cpp.o.d"
+  "/root/repo/src/fs/netdesc.cpp" "src/fs/CMakeFiles/h4d_fs.dir/netdesc.cpp.o" "gcc" "src/fs/CMakeFiles/h4d_fs.dir/netdesc.cpp.o.d"
+  "/root/repo/src/fs/xml.cpp" "src/fs/CMakeFiles/h4d_fs.dir/xml.cpp.o" "gcc" "src/fs/CMakeFiles/h4d_fs.dir/xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nd/CMakeFiles/h4d_nd.dir/DependInfo.cmake"
+  "/root/repo/build/src/haralick/CMakeFiles/h4d_haralick.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

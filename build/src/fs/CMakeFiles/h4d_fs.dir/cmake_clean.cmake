@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h4d_fs.dir/executor_threads.cpp.o"
+  "CMakeFiles/h4d_fs.dir/executor_threads.cpp.o.d"
+  "CMakeFiles/h4d_fs.dir/graph.cpp.o"
+  "CMakeFiles/h4d_fs.dir/graph.cpp.o.d"
+  "CMakeFiles/h4d_fs.dir/netdesc.cpp.o"
+  "CMakeFiles/h4d_fs.dir/netdesc.cpp.o.d"
+  "CMakeFiles/h4d_fs.dir/xml.cpp.o"
+  "CMakeFiles/h4d_fs.dir/xml.cpp.o.d"
+  "libh4d_fs.a"
+  "libh4d_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h4d_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

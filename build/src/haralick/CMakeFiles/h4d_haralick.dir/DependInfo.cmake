@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/haralick/directions.cpp" "src/haralick/CMakeFiles/h4d_haralick.dir/directions.cpp.o" "gcc" "src/haralick/CMakeFiles/h4d_haralick.dir/directions.cpp.o.d"
+  "/root/repo/src/haralick/eigen.cpp" "src/haralick/CMakeFiles/h4d_haralick.dir/eigen.cpp.o" "gcc" "src/haralick/CMakeFiles/h4d_haralick.dir/eigen.cpp.o.d"
+  "/root/repo/src/haralick/features.cpp" "src/haralick/CMakeFiles/h4d_haralick.dir/features.cpp.o" "gcc" "src/haralick/CMakeFiles/h4d_haralick.dir/features.cpp.o.d"
+  "/root/repo/src/haralick/glcm.cpp" "src/haralick/CMakeFiles/h4d_haralick.dir/glcm.cpp.o" "gcc" "src/haralick/CMakeFiles/h4d_haralick.dir/glcm.cpp.o.d"
+  "/root/repo/src/haralick/glcm_sparse.cpp" "src/haralick/CMakeFiles/h4d_haralick.dir/glcm_sparse.cpp.o" "gcc" "src/haralick/CMakeFiles/h4d_haralick.dir/glcm_sparse.cpp.o.d"
+  "/root/repo/src/haralick/parallel_engine.cpp" "src/haralick/CMakeFiles/h4d_haralick.dir/parallel_engine.cpp.o" "gcc" "src/haralick/CMakeFiles/h4d_haralick.dir/parallel_engine.cpp.o.d"
+  "/root/repo/src/haralick/roi_engine.cpp" "src/haralick/CMakeFiles/h4d_haralick.dir/roi_engine.cpp.o" "gcc" "src/haralick/CMakeFiles/h4d_haralick.dir/roi_engine.cpp.o.d"
+  "/root/repo/src/haralick/sliding.cpp" "src/haralick/CMakeFiles/h4d_haralick.dir/sliding.cpp.o" "gcc" "src/haralick/CMakeFiles/h4d_haralick.dir/sliding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nd/CMakeFiles/h4d_nd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h4d_haralick.dir/directions.cpp.o"
+  "CMakeFiles/h4d_haralick.dir/directions.cpp.o.d"
+  "CMakeFiles/h4d_haralick.dir/eigen.cpp.o"
+  "CMakeFiles/h4d_haralick.dir/eigen.cpp.o.d"
+  "CMakeFiles/h4d_haralick.dir/features.cpp.o"
+  "CMakeFiles/h4d_haralick.dir/features.cpp.o.d"
+  "CMakeFiles/h4d_haralick.dir/glcm.cpp.o"
+  "CMakeFiles/h4d_haralick.dir/glcm.cpp.o.d"
+  "CMakeFiles/h4d_haralick.dir/glcm_sparse.cpp.o"
+  "CMakeFiles/h4d_haralick.dir/glcm_sparse.cpp.o.d"
+  "CMakeFiles/h4d_haralick.dir/parallel_engine.cpp.o"
+  "CMakeFiles/h4d_haralick.dir/parallel_engine.cpp.o.d"
+  "CMakeFiles/h4d_haralick.dir/roi_engine.cpp.o"
+  "CMakeFiles/h4d_haralick.dir/roi_engine.cpp.o.d"
+  "CMakeFiles/h4d_haralick.dir/sliding.cpp.o"
+  "CMakeFiles/h4d_haralick.dir/sliding.cpp.o.d"
+  "libh4d_haralick.a"
+  "libh4d_haralick.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h4d_haralick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

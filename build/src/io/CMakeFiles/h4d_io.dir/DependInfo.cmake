@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/dataset.cpp" "src/io/CMakeFiles/h4d_io.dir/dataset.cpp.o" "gcc" "src/io/CMakeFiles/h4d_io.dir/dataset.cpp.o.d"
+  "/root/repo/src/io/image_write.cpp" "src/io/CMakeFiles/h4d_io.dir/image_write.cpp.o" "gcc" "src/io/CMakeFiles/h4d_io.dir/image_write.cpp.o.d"
+  "/root/repo/src/io/mhd.cpp" "src/io/CMakeFiles/h4d_io.dir/mhd.cpp.o" "gcc" "src/io/CMakeFiles/h4d_io.dir/mhd.cpp.o.d"
+  "/root/repo/src/io/phantom.cpp" "src/io/CMakeFiles/h4d_io.dir/phantom.cpp.o" "gcc" "src/io/CMakeFiles/h4d_io.dir/phantom.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nd/CMakeFiles/h4d_nd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h4d_io.dir/dataset.cpp.o"
+  "CMakeFiles/h4d_io.dir/dataset.cpp.o.d"
+  "CMakeFiles/h4d_io.dir/image_write.cpp.o"
+  "CMakeFiles/h4d_io.dir/image_write.cpp.o.d"
+  "CMakeFiles/h4d_io.dir/mhd.cpp.o"
+  "CMakeFiles/h4d_io.dir/mhd.cpp.o.d"
+  "CMakeFiles/h4d_io.dir/phantom.cpp.o"
+  "CMakeFiles/h4d_io.dir/phantom.cpp.o.d"
+  "libh4d_io.a"
+  "libh4d_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h4d_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

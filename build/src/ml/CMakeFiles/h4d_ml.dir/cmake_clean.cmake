@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h4d_ml.dir/mlp.cpp.o"
+  "CMakeFiles/h4d_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/h4d_ml.dir/texture_dataset.cpp.o"
+  "CMakeFiles/h4d_ml.dir/texture_dataset.cpp.o.d"
+  "libh4d_ml.a"
+  "libh4d_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h4d_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

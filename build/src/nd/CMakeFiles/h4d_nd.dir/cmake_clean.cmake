@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h4d_nd.dir/chunking.cpp.o"
+  "CMakeFiles/h4d_nd.dir/chunking.cpp.o.d"
+  "CMakeFiles/h4d_nd.dir/quantize.cpp.o"
+  "CMakeFiles/h4d_nd.dir/quantize.cpp.o.d"
+  "libh4d_nd.a"
+  "libh4d_nd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h4d_nd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

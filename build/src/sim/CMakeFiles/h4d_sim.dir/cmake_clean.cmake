@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h4d_sim.dir/executor_sim.cpp.o"
+  "CMakeFiles/h4d_sim.dir/executor_sim.cpp.o.d"
+  "CMakeFiles/h4d_sim.dir/machine.cpp.o"
+  "CMakeFiles/h4d_sim.dir/machine.cpp.o.d"
+  "libh4d_sim.a"
+  "libh4d_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h4d_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_directions.dir/test_directions.cpp.o"
+  "CMakeFiles/test_directions.dir/test_directions.cpp.o.d"
+  "test_directions"
+  "test_directions.pdb"
+  "test_directions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_directions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_executor_sim.dir/test_executor_sim.cpp.o"
+  "CMakeFiles/test_executor_sim.dir/test_executor_sim.cpp.o.d"
+  "test_executor_sim"
+  "test_executor_sim.pdb"
+  "test_executor_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_executor_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_filters_unit.dir/test_filters_unit.cpp.o"
+  "CMakeFiles/test_filters_unit.dir/test_filters_unit.cpp.o.d"
+  "test_filters_unit"
+  "test_filters_unit.pdb"
+  "test_filters_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_filters_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_glcm.dir/test_glcm.cpp.o"
+  "CMakeFiles/test_glcm.dir/test_glcm.cpp.o.d"
+  "test_glcm"
+  "test_glcm.pdb"
+  "test_glcm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_glcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_image_write.dir/test_image_write.cpp.o"
+  "CMakeFiles/test_image_write.dir/test_image_write.cpp.o.d"
+  "test_image_write"
+  "test_image_write.pdb"
+  "test_image_write[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_image_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

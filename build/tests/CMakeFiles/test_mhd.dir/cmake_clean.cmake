@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mhd.dir/test_mhd.cpp.o"
+  "CMakeFiles/test_mhd.dir/test_mhd.cpp.o.d"
+  "test_mhd"
+  "test_mhd.pdb"
+  "test_mhd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mhd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

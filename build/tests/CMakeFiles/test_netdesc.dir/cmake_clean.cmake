@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netdesc.dir/test_netdesc.cpp.o"
+  "CMakeFiles/test_netdesc.dir/test_netdesc.cpp.o.d"
+  "test_netdesc"
+  "test_netdesc.pdb"
+  "test_netdesc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netdesc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

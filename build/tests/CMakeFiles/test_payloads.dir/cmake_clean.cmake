@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_payloads.dir/test_payloads.cpp.o"
+  "CMakeFiles/test_payloads.dir/test_payloads.cpp.o.d"
+  "test_payloads"
+  "test_payloads.pdb"
+  "test_payloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_payloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_builder.dir/test_pipeline_builder.cpp.o"
+  "CMakeFiles/test_pipeline_builder.dir/test_pipeline_builder.cpp.o.d"
+  "test_pipeline_builder"
+  "test_pipeline_builder.pdb"
+  "test_pipeline_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roi_engine.dir/test_roi_engine.cpp.o"
+  "CMakeFiles/test_roi_engine.dir/test_roi_engine.cpp.o.d"
+  "test_roi_engine"
+  "test_roi_engine.pdb"
+  "test_roi_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roi_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

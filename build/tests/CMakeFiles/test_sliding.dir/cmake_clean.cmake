@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sliding.dir/test_sliding.cpp.o"
+  "CMakeFiles/test_sliding.dir/test_sliding.cpp.o.d"
+  "test_sliding"
+  "test_sliding.pdb"
+  "test_sliding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sliding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

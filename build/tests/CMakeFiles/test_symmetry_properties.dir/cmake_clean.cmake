@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symmetry_properties.dir/test_symmetry_properties.cpp.o"
+  "CMakeFiles/test_symmetry_properties.dir/test_symmetry_properties.cpp.o.d"
+  "test_symmetry_properties"
+  "test_symmetry_properties.pdb"
+  "test_symmetry_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symmetry_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

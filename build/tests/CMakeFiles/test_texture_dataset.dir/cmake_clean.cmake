@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_texture_dataset.dir/test_texture_dataset.cpp.o"
+  "CMakeFiles/test_texture_dataset.dir/test_texture_dataset.cpp.o.d"
+  "test_texture_dataset"
+  "test_texture_dataset.pdb"
+  "test_texture_dataset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_texture_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

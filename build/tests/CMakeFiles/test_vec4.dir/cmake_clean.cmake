@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vec4.dir/test_vec4.cpp.o"
+  "CMakeFiles/test_vec4.dir/test_vec4.cpp.o.d"
+  "test_vec4"
+  "test_vec4.pdb"
+  "test_vec4[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vec4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_volume4.dir/test_volume4.cpp.o"
+  "CMakeFiles/test_volume4.dir/test_volume4.cpp.o.d"
+  "test_volume4"
+  "test_volume4.pdb"
+  "test_volume4[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_volume4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
