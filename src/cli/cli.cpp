@@ -153,14 +153,42 @@ core::PipelineConfig pipeline_from_args(const Args& args, const std::string& dat
   cfg.texture_chunk = Vec4::min(cfg.texture_chunk, meta.dims);
   cfg.variant = args.get("variant", "split") == "hmp" ? core::Variant::HMP
                                                       : core::Variant::Split;
+
+  // Resilience: --faults injects deterministic storage faults, --retry sets
+  // the retry budget, --on-corrupt picks the degradation policy.
+  cfg.faults = io::FaultConfig::parse(args.get("faults", ""));
+  cfg.resilience.policy = io::degrade_policy_from_name(args.get("on-corrupt", "fail"));
+  const int retries = args.get_int("retry", -1);
+  if (retries >= 0) {
+    cfg.resilience.retry.max_attempts = retries + 1;
+    if (cfg.resilience.policy == io::DegradePolicy::FailFast && retries > 0) {
+      cfg.resilience.policy = io::DegradePolicy::Retry;
+    }
+  }
+  cfg.resilience.verify_checksums = args.get("checksums", "on") == "on";
+  cfg.resilience.fill_value = static_cast<std::uint16_t>(args.get_int("fill", 0));
+
   const int workers = args.get_int("workers", 4);
   if (cfg.variant == core::Variant::HMP) {
     cfg.hmp_copies = workers;
+  } else if (args.get("plan", "fixed") == "auto" && workers >= 2) {
+    // Probe the dataset (through the resilient read path) and split the
+    // worker budget by the measured HCC:HPC cost ratio (paper Sec. 5.2).
+    const core::SplitPlan plan = core::plan_split_dataset(
+        io::DiskDataset::open(dataset), cfg.engine, sim::CostModel{}, workers,
+        cfg.resilience);
+    cfg.hcc_copies = plan.hcc_nodes;
+    cfg.hpc_copies = plan.hpc_nodes;
   } else {
     cfg.hcc_copies = std::max(1, workers * 4 / 5);
     cfg.hpc_copies = std::max(1, workers - cfg.hcc_copies);
   }
   return cfg;
+}
+
+void print_fault_report(const io::FaultReport& report, std::ostream& out) {
+  if (report.clean()) return;
+  out << "resilience: " << report.summary() << "\n";
 }
 
 int cmd_analyze(const Args& args, std::ostream& out) {
@@ -172,6 +200,7 @@ int cmd_analyze(const Args& args, std::ostream& out) {
   out << "analyzed " << dataset << " in " << result.stats.total_seconds << "s wall, "
       << result.maps.size() << " feature maps over " << result.origins.size.str()
       << " origins\n";
+  print_fault_report(result.faults, out);
 
   if (args.has("out")) {
     const std::string dest = args.get("out", "");
@@ -224,6 +253,7 @@ int cmd_simulate(const Args& args, std::ostream& out) {
   for (const auto& [filter, seconds] : busy) {
     out << "  " << filter << " total busy " << seconds << " s\n";
   }
+  print_fault_report(r.faults, out);
   return 0;
 }
 
@@ -237,8 +267,21 @@ int usage(std::ostream& err) {
          "  analyze  DATASET_DIR [--out DIR] [--variant hmp|split] [--workers N]\n"
          "           [--roi X,Y,Z,T] [--levels N] [--features paper|all]\n"
          "           [--repr full|sparse] [--dirs all|axis] [--sliding on|off]\n"
-         "           [--chunk X,Y,Z,T]\n"
-         "  simulate DATASET_DIR [same options as analyze]\n";
+         "           [--chunk X,Y,Z,T] [--plan fixed|auto]\n"
+         "           [--faults SPEC] [--retry N] [--on-corrupt fail|retry|skip]\n"
+         "           [--checksums on|off] [--fill V]\n"
+         "  simulate DATASET_DIR [same options as analyze]\n"
+         "\n"
+         "resilience:\n"
+         "  --faults SPEC       inject deterministic storage faults; SPEC is\n"
+         "                      comma-separated k=v among seed, open, read,\n"
+         "                      corrupt, stall, stall_ms, max_transient\n"
+         "                      (e.g. seed=7,open=0.05,read=0.02)\n"
+         "  --retry N           retry failed slice reads up to N times\n"
+         "                      (exponential backoff)\n"
+         "  --on-corrupt MODE   fail (default) | retry | skip: skip fills\n"
+         "                      irrecoverable slices with --fill and reports them\n"
+         "  --checksums on|off  verify per-slice CRC-32 recorded in the index\n";
   return 2;
 }
 

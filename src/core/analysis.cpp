@@ -10,8 +10,7 @@ namespace h4d::core {
 namespace {
 
 AnalysisResult finish(std::shared_ptr<filters::CollectedResults> collected,
-                      const PipelineConfig& config) {
-  const filters::ParamsPtr params = make_params(config);
+                      const filters::ParamsPtr& params) {
   AnalysisResult r;
   r.origins = roi_origin_region(params->meta.dims, params->engine.roi_dims);
   {
@@ -19,6 +18,7 @@ AnalysisResult finish(std::shared_ptr<filters::CollectedResults> collected,
     r.maps = std::move(collected->maps);
     r.ranges = std::move(collected->ranges);
   }
+  r.faults = params->fault_sink->snapshot();
   return r;
 }
 
@@ -48,9 +48,10 @@ AnalysisResult analyze_in_memory(const Volume4<std::uint16_t>& volume,
 AnalysisResult analyze_threaded(PipelineConfig config) {
   config.output = OutputMode::Collect;
   auto collected = std::make_shared<filters::CollectedResults>();
-  const fs::FilterGraph graph = build_pipeline(config, collected);
+  const filters::ParamsPtr params = make_params(config);
+  const fs::FilterGraph graph = build_pipeline(config, params, collected);
   const fs::RunStats stats = fs::run_threaded(graph);
-  AnalysisResult r = finish(collected, config);
+  AnalysisResult r = finish(collected, params);
   r.stats = stats;
   return r;
 }
@@ -58,9 +59,10 @@ AnalysisResult analyze_threaded(PipelineConfig config) {
 AnalysisResult analyze_simulated(PipelineConfig config, const sim::SimOptions& sim_options) {
   config.output = OutputMode::Collect;
   auto collected = std::make_shared<filters::CollectedResults>();
-  const fs::FilterGraph graph = build_pipeline(config, collected);
+  const filters::ParamsPtr params = make_params(config);
+  const fs::FilterGraph graph = build_pipeline(config, params, collected);
   const sim::SimStats stats = sim::run_simulated(graph, sim_options);
-  AnalysisResult r = finish(collected, config);
+  AnalysisResult r = finish(collected, params);
   r.sim = stats;
   r.stats = stats;
   return r;

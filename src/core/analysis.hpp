@@ -24,6 +24,9 @@ struct AnalysisResult {
   std::map<haralick::Feature, std::pair<float, float>> ranges;  ///< min/max
   fs::RunStats stats;
   sim::SimStats sim;  ///< populated by analyze_simulated only
+  /// Resilience accounting of the run: retries, checksum failures, and the
+  /// exact slices degraded to fill under skip_and_fill.
+  io::FaultReport faults;
 };
 
 /// Sequential reference implementation (paper Fig. 2) on an in-memory

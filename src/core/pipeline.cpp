@@ -32,13 +32,18 @@ filters::ParamsPtr make_params(const PipelineConfig& config) {
   p.iic_copies = config.iic_copies;
   p.packets_per_chunk = config.packets_per_chunk;
   p.feature_buffer_samples = config.feature_buffer_samples;
+  p.resilience = config.resilience;
+  p.faults = config.faults;
   return filters::PipelineParams::make(std::move(p));
 }
 
 fs::FilterGraph build_pipeline(const PipelineConfig& config,
                                std::shared_ptr<filters::CollectedResults> collected) {
-  const filters::ParamsPtr params = make_params(config);
+  return build_pipeline(config, make_params(config), std::move(collected));
+}
 
+fs::FilterGraph build_pipeline(const PipelineConfig& config, filters::ParamsPtr params,
+                               std::shared_ptr<filters::CollectedResults> collected) {
   if (config.rfr_copies != params->meta.storage_nodes) {
     throw std::invalid_argument(
         "build_pipeline: rfr_copies (" + std::to_string(config.rfr_copies) +

@@ -57,12 +57,25 @@ struct PipelineConfig {
   fs::Policy matrix_policy = fs::Policy::DemandDriven;  ///< HCC -> HPC
   fs::RouteFn matrix_route;  ///< required when matrix_policy is Explicit
   fs::Policy output_policy = fs::Policy::DemandDriven;  ///< texture -> USO
+
+  /// Storage-fault handling of the RFR read path (retry budget, checksum
+  /// verification, degradation policy for irrecoverable slices).
+  io::ResilienceConfig resilience;
+  /// Deterministic fault injection (resilience drills / tests); a
+  /// default-constructed config injects nothing.
+  io::FaultConfig faults;
 };
 
 /// Build the filter graph for a configuration. When `collected` is non-null
 /// and output == Collect, assembled maps land there after execution.
 fs::FilterGraph build_pipeline(const PipelineConfig& config,
                                std::shared_ptr<filters::CollectedResults> collected = {});
+
+/// Same, with a caller-provided parameter block (from make_params). Lets the
+/// caller keep a handle on the run's shared state — notably the fault-report
+/// sink filled in during execution.
+fs::FilterGraph build_pipeline(const PipelineConfig& config, filters::ParamsPtr params,
+                               std::shared_ptr<filters::CollectedResults> collected);
 
 /// The shared parameter block the builder derives (exposed for tests).
 filters::ParamsPtr make_params(const PipelineConfig& config);

@@ -5,6 +5,7 @@
 #include <tuple>
 #include <stdexcept>
 
+#include "nd/quantize.hpp"
 #include "nd/raster.hpp"
 
 namespace h4d::core {
@@ -68,6 +69,30 @@ SplitPlan plan_split(const Volume4<Level>& probe, const haralick::EngineConfig& 
   plan.cost_ratio = plan.hcc_cost_per_roi / plan.hpc_cost_per_roi;
   std::tie(plan.hcc_nodes, plan.hpc_nodes) = apportion_split(plan.cost_ratio, texture_nodes);
   return plan;
+}
+
+SplitPlan plan_split_dataset(const io::DiskDataset& dataset,
+                             const haralick::EngineConfig& engine,
+                             const sim::CostModel& cost, int texture_nodes,
+                             const io::ResilienceConfig& resilience,
+                             io::FaultInjector* injector, io::FaultReport* report,
+                             int max_probe_rois) {
+  const io::DatasetMeta& meta = dataset.meta();
+  // Probe extent: two ROIs per axis gives plan_split a few origins to sample
+  // without pulling the whole dataset off disk.
+  Vec4 probe_dims;
+  for (int d = 0; d < kDims; ++d) {
+    probe_dims[d] = std::min(meta.dims[d], 2 * engine.roi_dims[d]);
+  }
+  if (!Region4::whole(meta.dims).contains(Region4{{0, 0, 0, 0}, engine.roi_dims})) {
+    throw std::invalid_argument("plan_split_dataset: dataset smaller than the ROI");
+  }
+  const Volume4<std::uint16_t> raw = dataset.read_region(
+      Region4{{0, 0, 0, 0}, probe_dims}, resilience, injector, report);
+  const Quantizer quant(meta.value_min, meta.value_max, engine.num_levels);
+  Volume4<Level> probe(raw.dims());
+  quantize_into<std::uint16_t>(raw.view(), quant, probe.view());
+  return plan_split(probe, engine, cost, texture_nodes, max_probe_rois);
 }
 
 }  // namespace h4d::core

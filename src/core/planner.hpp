@@ -9,6 +9,8 @@
 #pragma once
 
 #include "haralick/roi_engine.hpp"
+#include "io/dataset.hpp"
+#include "io/resilient_reader.hpp"
 #include "sim/cost_model.hpp"
 
 namespace h4d::core {
@@ -33,5 +35,18 @@ SplitPlan plan_split(const Volume4<Level>& probe, const haralick::EngineConfig& 
 /// Node split for a given cost ratio r = hcc/hpc: largest-remainder
 /// apportionment with both sides >= 1 (for texture_nodes >= 2).
 std::pair<int, int> apportion_split(double cost_ratio, int texture_nodes);
+
+/// plan_split against a disk-resident dataset: reads a probe subvolume
+/// (clamped to the dataset, at least one ROI) through the resilient read
+/// path — a flaky or partly corrupt dataset can still be planned when
+/// `resilience` allows degradation — requantizes it with the dataset's
+/// global intensity range, and delegates to plan_split. `injector` and
+/// `report` are optional (fault drills / accounting).
+SplitPlan plan_split_dataset(const io::DiskDataset& dataset,
+                             const haralick::EngineConfig& engine,
+                             const sim::CostModel& cost, int texture_nodes,
+                             const io::ResilienceConfig& resilience = {},
+                             io::FaultInjector* injector = nullptr,
+                             io::FaultReport* report = nullptr, int max_probe_rois = 64);
 
 }  // namespace h4d::core

@@ -10,8 +10,14 @@ namespace h4d::filters {
 
 void RawFileReader::run_source(fs::FilterContext& ctx) {
   const int node = ctx.copy_index();
-  io::StorageNodeReader reader(p_->dataset_root / ("node_" + std::to_string(node)), p_->meta,
-                               node);
+  // Slice access goes through the resilient reader: bounded retry, checksum
+  // verification and graceful degradation per the pipeline's policy. The
+  // shared injector (when faults are configured) makes storage-fault drills
+  // deterministic across copies.
+  io::ResilientReader reader(
+      io::StorageNodeReader(p_->dataset_root / ("node_" + std::to_string(node)), p_->meta,
+                            node),
+      p_->resilience, p_->fault_injector.get(), p_->fault_sink.get());
   const Quantizer quant = p_->quantizer();
 
   // x/y tiling of a slice into RFR->IIC pieces.
@@ -22,6 +28,7 @@ void RawFileReader::run_source(fs::FilterContext& ctx) {
   std::int64_t seq = 0;
   std::int64_t seeks_before = 0;
   std::int64_t bytes_before = 0;
+  io::FaultReport report_before;
 
   for (const io::SliceRef& slice : reader.slices()) {
     for (const Region4& tile : tiles) {
@@ -32,6 +39,14 @@ void RawFileReader::run_source(fs::FilterContext& ctx) {
       ctx.meter().disk_bytes_read += reader.bytes_read() - bytes_before;
       seeks_before = reader.seeks_performed();
       bytes_before = reader.bytes_read();
+      const io::FaultReport& rep = reader.report();
+      ctx.meter().read_retries += rep.read_retries - report_before.read_retries;
+      ctx.meter().slices_skipped += rep.slices_skipped - report_before.slices_skipped;
+      ctx.meter().checksum_failures +=
+          rep.checksum_failures - report_before.checksum_failures;
+      report_before.read_retries = rep.read_retries;
+      report_before.slices_skipped = rep.slices_skipped;
+      report_before.checksum_failures = rep.checksum_failures;
 
       // Global region of this piece.
       const Region4 piece{{tile.origin[0], tile.origin[1], slice.z, slice.t},

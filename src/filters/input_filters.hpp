@@ -16,6 +16,10 @@ namespace h4d::filters {
 /// requantizes them to Ng gray levels, cuts them into RFR->IIC pieces and
 /// emits each piece once per IIC copy that owns an overlapping texture chunk
 /// (header.aux carries the target IIC copy for explicit routing).
+///
+/// Reads go through io::ResilientReader: retry/backoff, per-slice checksum
+/// verification and skip-and-fill degradation per PipelineParams::resilience,
+/// with resilience counters credited to the copy's WorkMeter.
 class RawFileReader final : public fs::Filter {
  public:
   explicit RawFileReader(ParamsPtr params) : p_(std::move(params)) {}

@@ -7,6 +7,8 @@
 
 #include "haralick/roi_engine.hpp"
 #include "io/dataset.hpp"
+#include "io/fault.hpp"
+#include "io/resilient_reader.hpp"
 #include "nd/chunking.hpp"
 
 namespace h4d::filters {
@@ -32,8 +34,20 @@ struct PipelineParams {
   /// HPC/HMP flush feature-value buffers at this many samples.
   int feature_buffer_samples = 4096;
 
+  /// Storage-fault handling of the RFR read path: retry budget, checksum
+  /// verification, and what to do with irrecoverable slices.
+  io::ResilienceConfig resilience;
+  /// Deterministic fault injection (testing / resilience drills); a
+  /// default-constructed config injects nothing.
+  io::FaultConfig faults;
+
   /// The overlapping chunk partition (derived; computed once via make()).
   std::vector<Chunk> chunks;
+
+  /// Shared fault machinery (derived by make()): one injector and one report
+  /// aggregator per pipeline run, shared by every filter copy.
+  std::shared_ptr<io::FaultInjector> fault_injector;
+  std::shared_ptr<io::FaultReportSink> fault_sink;
 
   static std::shared_ptr<const PipelineParams> make(PipelineParams p) {
     if (p.io_chunk[0] <= 0) p.io_chunk[0] = p.meta.dims[0];
@@ -41,6 +55,8 @@ struct PipelineParams {
     p.io_chunk[2] = 1;
     p.io_chunk[3] = 1;
     p.chunks = partition_overlapping(p.meta.dims, p.texture_chunk, p.engine.roi_dims);
+    if (p.faults.enabled()) p.fault_injector = std::make_shared<io::FaultInjector>(p.faults);
+    p.fault_sink = std::make_shared<io::FaultReportSink>();
     return std::make_shared<const PipelineParams>(std::move(p));
   }
 

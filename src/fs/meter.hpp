@@ -20,6 +20,9 @@ struct WorkMeter {
   std::int64_t disk_bytes_read = 0;
   std::int64_t disk_seeks = 0;
   std::int64_t disk_bytes_written = 0;
+  std::int64_t read_retries = 0;       ///< resilience: re-attempted slice reads
+  std::int64_t slices_skipped = 0;     ///< resilience: slices degraded to fill
+  std::int64_t checksum_failures = 0;  ///< resilience: CRC mismatches observed
   std::int64_t buffers_in = 0;
   std::int64_t buffers_out = 0;
   std::int64_t bytes_in = 0;
@@ -33,6 +36,9 @@ struct WorkMeter {
     disk_bytes_read += o.disk_bytes_read;
     disk_seeks += o.disk_seeks;
     disk_bytes_written += o.disk_bytes_written;
+    read_retries += o.read_retries;
+    slices_skipped += o.slices_skipped;
+    checksum_failures += o.checksum_failures;
     buffers_in += o.buffers_in;
     buffers_out += o.buffers_out;
     bytes_in += o.bytes_in;
@@ -58,6 +64,9 @@ struct WorkMeter {
     d.disk_bytes_read = later.disk_bytes_read - earlier.disk_bytes_read;
     d.disk_seeks = later.disk_seeks - earlier.disk_seeks;
     d.disk_bytes_written = later.disk_bytes_written - earlier.disk_bytes_written;
+    d.read_retries = later.read_retries - earlier.read_retries;
+    d.slices_skipped = later.slices_skipped - earlier.slices_skipped;
+    d.checksum_failures = later.checksum_failures - earlier.checksum_failures;
     d.buffers_in = later.buffers_in - earlier.buffers_in;
     d.buffers_out = later.buffers_out - earlier.buffers_out;
     d.bytes_in = later.bytes_in - earlier.bytes_in;

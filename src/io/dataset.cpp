@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 
+#include "io/fault.hpp"
+#include "io/resilient_reader.hpp"
 #include "nd/quantize.hpp"
 
 namespace h4d::io {
@@ -19,7 +23,26 @@ std::string slice_filename(std::int64_t t, std::int64_t z) {
   return "slice_t" + std::to_string(t) + "_z" + std::to_string(z) + ".raw";
 }
 
+std::string slice_read_error_message(const std::string& file, std::int64_t t,
+                                     std::int64_t z, std::int64_t expected,
+                                     std::int64_t actual, const std::string& kind) {
+  std::ostringstream os;
+  os << kind << " in " << file << " (slice t=" << t << ", z=" << z << "): expected "
+     << expected << " bytes, got " << actual;
+  return os.str();
+}
+
 }  // namespace
+
+SliceReadError::SliceReadError(const std::string& file, std::int64_t t_, std::int64_t z_,
+                               std::int64_t expected_bytes_, std::int64_t actual_bytes_,
+                               const std::string& what_kind)
+    : std::runtime_error(
+          slice_read_error_message(file, t_, z_, expected_bytes_, actual_bytes_, what_kind)),
+      t(t_),
+      z(z_),
+      expected_bytes(expected_bytes_),
+      actual_bytes(actual_bytes_) {}
 
 std::size_t dtype_size(Dtype d) { return d == Dtype::U8 ? 1 : 2; }
 
@@ -72,8 +95,31 @@ StorageNodeReader::StorageNodeReader(std::filesystem::path node_dir, DatasetMeta
     : dir_(std::move(node_dir)), meta_(meta), node_id_(node_id) {
   std::ifstream idx(dir_ / kIndexFile);
   if (!idx) throw std::runtime_error("cannot read index " + (dir_ / kIndexFile).string());
-  SliceRef s;
-  while (idx >> s.t >> s.z >> s.filename) slices_.push_back(s);
+  // Line format: "<t> <z> <filename> [<crc32-hex>]". The checksum column was
+  // added later; indexes without it stay readable (has_crc == false).
+  std::string line;
+  while (std::getline(idx, line)) {
+    if (line.empty()) continue;
+    std::istringstream is(line);
+    SliceRef s;
+    if (!(is >> s.t >> s.z >> s.filename)) {
+      throw std::runtime_error("malformed index line in " +
+                               (dir_ / kIndexFile).string() + ": " + line);
+    }
+    std::string crc_hex;
+    if (is >> crc_hex) {
+      s.crc = static_cast<std::uint32_t>(std::stoul(crc_hex, nullptr, 16));
+      s.has_crc = true;
+    }
+    slices_.push_back(std::move(s));
+  }
+}
+
+const SliceRef* StorageNodeReader::find_slice(std::int64_t t, std::int64_t z) const {
+  const auto it = std::find_if(slices_.begin(), slices_.end(), [&](const SliceRef& s) {
+    return s.t == t && s.z == z;
+  });
+  return it == slices_.end() ? nullptr : &*it;
 }
 
 void StorageNodeReader::read_slice_region(const SliceRef& slice, std::int64_t x0,
@@ -88,8 +134,15 @@ void StorageNodeReader::read_slice_region(const SliceRef& slice, std::int64_t x0
       y0 + h > meta_.dims[1]) {
     throw std::invalid_argument("read_slice_region: rectangle out of bounds");
   }
+  AttemptPlan plan;
+  if (injector_) plan = injector_->plan_attempt(slice.t, slice.z);
+  const std::string path = (dir_ / slice.filename).string();
   std::ifstream f(dir_ / slice.filename, std::ios::binary);
-  if (!f) throw std::runtime_error("cannot open slice " + (dir_ / slice.filename).string());
+  if (plan.fail_open || !f) {
+    throw std::runtime_error((plan.fail_open ? "injected open failure: " : "") +
+                             std::string("cannot open slice ") + path + " (t=" +
+                             std::to_string(slice.t) + ", z=" + std::to_string(slice.z) + ")");
+  }
 
   const std::size_t esz = dtype_size(meta_.dtype);
   std::vector<std::uint8_t> row(static_cast<std::size_t>(w) * esz);
@@ -102,8 +155,16 @@ void StorageNodeReader::read_slice_region(const SliceRef& slice, std::int64_t x0
         ((y0 + y) * meta_.dims[0] + x0) * static_cast<std::int64_t>(esz);
     f.seekg(off);
     f.read(reinterpret_cast<char*>(row.data()), static_cast<std::streamsize>(row.size()));
-    if (!f) throw std::runtime_error("short read in " + (dir_ / slice.filename).string());
+    std::int64_t got = f.gcount();
+    const bool injected = plan.short_read && y == 0;
+    if (injected) got = got / 2;
+    if (got != static_cast<std::int64_t>(row.size())) {
+      throw SliceReadError(path, slice.t, slice.z,
+                           static_cast<std::int64_t>(row.size()), got,
+                           injected ? "injected short read" : "short read");
+    }
     bytes_read_ += static_cast<std::int64_t>(row.size());
+    if (injector_) injector_->apply_corruption(slice.t, slice.z, row.data(), row.size());
     if (meta_.dtype == Dtype::U16) {
       std::memcpy(out + y * w, row.data(), row.size());
     } else {
@@ -111,6 +172,37 @@ void StorageNodeReader::read_slice_region(const SliceRef& slice, std::int64_t x0
         out[y * w + x] = row[static_cast<std::size_t>(x)];
       }
     }
+  }
+}
+
+void StorageNodeReader::read_slice_bytes(const SliceRef& slice, std::uint8_t* out) const {
+  if (meta_.node_of_slice(slice.z, slice.t) != node_id_) {
+    throw std::invalid_argument("slice (t=" + std::to_string(slice.t) +
+                                ", z=" + std::to_string(slice.z) + ") is not local to node " +
+                                std::to_string(node_id_));
+  }
+  AttemptPlan plan;
+  if (injector_) plan = injector_->plan_attempt(slice.t, slice.z);
+  const std::string path = (dir_ / slice.filename).string();
+  std::ifstream f(dir_ / slice.filename, std::ios::binary);
+  if (plan.fail_open || !f) {
+    throw std::runtime_error((plan.fail_open ? "injected open failure: " : "") +
+                             std::string("cannot open slice ") + path + " (t=" +
+                             std::to_string(slice.t) + ", z=" + std::to_string(slice.z) + ")");
+  }
+  const std::int64_t expected = meta_.slice_bytes();
+  f.read(reinterpret_cast<char*>(out), static_cast<std::streamsize>(expected));
+  std::int64_t got = f.gcount();
+  if (plan.short_read) got = got / 2;
+  ++seeks_;
+  bytes_read_ += got;
+  if (got != expected) {
+    throw SliceReadError(path, slice.t, slice.z, expected, got,
+                         plan.short_read ? "injected short read" : "short read");
+  }
+  if (injector_) {
+    injector_->apply_corruption(slice.t, slice.z, out,
+                                static_cast<std::size_t>(expected));
   }
 }
 
@@ -150,9 +242,14 @@ DiskDataset DiskDataset::create(const std::filesystem::path& root,
       const std::filesystem::path path = root / ("node_" + std::to_string(node)) / name;
       std::ofstream f(path, std::ios::binary);
       if (!f) throw std::runtime_error("cannot write slice " + path.string());
+      const std::size_t nbytes = slice.size() * sizeof(std::uint16_t);
       f.write(reinterpret_cast<const char*>(slice.data()),
-              static_cast<std::streamsize>(slice.size() * sizeof(std::uint16_t)));
-      indexes[static_cast<std::size_t>(node)] << t << ' ' << z << ' ' << name << '\n';
+              static_cast<std::streamsize>(nbytes));
+      const std::uint32_t crc = crc32(slice.data(), nbytes);
+      std::ostringstream crc_hex;
+      crc_hex << std::hex << crc;
+      indexes[static_cast<std::size_t>(node)]
+          << t << ' ' << z << ' ' << name << ' ' << crc_hex.str() << '\n';
     }
   }
   return DiskDataset(root, meta);
@@ -178,30 +275,47 @@ Volume4<std::uint16_t> DiskDataset::read_all() const {
 }
 
 Volume4<std::uint16_t> DiskDataset::read_region(const Region4& region) const {
+  return read_region(region, ResilienceConfig{});
+}
+
+Volume4<std::uint16_t> DiskDataset::read_region(const Region4& region,
+                                                const ResilienceConfig& resilience,
+                                                FaultInjector* injector,
+                                                FaultReport* report) const {
   if (!Region4::whole(meta_.dims).contains(region) || region.empty()) {
     throw std::invalid_argument("read_region: region " + region.str() +
                                 " not inside dataset " + meta_.dims.str());
   }
   Volume4<std::uint16_t> out(region.size);
   std::vector<std::uint16_t> rect(static_cast<std::size_t>(region.size[0] * region.size[1]));
-  std::vector<std::optional<StorageNodeReader>> readers(
-      static_cast<std::size_t>(meta_.storage_nodes));
-  for (std::int64_t t = 0; t < region.size[3]; ++t) {
-    for (std::int64_t z = 0; z < region.size[2]; ++z) {
-      const std::int64_t gz = region.origin[2] + z;
-      const std::int64_t gt = region.origin[3] + t;
-      const int node = meta_.node_of_slice(gz, gt);
-      auto& reader = readers[static_cast<std::size_t>(node)];
-      if (!reader) reader.emplace(node_dir(node), meta_, node);
-      SliceRef ref{gt, gz, slice_filename(gt, gz)};
-      reader->read_slice_region(ref, region.origin[0], region.origin[1], region.size[0],
-                                region.size[1], rect.data());
-      for (std::int64_t y = 0; y < region.size[1]; ++y) {
-        std::memcpy(&out.at(0, y, z, t), rect.data() + y * region.size[0],
-                    static_cast<std::size_t>(region.size[0]) * sizeof(std::uint16_t));
+  FaultReportSink sink;
+  {
+    std::vector<std::unique_ptr<ResilientReader>> readers(
+        static_cast<std::size_t>(meta_.storage_nodes));
+    for (std::int64_t t = 0; t < region.size[3]; ++t) {
+      for (std::int64_t z = 0; z < region.size[2]; ++z) {
+        const std::int64_t gz = region.origin[2] + z;
+        const std::int64_t gt = region.origin[3] + t;
+        const int node = meta_.node_of_slice(gz, gt);
+        auto& reader = readers[static_cast<std::size_t>(node)];
+        if (!reader) {
+          reader = std::make_unique<ResilientReader>(
+              StorageNodeReader(node_dir(node), meta_, node), resilience, injector, &sink);
+        }
+        // Prefer the index entry (it carries the checksum); fall back to the
+        // conventional filename for indexes that lack the slice.
+        SliceRef ref{gt, gz, slice_filename(gt, gz), 0, false};
+        if (const SliceRef* indexed = reader->find_slice(gt, gz)) ref = *indexed;
+        reader->read_slice_region(ref, region.origin[0], region.origin[1], region.size[0],
+                                  region.size[1], rect.data());
+        for (std::int64_t y = 0; y < region.size[1]; ++y) {
+          std::memcpy(&out.at(0, y, z, t), rect.data() + y * region.size[0],
+                      static_cast<std::size_t>(region.size[0]) * sizeof(std::uint16_t));
+        }
       }
     }
   }
+  if (report) report->merge(sink.snapshot());
   return out;
 }
 

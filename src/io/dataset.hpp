@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,11 @@
 #include "nd/volume4.hpp"
 
 namespace h4d::io {
+
+class FaultInjector;    // io/fault.hpp
+struct ResilienceConfig;  // io/resilient_reader.hpp
+struct FaultReport;
+class FaultReportSink;
 
 /// Intensity element type of the stored dataset.
 enum class Dtype { U8, U16 };
@@ -54,6 +60,26 @@ struct SliceRef {
   std::int64_t t = 0;
   std::int64_t z = 0;
   std::string filename;  ///< relative to the node directory
+  /// CRC-32 of the slice file's raw bytes, recorded at create time. Index
+  /// files written before the checksum column lack it (has_crc == false);
+  /// such slices are readable but cannot be verified.
+  std::uint32_t crc = 0;
+  bool has_crc = false;
+};
+
+/// A slice read that delivered the wrong number of bytes (truncated file,
+/// I/O error mid-read, or an injected fault). Carries the slice coordinates
+/// and the expected vs. actual byte counts for diagnosis.
+class SliceReadError : public std::runtime_error {
+ public:
+  SliceReadError(const std::string& file, std::int64_t t, std::int64_t z,
+                 std::int64_t expected_bytes, std::int64_t actual_bytes,
+                 const std::string& what_kind);
+
+  std::int64_t t = 0;
+  std::int64_t z = 0;
+  std::int64_t expected_bytes = 0;
+  std::int64_t actual_bytes = 0;
 };
 
 /// Read-side view of a single storage node: exactly what one RAWFileReader
@@ -63,12 +89,27 @@ class StorageNodeReader {
   StorageNodeReader(std::filesystem::path node_dir, DatasetMeta meta, int node_id);
 
   int node_id() const { return node_id_; }
+  const DatasetMeta& meta() const { return meta_; }
   const std::vector<SliceRef>& slices() const { return slices_; }
+
+  /// Locate a local slice's index entry (nullptr when the node's index does
+  /// not list it).
+  const SliceRef* find_slice(std::int64_t t, std::int64_t z) const;
 
   /// Read a 2D subregion [x0, x0+w) x [y0, y0+h) of one local slice into
   /// `out` (row-major, w*h elements). The slice must belong to this node.
   void read_slice_region(const SliceRef& slice, std::int64_t x0, std::int64_t y0,
                          std::int64_t w, std::int64_t h, std::uint16_t* out) const;
+
+  /// Read the whole slice file's raw bytes (meta.slice_bytes() of them) into
+  /// `out` — the unit checksum verification operates on.
+  void read_slice_bytes(const SliceRef& slice, std::uint8_t* out) const;
+
+  /// Attach a deterministic fault source (non-owning; may be nullptr). Every
+  /// subsequent read consults it: injected open failures and short reads
+  /// throw SliceReadError, injected corruption flips delivered bytes, stalls
+  /// delay. Used by ResilientReader; plain readers stay fault-free.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
   /// Number of fseek-equivalent operations performed so far (cost model).
   std::int64_t seeks_performed() const { return seeks_; }
@@ -79,6 +120,7 @@ class StorageNodeReader {
   DatasetMeta meta_;
   int node_id_;
   std::vector<SliceRef> slices_;
+  FaultInjector* injector_ = nullptr;
   mutable std::int64_t seeks_ = 0;
   mutable std::int64_t bytes_read_ = 0;
 };
@@ -106,8 +148,18 @@ class DiskDataset {
   Volume4<std::uint16_t> read_all() const;
 
   /// Gather an arbitrary 4D subregion, touching only the nodes that own the
-  /// slices it crosses.
+  /// slices it crosses. Per-slice checksums (when present in the index) are
+  /// verified; a mismatch throws ChecksumError (fail-fast).
   Volume4<std::uint16_t> read_region(const Region4& region) const;
+
+  /// Resilient variant: retries, checksum verification and graceful
+  /// degradation follow `resilience`. `injector` (optional) injects
+  /// deterministic faults; `report` (optional) receives the run's fault
+  /// accounting.
+  Volume4<std::uint16_t> read_region(const Region4& region,
+                                     const ResilienceConfig& resilience,
+                                     FaultInjector* injector = nullptr,
+                                     FaultReport* report = nullptr) const;
 
  private:
   DiskDataset(std::filesystem::path root, DatasetMeta meta)

@@ -1,0 +1,177 @@
+#include "io/fault.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace h4d::io {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+/// splitmix64: fast, well-distributed stateless mixer.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from a 64-bit hash.
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::int64_t slice_key(std::int64_t t, std::int64_t z) {
+  return (t << 32) ^ z;
+}
+
+constexpr std::uint64_t kSaltOpen = 0xA11C0DE5;
+constexpr std::uint64_t kSaltShortRead = 0xB2EAD5;
+constexpr std::uint64_t kSaltStall = 0xC0FFEE;
+constexpr std::uint64_t kSaltCorrupt = 0xDECAF;
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t crc) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < n; ++i) crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  return ~crc;
+}
+
+FaultConfig FaultConfig::parse(const std::string& spec) {
+  FaultConfig cfg;
+  if (spec.empty() || spec == "off") return cfg;
+  std::istringstream is(spec);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("fault spec item needs key=value: " + item);
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    try {
+      if (key == "seed") {
+        cfg.seed = std::stoull(value);
+      } else if (key == "open") {
+        cfg.p_fail_open = std::stod(value);
+      } else if (key == "read") {
+        cfg.p_short_read = std::stod(value);
+      } else if (key == "corrupt") {
+        cfg.p_corrupt = std::stod(value);
+      } else if (key == "stall") {
+        cfg.p_stall = std::stod(value);
+      } else if (key == "stall_ms") {
+        cfg.stall_ms = std::stod(value);
+      } else if (key == "max_transient") {
+        cfg.max_transient_per_slice = std::stoi(value);
+      } else {
+        throw std::runtime_error("unknown fault spec key: " + key);
+      }
+    } catch (const std::invalid_argument&) {
+      throw std::runtime_error("bad fault spec value for " + key + ": " + value);
+    }
+  }
+  for (const double p : {cfg.p_fail_open, cfg.p_short_read, cfg.p_corrupt, cfg.p_stall}) {
+    if (p < 0.0 || p > 1.0) throw std::runtime_error("fault probability outside [0,1]");
+  }
+  return cfg;
+}
+
+std::string FaultConfig::str() const {
+  std::ostringstream os;
+  os << "seed=" << seed << ",open=" << p_fail_open << ",read=" << p_short_read
+     << ",corrupt=" << p_corrupt << ",stall=" << p_stall;
+  return os.str();
+}
+
+FaultInjector::FaultInjector(FaultConfig config) : cfg_(config) {}
+
+double FaultInjector::uniform(std::int64_t slice, std::int64_t attempt,
+                              std::uint64_t salt) const {
+  std::uint64_t h = mix64(cfg_.seed ^ salt);
+  h = mix64(h ^ static_cast<std::uint64_t>(slice));
+  h = mix64(h ^ static_cast<std::uint64_t>(attempt));
+  return to_unit(h);
+}
+
+AttemptPlan FaultInjector::plan_attempt(std::int64_t t, std::int64_t z) {
+  const std::int64_t key = slice_key(t, z);
+  int attempt = 0;
+  int transient_so_far = 0;
+  {
+    std::lock_guard lk(mu_);
+    attempt = attempts_[key]++;
+    transient_so_far = transient_[key];
+  }
+
+  AttemptPlan plan;
+  const bool transient_allowed = transient_so_far < cfg_.max_transient_per_slice;
+  if (transient_allowed) {
+    if (uniform(key, attempt, kSaltOpen) < cfg_.p_fail_open) {
+      plan.fail_open = true;
+    } else if (uniform(key, attempt, kSaltShortRead) < cfg_.p_short_read) {
+      plan.short_read = true;
+    }
+    if (uniform(key, attempt, kSaltStall) < cfg_.p_stall) plan.stall = true;
+  }
+
+  if (plan.fail_open) stats_.opens_failed.fetch_add(1, std::memory_order_relaxed);
+  if (plan.short_read) stats_.short_reads.fetch_add(1, std::memory_order_relaxed);
+  if (plan.stall) {
+    stats_.stalls.fetch_add(1, std::memory_order_relaxed);
+    if (cfg_.really_sleep && cfg_.stall_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(cfg_.stall_ms));
+    }
+  }
+  if (plan.fail_open || plan.short_read || plan.stall) {
+    std::lock_guard lk(mu_);
+    ++transient_[key];
+  }
+  return plan;
+}
+
+bool FaultInjector::is_slice_corrupted(std::int64_t t, std::int64_t z) const {
+  if (cfg_.p_corrupt <= 0.0) return false;
+  return uniform(slice_key(t, z), /*attempt=*/-1, kSaltCorrupt) < cfg_.p_corrupt;
+}
+
+void FaultInjector::apply_corruption(std::int64_t t, std::int64_t z, std::uint8_t* data,
+                                     std::size_t n) {
+  if (n == 0 || !is_slice_corrupted(t, z)) return;
+  stats_.slices_corrupted.fetch_add(1, std::memory_order_relaxed);
+  // Flip a run of bytes at a position derived from the slice identity so
+  // every re-read of the slice sees the same damage. Positions are distinct
+  // and masks non-zero, so the buffer is guaranteed to differ (the checksum
+  // must catch this).
+  const std::int64_t key = slice_key(t, z);
+  const std::uint64_t h = mix64(cfg_.seed ^ kSaltCorrupt ^ static_cast<std::uint64_t>(key));
+  const std::size_t flips = std::min<std::size_t>(n, 1 + h % 4);
+  for (std::size_t i = 0; i < flips; ++i) {
+    data[(h + i) % n] ^= static_cast<std::uint8_t>(0xA5u + i);
+  }
+}
+
+int FaultInjector::attempts(std::int64_t t, std::int64_t z) const {
+  std::lock_guard lk(mu_);
+  const auto it = attempts_.find(slice_key(t, z));
+  return it == attempts_.end() ? 0 : it->second;
+}
+
+}  // namespace h4d::io

@@ -1,0 +1,111 @@
+// Deterministic storage-fault injection (resilience layer, part 1).
+//
+// A long out-of-core run touches millions of slice reads; at that scale the
+// storage layer *will* hiccup (transient open failures, short reads, silent
+// bit rot, latency stalls). The FaultInjector reproduces those hiccups
+// deterministically so the retry/degradation machinery in ResilientReader can
+// be tested and benchmarked: every decision is a pure hash of
+// (seed, slice, attempt), so a given seed yields the same fault schedule
+// regardless of thread interleaving or call order across filter copies.
+//
+// Fault taxonomy:
+//   * fail_open / short_read / stall — *transient*: decided per read attempt,
+//     so a retry of the same slice may succeed. `max_transient_per_slice`
+//     bounds how many transient faults one slice can suffer, which makes
+//     retry-until-success provable in tests.
+//   * corrupt — *sticky*: decided per slice (attempt-independent), modeling
+//     on-disk bit rot. Re-reads see the same corruption; only checksum
+//     verification can detect it and only skip_and_fill can get past it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace h4d::io {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over `n` bytes, chainable via
+/// `crc`. Used for the per-slice checksums in the dataset index files.
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t crc = 0);
+
+/// Configuration of the injector. All probabilities are in [0, 1];
+/// a default-constructed config injects nothing.
+struct FaultConfig {
+  std::uint64_t seed = 0;
+  double p_fail_open = 0.0;   ///< per attempt: open() fails
+  double p_short_read = 0.0;  ///< per attempt: read() returns too few bytes
+  double p_corrupt = 0.0;     ///< per slice (sticky): delivered bytes are flipped
+  double p_stall = 0.0;       ///< per attempt: the read stalls for stall_ms
+  double stall_ms = 1.0;
+  bool really_sleep = true;   ///< false: stalls are only counted, not slept
+  /// Transient faults (open/short-read/stall) stop firing on a slice after
+  /// this many have been injected, guaranteeing eventual read success.
+  int max_transient_per_slice = std::numeric_limits<int>::max();
+
+  bool enabled() const {
+    return p_fail_open > 0.0 || p_short_read > 0.0 || p_corrupt > 0.0 || p_stall > 0.0;
+  }
+
+  /// Parse a CLI spec: comma-separated key=value pairs among
+  /// seed, open, read, corrupt, stall, stall_ms, max_transient.
+  /// Example: "seed=7,open=0.05,read=0.02,corrupt=0.01". Empty => disabled.
+  static FaultConfig parse(const std::string& spec);
+  std::string str() const;
+};
+
+/// Counts of faults actually injected (for reporting; thread-safe).
+struct FaultStats {
+  std::atomic<std::int64_t> opens_failed{0};
+  std::atomic<std::int64_t> short_reads{0};
+  std::atomic<std::int64_t> stalls{0};
+  std::atomic<std::int64_t> slices_corrupted{0};  ///< corrupt deliveries (per read)
+};
+
+/// What the injector decided for one read attempt of one slice.
+struct AttemptPlan {
+  bool fail_open = false;
+  bool short_read = false;
+  bool stall = false;
+};
+
+/// Seeded, deterministic fault source shared by every reader of one run.
+/// Thread-safe: per-slice attempt counters are mutex-guarded, decisions are
+/// stateless hashes.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config);
+
+  const FaultConfig& config() const { return cfg_; }
+  const FaultStats& stats() const { return stats_; }
+
+  /// Decide the fate of the next read attempt of slice (t, z). Increments the
+  /// slice's attempt counter; also performs (or just counts) the stall.
+  AttemptPlan plan_attempt(std::int64_t t, std::int64_t z);
+
+  /// Sticky per-slice corruption decision (same answer on every call and on
+  /// every injector constructed with the same config).
+  bool is_slice_corrupted(std::int64_t t, std::int64_t z) const;
+
+  /// Deterministically flip bytes of a corrupted slice's delivered data.
+  /// No-op when the slice is not corrupted.
+  void apply_corruption(std::int64_t t, std::int64_t z, std::uint8_t* data,
+                        std::size_t n);
+
+  /// Attempts observed so far for a slice (testing / diagnostics).
+  int attempts(std::int64_t t, std::int64_t z) const;
+
+ private:
+  double uniform(std::int64_t slice, std::int64_t attempt, std::uint64_t salt) const;
+
+  FaultConfig cfg_;
+  FaultStats stats_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::int64_t, int> attempts_;   ///< slice key -> attempts
+  std::unordered_map<std::int64_t, int> transient_;  ///< slice key -> faults injected
+};
+
+}  // namespace h4d::io

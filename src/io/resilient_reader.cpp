@@ -1,0 +1,179 @@
+#include "io/resilient_reader.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+namespace h4d::io {
+
+namespace {
+
+std::int64_t slice_key(const SliceRef& s) { return (s.t << 32) ^ s.z; }
+
+}  // namespace
+
+ChecksumError::ChecksumError(const std::string& file, std::int64_t t_, std::int64_t z_,
+                             std::uint32_t expected, std::uint32_t actual)
+    : std::runtime_error([&] {
+        std::ostringstream os;
+        os << "checksum mismatch in " << file << " (slice t=" << t_ << ", z=" << z_
+           << "): index records crc32 " << std::hex << expected << ", read back "
+           << actual;
+        return os.str();
+      }()),
+      t(t_),
+      z(z_) {}
+
+double RetryPolicy::backoff_ms(int retry) const {
+  double ms = backoff_base_ms;
+  for (int i = 0; i < retry; ++i) {
+    ms *= backoff_factor;
+    if (ms >= backoff_max_ms) break;
+  }
+  return std::min(ms, backoff_max_ms);
+}
+
+std::string_view degrade_policy_name(DegradePolicy p) {
+  switch (p) {
+    case DegradePolicy::FailFast: return "fail_fast";
+    case DegradePolicy::Retry: return "retry";
+    case DegradePolicy::SkipAndFill: return "skip_and_fill";
+  }
+  return "?";
+}
+
+DegradePolicy degrade_policy_from_name(const std::string& name) {
+  if (name == "fail_fast" || name == "fail") return DegradePolicy::FailFast;
+  if (name == "retry") return DegradePolicy::Retry;
+  if (name == "skip_and_fill" || name == "skip") return DegradePolicy::SkipAndFill;
+  throw std::runtime_error("unknown degradation policy: " + name +
+                           " (want fail|retry|skip)");
+}
+
+void FaultReport::merge(const FaultReport& o) {
+  read_retries += o.read_retries;
+  checksum_failures += o.checksum_failures;
+  slices_skipped += o.slices_skipped;
+  slices_recovered += o.slices_recovered;
+  skipped.insert(skipped.end(), o.skipped.begin(), o.skipped.end());
+}
+
+std::string FaultReport::summary() const {
+  std::ostringstream os;
+  os << read_retries << " read retries, " << slices_recovered << " slices recovered, "
+     << checksum_failures << " checksum failures, " << slices_skipped
+     << " slices skipped";
+  for (const SkippedSlice& s : skipped) {
+    os << "\n  skipped slice (t=" << s.t << ", z=" << s.z << "): " << s.reason;
+  }
+  return os.str();
+}
+
+ResilientReader::ResilientReader(StorageNodeReader reader, ResilienceConfig config,
+                                 FaultInjector* injector, FaultReportSink* sink)
+    : reader_(std::move(reader)), cfg_(config), sink_(sink) {
+  reader_.set_fault_injector(injector);
+}
+
+ResilientReader::~ResilientReader() {
+  if (sink_) sink_->merge(report_);
+}
+
+void ResilientReader::extract_rect(const std::uint8_t* slice_bytes, std::int64_t x0,
+                                   std::int64_t y0, std::int64_t w, std::int64_t h,
+                                   std::uint16_t* out) const {
+  const DatasetMeta& m = reader_.meta();
+  const std::int64_t nx = m.dims[0];
+  if (m.dtype == Dtype::U16) {
+    const auto* src = reinterpret_cast<const std::uint16_t*>(slice_bytes);
+    for (std::int64_t y = 0; y < h; ++y) {
+      std::memcpy(out + y * w, src + (y0 + y) * nx + x0,
+                  static_cast<std::size_t>(w) * sizeof(std::uint16_t));
+    }
+  } else {
+    for (std::int64_t y = 0; y < h; ++y) {
+      const std::uint8_t* row = slice_bytes + (y0 + y) * nx + x0;
+      for (std::int64_t x = 0; x < w; ++x) {
+        out[y * w + x] = row[x];
+      }
+    }
+  }
+}
+
+void ResilientReader::attempt_read(const SliceRef& slice, std::int64_t x0,
+                                   std::int64_t y0, std::int64_t w, std::int64_t h,
+                                   std::uint16_t* out) {
+  if (!(cfg_.verify_checksums && slice.has_crc)) {
+    reader_.read_slice_region(slice, x0, y0, w, h, out);
+    return;
+  }
+  // Verified path: fetch + check the whole slice file (the checksum unit),
+  // then serve the rectangle from the cached bytes.
+  if (cached_slice_ != slice_key(slice)) {
+    const std::size_t nbytes = static_cast<std::size_t>(reader_.meta().slice_bytes());
+    std::vector<std::uint8_t> bytes(nbytes);
+    reader_.read_slice_bytes(slice, bytes.data());
+    const std::uint32_t actual = crc32(bytes.data(), bytes.size());
+    if (actual != slice.crc) {
+      ++report_.checksum_failures;
+      throw ChecksumError(slice.filename, slice.t, slice.z, slice.crc, actual);
+    }
+    cached_bytes_ = std::move(bytes);
+    cached_slice_ = slice_key(slice);
+  }
+  extract_rect(cached_bytes_.data(), x0, y0, w, h, out);
+}
+
+void ResilientReader::fill(std::int64_t w, std::int64_t h, std::uint16_t* out) const {
+  std::fill_n(out, static_cast<std::size_t>(w * h), cfg_.fill_value);
+}
+
+bool ResilientReader::read_slice_region(const SliceRef& slice, std::int64_t x0,
+                                        std::int64_t y0, std::int64_t w, std::int64_t h,
+                                        std::uint16_t* out) {
+  // A slice already declared irrecoverable stays filled (and is reported
+  // only once), so the tile loop sees consistent data without re-retrying.
+  if (std::find(failed_slices_.begin(), failed_slices_.end(), slice_key(slice)) !=
+      failed_slices_.end()) {
+    fill(w, h, out);
+    return false;
+  }
+
+  const int max_attempts =
+      cfg_.policy == DegradePolicy::FailFast ? 1 : std::max(1, cfg_.retry.max_attempts);
+  std::string last_error;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++report_.read_retries;
+      const double ms = cfg_.retry.backoff_ms(attempt - 1);
+      if (cfg_.retry.really_sleep && ms > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+      }
+    }
+    try {
+      attempt_read(slice, x0, y0, w, h, out);
+      if (attempt > 0) ++report_.slices_recovered;
+      return true;
+    } catch (const std::exception& e) {
+      last_error = e.what();
+      if (cfg_.policy == DegradePolicy::FailFast) throw;
+    }
+  }
+
+  if (cfg_.policy == DegradePolicy::Retry) {
+    throw std::runtime_error("slice (t=" + std::to_string(slice.t) +
+                             ", z=" + std::to_string(slice.z) + ") unreadable after " +
+                             std::to_string(max_attempts) +
+                             " attempts: " + last_error);
+  }
+  // SkipAndFill: degrade gracefully and record the loss.
+  failed_slices_.push_back(slice_key(slice));
+  ++report_.slices_skipped;
+  report_.skipped.push_back({slice.t, slice.z, last_error});
+  fill(w, h, out);
+  return false;
+}
+
+}  // namespace h4d::io

@@ -1,0 +1,164 @@
+// Resilient slice access (resilience layer, part 2).
+//
+// Wraps a StorageNodeReader with the policies that keep a long out-of-core
+// run alive through storage-layer faults:
+//   * bounded retry with exponential backoff for transient failures
+//     (failed opens, short reads);
+//   * per-slice CRC-32 verification against the checksum recorded in the
+//     node index at DiskDataset::create time, catching silent corruption;
+//   * graceful degradation: fail_fast rethrows immediately, retry gives up
+//     after the attempt budget, skip_and_fill substitutes a configurable
+//     fill intensity for irrecoverable slices and records them in a
+//     FaultReport so the run completes with a precise damage inventory.
+//
+// The verified read path fetches whole slice files (the checksum unit) and
+// caches the most recent one, so the RFR filter's tile loop re-reads nothing.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "io/dataset.hpp"
+#include "io/fault.hpp"
+
+namespace h4d::io {
+
+/// A slice whose recorded CRC-32 did not match the bytes read back.
+class ChecksumError : public std::runtime_error {
+ public:
+  ChecksumError(const std::string& file, std::int64_t t, std::int64_t z,
+                std::uint32_t expected, std::uint32_t actual);
+
+  std::int64_t t = 0;
+  std::int64_t z = 0;
+};
+
+/// Bounded retry with exponential backoff.
+struct RetryPolicy {
+  int max_attempts = 4;          ///< total tries per slice (1 = no retry)
+  double backoff_base_ms = 1.0;  ///< delay before the first retry
+  double backoff_factor = 2.0;
+  double backoff_max_ms = 50.0;  ///< cap on any single delay
+  bool really_sleep = true;      ///< false: backoff is only accounted, not slept
+
+  /// Delay before retry number `retry` (0-based): base * factor^retry,
+  /// capped at backoff_max_ms. Exposed for tests of the bound.
+  double backoff_ms(int retry) const;
+};
+
+/// What to do with a slice that stays unreadable after the retry budget.
+enum class DegradePolicy {
+  FailFast,     ///< no retries; first error propagates
+  Retry,        ///< retry with backoff; propagate after exhaustion
+  SkipAndFill,  ///< retry, then substitute fill_value and record the slice
+};
+
+std::string_view degrade_policy_name(DegradePolicy p);
+DegradePolicy degrade_policy_from_name(const std::string& name);
+
+/// Full resilience configuration of one reader / pipeline run.
+struct ResilienceConfig {
+  DegradePolicy policy = DegradePolicy::FailFast;
+  RetryPolicy retry;
+  /// Verify per-slice CRC-32 on read when the index records one. Verified
+  /// reads fetch whole slice files (the checksum unit).
+  bool verify_checksums = true;
+  /// Raw intensity substituted for irrecoverable slices under SkipAndFill.
+  std::uint16_t fill_value = 0;
+};
+
+/// One slice given up on (SkipAndFill) — part of the damage inventory.
+struct SkippedSlice {
+  std::int64_t t = 0;
+  std::int64_t z = 0;
+  std::string reason;
+};
+
+/// Accounting of resilience behavior during a run. Plain data (copyable);
+/// use FaultReportSink to aggregate across threads.
+struct FaultReport {
+  std::int64_t read_retries = 0;       ///< re-attempts after a failed read
+  std::int64_t checksum_failures = 0;  ///< CRC mismatches observed
+  std::int64_t slices_skipped = 0;     ///< slices degraded to fill_value
+  std::int64_t slices_recovered = 0;   ///< slices that succeeded after >=1 retry
+  std::vector<SkippedSlice> skipped;   ///< exactly the irrecoverable slices
+
+  void merge(const FaultReport& o);
+  bool clean() const {
+    return read_retries == 0 && checksum_failures == 0 && slices_skipped == 0;
+  }
+  std::string summary() const;
+};
+
+/// Thread-safe aggregator shared by the filter copies of one pipeline run.
+class FaultReportSink {
+ public:
+  void merge(const FaultReport& r) {
+    std::lock_guard lk(mu_);
+    agg_.merge(r);
+  }
+  FaultReport snapshot() const {
+    std::lock_guard lk(mu_);
+    return agg_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  FaultReport agg_;
+};
+
+/// Fault-tolerant view of one storage node. Not thread-safe (one per filter
+/// copy, like StorageNodeReader); aggregate reports through the shared sink.
+class ResilientReader {
+ public:
+  /// `injector` and `sink` are non-owning and may be nullptr. The local
+  /// report is merged into `sink` on destruction.
+  ResilientReader(StorageNodeReader reader, ResilienceConfig config,
+                  FaultInjector* injector = nullptr, FaultReportSink* sink = nullptr);
+  ~ResilientReader();
+
+  ResilientReader(const ResilientReader&) = delete;
+  ResilientReader& operator=(const ResilientReader&) = delete;
+
+  const std::vector<SliceRef>& slices() const { return reader_.slices(); }
+  const SliceRef* find_slice(std::int64_t t, std::int64_t z) const {
+    return reader_.find_slice(t, z);
+  }
+
+  /// Read a 2D subregion of one local slice (same contract as
+  /// StorageNodeReader::read_slice_region), applying the configured
+  /// resilience. Returns true when real data was delivered, false when the
+  /// slice was irrecoverable and `out` was filled with fill_value.
+  bool read_slice_region(const SliceRef& slice, std::int64_t x0, std::int64_t y0,
+                         std::int64_t w, std::int64_t h, std::uint16_t* out);
+
+  /// Resilience accounting local to this reader (monotonic; the RFR filter
+  /// meters deltas between calls).
+  const FaultReport& report() const { return report_; }
+
+  std::int64_t seeks_performed() const { return reader_.seeks_performed(); }
+  std::int64_t bytes_read() const { return reader_.bytes_read(); }
+
+ private:
+  /// One verified or plain read attempt; throws on failure.
+  void attempt_read(const SliceRef& slice, std::int64_t x0, std::int64_t y0,
+                    std::int64_t w, std::int64_t h, std::uint16_t* out);
+  void fill(std::int64_t w, std::int64_t h, std::uint16_t* out) const;
+  void extract_rect(const std::uint8_t* slice_bytes, std::int64_t x0, std::int64_t y0,
+                    std::int64_t w, std::int64_t h, std::uint16_t* out) const;
+
+  StorageNodeReader reader_;
+  ResilienceConfig cfg_;
+  FaultReportSink* sink_;
+  FaultReport report_;
+
+  // Whole-slice cache for the verified path (one slice: the RFR tile loop
+  // visits tiles of a slice consecutively).
+  std::vector<std::uint8_t> cached_bytes_;
+  std::int64_t cached_slice_ = -1;
+  std::vector<std::int64_t> failed_slices_;  ///< already given up on (dedup)
+};
+
+}  // namespace h4d::io

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
+#include <vector>
 
 #include "haralick/directions.hpp"
 #include "haralick/roi_engine.hpp"
@@ -135,6 +137,76 @@ TEST(SlidingGlcm, Guards) {
   EXPECT_THROW(SlidingGlcm(v.view(), {2, 2, 2, 2},
                            axis_directions(ActiveDims::all4(), 3), 8),
                std::invalid_argument);
+}
+
+TEST(SlidingGlcm, NegativeDisplacementDirections) {
+  // Regression coverage for directions with negative components, which the
+  // axis-aligned and unique_directions suites above only exercise partially.
+  const auto v = random_volume({10, 9, 5, 5}, 8, 11);
+  const std::vector<Vec4> dirs{{-1, 0, 0, 0}, {0, -1, 0, 0}, {-1, -1, 0, 0},
+                               {1, -1, 0, 0}, {-1, 1, 0, 0}, {0, 0, -1, -1}};
+  const Vec4 roi{4, 4, 3, 3};
+  SlidingGlcm s(v.view(), roi, dirs, 8);
+  Vec4 o{1, 1, 0, 0};
+  s.reset(o);
+  expect_same(s.glcm(), reference(v, o, roi, dirs, 8));
+  for (const int axis : {0, 1, 2, 3, 0, 1, 2, 3, 0, 1}) {
+    s.slide(axis);
+    o[axis] += 1;
+    expect_same(s.glcm(), reference(v, o, roi, dirs, 8));
+  }
+}
+
+TEST(SlidingGlcm, RandomizedCrossCheckAgainstAccumulate) {
+  // Seeded property test: random volumes, ROI shapes and direction sets
+  // (including negative and mixed-sign displacements), checked against
+  // Glcm::accumulate after every slide of a random walk.
+  std::mt19937_64 rng(20040404);
+  const auto pick = [&rng](std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(rng);
+  };
+
+  for (int iter = 0; iter < 20; ++iter) {
+    Vec4 dims, roi;
+    for (int d = 0; d < 4; ++d) {
+      dims[d] = pick(5, 9);
+      roi[d] = pick(2, dims[d] - 1);  // leave room to slide on every axis
+    }
+    const int ng = static_cast<int>(pick(0, 1)) ? 8 : 16;
+    const auto v = random_volume(dims, ng, 100 + static_cast<unsigned>(iter));
+
+    // Random non-zero directions with |component| < roi extent per axis.
+    std::vector<Vec4> dirs;
+    const std::int64_t num_dirs = pick(2, 6);
+    while (static_cast<std::int64_t>(dirs.size()) < num_dirs) {
+      Vec4 dir{0, 0, 0, 0};
+      for (int d = 0; d < 4; ++d) {
+        dir[d] = pick(-std::min<std::int64_t>(2, roi[d] - 1),
+                      std::min<std::int64_t>(2, roi[d] - 1));
+      }
+      if (dir != Vec4{0, 0, 0, 0}) dirs.push_back(dir);
+    }
+
+    SlidingGlcm s(v.view(), roi, dirs, ng);
+    Vec4 o;
+    for (int d = 0; d < 4; ++d) o[d] = pick(0, dims[d] - roi[d]);
+    s.reset(o);
+    expect_same(s.glcm(), reference(v, o, roi, dirs, ng));
+
+    for (int step = 0; step < 10; ++step) {
+      // Collect the axes that still have room; stop if the walk is stuck.
+      std::vector<int> movable;
+      for (int d = 0; d < 4; ++d) {
+        if (o[d] + roi[d] < dims[d]) movable.push_back(d);
+      }
+      if (movable.empty()) break;
+      const int axis = movable[static_cast<std::size_t>(
+          pick(0, static_cast<std::int64_t>(movable.size()) - 1))];
+      s.slide(axis);
+      o[axis] += 1;
+      expect_same(s.glcm(), reference(v, o, roi, dirs, ng));
+    }
+  }
 }
 
 TEST(SlidingEngine, AnalyzeVolumeMatchesNonSliding) {
