@@ -1,16 +1,42 @@
 #include "bench_common.hpp"
 
+#include "fs/metrics.hpp"
 #include "haralick/directions.hpp"
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 namespace h4d::bench {
 
 namespace fsys = std::filesystem;
+
+namespace {
+
+// --metrics state shared between setup_workload (parses the flag),
+// run_config (records each simulated run) and Report::finish (writes the
+// document). Bench binaries are single-threaded drivers, so plain globals.
+std::string g_metrics_path;
+std::vector<std::pair<std::string, sim::SimStats>> g_metrics_runs;
+
+std::string config_label(const core::PipelineConfig& cfg) {
+  std::ostringstream os;
+  if (cfg.variant == core::Variant::HMP) {
+    os << "hmp" << cfg.hmp_copies;
+  } else {
+    os << "split" << cfg.hcc_copies << "+" << cfg.hpc_copies;
+  }
+  os << (cfg.engine.representation == haralick::Representation::Sparse ? "-sparse"
+                                                                       : "-full");
+  return os.str();
+}
+
+}  // namespace
 
 haralick::EngineConfig Workload::engine(haralick::Representation repr) const {
   haralick::EngineConfig e;
@@ -31,6 +57,12 @@ Workload setup_workload(int argc, char** argv) {
   bool full = std::getenv("H4D_FULL") != nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) full = true;
+    if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      g_metrics_path = argv[i + 1];
+    }
+  }
+  if (const char* env = std::getenv("H4D_METRICS"); env && g_metrics_path.empty()) {
+    g_metrics_path = env;
   }
 
   Workload w;
@@ -149,7 +181,9 @@ core::PipelineConfig split_config(const Workload& w, int texture_nodes,
 
 sim::SimStats run_config(const core::PipelineConfig& cfg, const sim::SimOptions& opt) {
   const fs::FilterGraph graph = core::build_pipeline(cfg);
-  return sim::run_simulated(graph, opt);
+  sim::SimStats stats = sim::run_simulated(graph, opt);
+  if (!g_metrics_path.empty()) g_metrics_runs.emplace_back(config_label(cfg), stats);
+  return stats;
 }
 
 Report::Report(std::string figure, std::string title, std::vector<std::string> columns)
@@ -182,6 +216,30 @@ int Report::finish() {
   csv_.save(out);
   std::cout << "# shape checks: " << (checks_ - failed_) << "/" << checks_ << " passed; csv: "
             << out << "\n\n";
+
+  if (!g_metrics_path.empty() && !g_metrics_runs.empty()) {
+    std::ofstream ms(g_metrics_path);
+    if (!ms) {
+      std::cerr << "[bench] cannot write metrics file " << g_metrics_path << "\n";
+      return 1;
+    }
+    ms << "{\"schema\": \"h4d-bench-metrics-v1\", \"figure\": \"" << figure_
+       << "\", \"runs\": [";
+    for (std::size_t i = 0; i < g_metrics_runs.size(); ++i) {
+      const auto& [label, stats] = g_metrics_runs[i];
+      ms << (i ? ",\n  " : "\n  ") << "{\"label\": \"" << label << "\", \"metrics\": ";
+      const fs::MetricsExtra net = {
+          {"network_transfers", static_cast<double>(stats.network_transfers)},
+          {"network_bytes", static_cast<double>(stats.network_bytes)},
+          {"network_busy_seconds", stats.network_busy_seconds}};
+      fs::write_metrics_object(ms, stats, fs::analyze_bottleneck(stats), net);
+      ms << "}";
+    }
+    ms << "\n]}\n";
+    std::cout << "# metrics: " << g_metrics_runs.size() << " runs exported to "
+              << g_metrics_path << "\n\n";
+    g_metrics_runs.clear();
+  }
   return failed_ == 0 ? 0 : 1;
 }
 

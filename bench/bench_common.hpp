@@ -33,7 +33,11 @@ struct Workload {
   haralick::EngineConfig engine(haralick::Representation repr) const;
 };
 
-/// Build (or reuse a cached) phantom dataset for the benchmarks.
+/// Build (or reuse a cached) phantom dataset for the benchmarks. Also parses
+/// the common harness flags: `--full` (paper-scale dataset) and
+/// `--metrics FILE` (export every simulated run's per-filter metrics +
+/// bottleneck report as one JSON document when Report::finish() runs — the
+/// EXPERIMENTS.md regeneration flow).
 Workload setup_workload(int argc, char** argv);
 
 // ---- paper node layouts (homogeneous PIII cluster, Sec. 5.2) ----
@@ -59,7 +63,9 @@ core::PipelineConfig split_config(const Workload& w, int texture_nodes,
 /// Number of HCC nodes in the no-overlap split for n texture nodes.
 int split_hcc_nodes(int texture_nodes);
 
-/// Run one configuration through the simulator and return its stats.
+/// Run one configuration through the simulator and return its stats. When
+/// `--metrics` is active, the run is also recorded (labeled by variant,
+/// copy counts and representation) for export at Report::finish().
 sim::SimStats run_config(const core::PipelineConfig& cfg, const sim::SimOptions& opt);
 
 // ---- reporting ----

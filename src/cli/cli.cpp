@@ -9,6 +9,8 @@
 
 #include "core/analysis.hpp"
 #include "core/planner.hpp"
+#include "fs/metrics.hpp"
+#include "fs/trace.hpp"
 #include "haralick/directions.hpp"
 #include "io/image_write.hpp"
 #include "io/mhd.hpp"
@@ -191,16 +193,40 @@ void print_fault_report(const io::FaultReport& report, std::ostream& out) {
   out << "resilience: " << report.summary() << "\n";
 }
 
+/// Shared --trace/--metrics handling of analyze and simulate: write the
+/// requested export files and print the end-of-run bottleneck report.
+void finish_observability(const Args& args, const fs::RunStats& stats,
+                          const fs::TraceRecorder& trace, const fs::MetricsExtra& extra,
+                          std::ostream& out) {
+  const fs::BottleneckReport report = fs::analyze_bottleneck(stats);
+  fs::print_bottleneck_report(out, report);
+  if (args.has("trace")) {
+    const std::string path = args.get("trace", "");
+    fs::write_trace_file(path, trace);
+    out << "trace: wrote " << trace.event_count() << " events to " << path
+        << " (load in Perfetto / chrome://tracing)\n";
+  }
+  if (args.has("metrics")) {
+    const std::string path = args.get("metrics", "");
+    fs::write_metrics_file(path, stats, extra);
+    out << "metrics: wrote " << path << "\n";
+  }
+}
+
 int cmd_analyze(const Args& args, std::ostream& out) {
   if (args.positional().empty()) throw std::runtime_error("analyze: need a dataset directory");
   const std::string dataset = args.positional()[0];
   core::PipelineConfig cfg = pipeline_from_args(args, dataset);
 
-  const core::AnalysisResult result = core::analyze_threaded(cfg);
+  fs::TraceRecorder trace;
+  fs::ThreadedOptions topt;
+  if (args.has("trace")) topt.trace = &trace;
+  const core::AnalysisResult result = core::analyze_threaded(cfg, topt);
   out << "analyzed " << dataset << " in " << result.stats.total_seconds << "s wall, "
       << result.maps.size() << " feature maps over " << result.origins.size.str()
       << " origins\n";
   print_fault_report(result.faults, out);
+  finish_observability(args, result.stats, trace, {}, out);
 
   if (args.has("out")) {
     const std::string dest = args.get("out", "");
@@ -241,6 +267,8 @@ int cmd_simulate(const Args& args, std::ostream& out) {
 
   sim::SimOptions sopt;
   sopt.cluster = sim::make_piii_cluster(first_texture + workers + 2);
+  fs::TraceRecorder trace;
+  if (args.has("trace")) sopt.trace = &trace;
 
   const core::AnalysisResult r = core::analyze_simulated(cfg, sopt);
   out << "virtual execution time " << r.sim.total_seconds << " s on "
@@ -254,6 +282,11 @@ int cmd_simulate(const Args& args, std::ostream& out) {
     out << "  " << filter << " total busy " << seconds << " s\n";
   }
   print_fault_report(r.faults, out);
+  const fs::MetricsExtra net = {
+      {"network_transfers", static_cast<double>(r.sim.network_transfers)},
+      {"network_bytes", static_cast<double>(r.sim.network_bytes)},
+      {"network_busy_seconds", r.sim.network_busy_seconds}};
+  finish_observability(args, r.sim, trace, net, out);
   return 0;
 }
 
@@ -270,7 +303,18 @@ int usage(std::ostream& err) {
          "           [--chunk X,Y,Z,T] [--plan fixed|auto]\n"
          "           [--faults SPEC] [--retry N] [--on-corrupt fail|retry|skip]\n"
          "           [--checksums on|off] [--fill V]\n"
+         "           [--trace FILE] [--metrics FILE]\n"
          "  simulate DATASET_DIR [same options as analyze]\n"
+         "\n"
+         "observability (see docs/OBSERVABILITY.md):\n"
+         "  --trace FILE        record filter-copy activity spans and buffer\n"
+         "                      handoffs as Chrome-trace JSON (Perfetto /\n"
+         "                      chrome://tracing); wall time for analyze,\n"
+         "                      virtual time for simulate\n"
+         "  --metrics FILE      export the per-copy work-meter table and the\n"
+         "                      bottleneck report; .csv -> per-copy CSV table,\n"
+         "                      otherwise JSON (schema h4d-metrics-v1). The\n"
+         "                      bottleneck report also prints after every run\n"
          "\n"
          "resilience:\n"
          "  --faults SPEC       inject deterministic storage faults; SPEC is\n"

@@ -45,12 +45,13 @@ AnalysisResult analyze_in_memory(const Volume4<std::uint16_t>& volume,
   return r;
 }
 
-AnalysisResult analyze_threaded(PipelineConfig config) {
+AnalysisResult analyze_threaded(PipelineConfig config,
+                                const fs::ThreadedOptions& threaded_options) {
   config.output = OutputMode::Collect;
   auto collected = std::make_shared<filters::CollectedResults>();
   const filters::ParamsPtr params = make_params(config);
   const fs::FilterGraph graph = build_pipeline(config, params, collected);
-  const fs::RunStats stats = fs::run_threaded(graph);
+  const fs::RunStats stats = fs::run_threaded(graph, threaded_options);
   AnalysisResult r = finish(collected, params);
   r.stats = stats;
   return r;

@@ -12,6 +12,7 @@
 #include <map>
 
 #include "core/pipeline.hpp"
+#include "fs/executor_threads.hpp"
 #include "sim/executor_sim.hpp"
 
 namespace h4d::core {
@@ -35,8 +36,10 @@ AnalysisResult analyze_in_memory(const Volume4<std::uint16_t>& volume,
                                  const haralick::EngineConfig& engine);
 
 /// Run the pipeline with the threaded executor. The configuration's output
-/// mode is overridden to Collect so maps are returned.
-AnalysisResult analyze_threaded(PipelineConfig config);
+/// mode is overridden to Collect so maps are returned. `threaded_options`
+/// carries executor tuning and observability hooks (queue depth, tracing).
+AnalysisResult analyze_threaded(PipelineConfig config,
+                                const fs::ThreadedOptions& threaded_options = {});
 
 /// Run the pipeline on a simulated cluster. Outputs are identical to the
 /// threaded run; stats/sim carry virtual-time figures.

@@ -7,10 +7,17 @@
 #include <thread>
 
 #include "fs/queue.hpp"
+#include "fs/trace.hpp"
 
 namespace h4d::fs {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0, Clock::time_point t) {
+  return std::chrono::duration<double>(t - t0).count();
+}
 
 struct Envelope {
   int port = 0;
@@ -33,13 +40,14 @@ struct CopyRuntime {
   std::unique_ptr<BoundedQueue<Envelope>> inbox;
   int expected_eos = 0;
   CopyStats stats;
-  std::atomic<std::size_t> max_inbox{0};
 };
 
 class ThreadedContext final : public FilterContext {
  public:
-  ThreadedContext(CopyRuntime* self, int num_copies, std::vector<EdgeRuntime*> out)
-      : self_(self), num_copies_(num_copies), out_(std::move(out)) {}
+  ThreadedContext(CopyRuntime* self, int num_copies, std::vector<EdgeRuntime*> out,
+                  TraceRecorder* trace, Clock::time_point t0)
+      : self_(self), num_copies_(num_copies), out_(std::move(out)), trace_(trace),
+        t0_(t0) {}
 
   void emit(int port, BufferPtr buffer) override {
     if (!buffer) return;
@@ -68,11 +76,20 @@ class ThreadedContext final : public FilterContext {
     auto account = [this, &buffer](CopyRuntime* dst) {
       self_->stats.meter.buffers_out++;
       self_->stats.meter.bytes_out += static_cast<std::int64_t>(buffer->wire_bytes());
+      const auto push_start = Clock::now();
       dst->inbox->push(Envelope{e_port_, buffer});
-      const std::size_t depth = dst->inbox->size();
-      std::size_t prev = dst->max_inbox.load(std::memory_order_relaxed);
-      while (depth > prev &&
-             !dst->max_inbox.compare_exchange_weak(prev, depth, std::memory_order_relaxed)) {
+      const auto push_end = Clock::now();
+      self_->stats.blocked_output_seconds +=
+          std::chrono::duration<double>(push_end - push_start).count();
+      if (trace_ != nullptr) {
+        trace_->instant(self_->group, self_->copy, "handoff:" + dst->stats.filter,
+                        seconds_since(t0_, push_end),
+                        {{"bytes", static_cast<std::int64_t>(buffer->wire_bytes())},
+                         {"to_copy", dst->copy}});
+        trace_->counter(dst->group,
+                        "inbox:" + dst->stats.filter + "#" + std::to_string(dst->copy),
+                        seconds_since(t0_, push_end),
+                        static_cast<std::int64_t>(dst->inbox->size()));
       }
     };
     e_port_ = e.spec->port;
@@ -116,6 +133,8 @@ class ThreadedContext final : public FilterContext {
   CopyRuntime* self_;
   int num_copies_;
   std::vector<EdgeRuntime*> out_;
+  TraceRecorder* trace_;
+  Clock::time_point t0_;
   int e_port_ = 0;
 };
 
@@ -125,6 +144,7 @@ RunStats run_threaded(const FilterGraph& graph, const ThreadedOptions& options) 
   graph.validate();
   const auto& filters = graph.filters();
   const auto& edges = graph.edges();
+  TraceRecorder* const trace = options.trace;
 
   // Instantiate copies.
   std::vector<std::vector<std::unique_ptr<CopyRuntime>>> copies(filters.size());
@@ -140,6 +160,13 @@ RunStats run_threaded(const FilterGraph& graph, const ThreadedOptions& options) 
       rt->stats.copy = c;
       rt->stats.node = rt->node;
       copies[f].push_back(std::move(rt));
+    }
+    if (trace != nullptr) {
+      trace->set_process_name(static_cast<int>(f), filters[f].name);
+      for (int c = 0; c < filters[f].copies; ++c) {
+        trace->set_thread_name(static_cast<int>(f), c,
+                               filters[f].name + "[" + std::to_string(c) + "]");
+      }
     }
   }
 
@@ -157,7 +184,7 @@ RunStats run_threaded(const FilterGraph& graph, const ThreadedOptions& options) 
 
   std::mutex error_mu;
   std::exception_ptr first_error;
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = Clock::now();
 
   std::vector<std::thread> threads;
   for (std::size_t f = 0; f < filters.size(); ++f) {
@@ -169,20 +196,34 @@ RunStats run_threaded(const FilterGraph& graph, const ThreadedOptions& options) 
     for (auto& copy : copies[f]) {
       CopyRuntime* rt = copy.get();
       const int ncopies = filters[f].copies;
-      threads.emplace_back([rt, ncopies, out, source, t0, &error_mu, &first_error] {
-        ThreadedContext ctx(rt, ncopies, out);
-        const auto busy_since = [] { return std::chrono::steady_clock::now(); };
-        auto busy = std::chrono::steady_clock::duration::zero();
+      threads.emplace_back([rt, ncopies, out, source, t0, trace, &error_mu,
+                            &first_error] {
+        ThreadedContext ctx(rt, ncopies, out, trace, t0);
+        auto busy = Clock::duration::zero();
+        // Times one filter call; records its activity span when tracing.
+        const auto timed_call = [&](const char* phase, auto&& call) {
+          const auto b = Clock::now();
+          call();
+          const auto e = Clock::now();
+          busy += e - b;
+          if (trace != nullptr) {
+            trace->span(rt->group, rt->copy, rt->stats.filter + phase,
+                        seconds_since(t0, b), std::chrono::duration<double>(e - b).count());
+          }
+        };
         try {
           if (source) {
-            const auto b = busy_since();
-            rt->filter->run_source(ctx);
-            rt->filter->flush(ctx);
-            busy += std::chrono::steady_clock::now() - b;
+            timed_call("", [&] {
+              rt->filter->run_source(ctx);
+              rt->filter->flush(ctx);
+            });
           } else {
             int remaining = rt->expected_eos;
             while (remaining > 0) {
+              const auto w0 = Clock::now();
               std::optional<Envelope> env = rt->inbox->pop();
+              rt->stats.blocked_input_seconds +=
+                  std::chrono::duration<double>(Clock::now() - w0).count();
               if (!env) break;  // queue closed (error path)
               if (!env->buffer) {
                 --remaining;
@@ -191,13 +232,9 @@ RunStats run_threaded(const FilterGraph& graph, const ThreadedOptions& options) 
               rt->stats.meter.buffers_in++;
               rt->stats.meter.bytes_in +=
                   static_cast<std::int64_t>(env->buffer->wire_bytes());
-              const auto b = busy_since();
-              rt->filter->process(env->port, env->buffer, ctx);
-              busy += std::chrono::steady_clock::now() - b;
+              timed_call("", [&] { rt->filter->process(env->port, env->buffer, ctx); });
             }
-            const auto b = busy_since();
-            rt->filter->flush(ctx);
-            busy += std::chrono::steady_clock::now() - b;
+            timed_call("::flush", [&] { rt->filter->flush(ctx); });
           }
           ctx.send_eos();
         } catch (...) {
@@ -208,10 +245,12 @@ RunStats run_threaded(const FilterGraph& graph, const ThreadedOptions& options) 
           // Unblock the rest of the pipeline.
           ctx.send_eos();
         }
-        rt->stats.busy_seconds = std::chrono::duration<double>(busy).count();
-        rt->stats.finish_time =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-        rt->stats.max_inbox = rt->max_inbox.load(std::memory_order_relaxed);
+        // Pushes into full downstream inboxes happen inside process()/
+        // run_source(); report them as blocked-on-output, not busy time.
+        rt->stats.busy_seconds = std::max(
+            0.0, std::chrono::duration<double>(busy).count() -
+                     rt->stats.blocked_output_seconds);
+        rt->stats.finish_time = seconds_since(t0, Clock::now());
       });
     }
   }
@@ -220,10 +259,15 @@ RunStats run_threaded(const FilterGraph& graph, const ThreadedOptions& options) 
   if (first_error) std::rethrow_exception(first_error);
 
   RunStats out;
-  out.total_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  out.total_seconds = seconds_since(t0, Clock::now());
   for (auto& group : copies) {
-    for (auto& c : group) out.copies.push_back(c->stats);
+    for (auto& c : group) {
+      const QueueStats q = c->inbox->stats();
+      c->stats.max_inbox = q.max_depth;
+      c->stats.enqueue_stall_seconds = q.stall_seconds;
+      c->stats.stalled_pushes = q.stalled_pushes;
+      out.copies.push_back(c->stats);
+    }
   }
   return out;
 }

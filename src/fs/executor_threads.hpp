@@ -7,9 +7,14 @@
 
 namespace h4d::fs {
 
+class TraceRecorder;
+
 struct ThreadedOptions {
   /// Stream depth in buffers; push blocks when full (backpressure).
   std::size_t queue_capacity = 64;
+  /// When set, filter-copy activity spans and buffer handoffs are recorded
+  /// (wall time since run start). Must outlive run_threaded().
+  TraceRecorder* trace = nullptr;
 };
 
 /// Execute the graph to completion and return per-copy statistics.

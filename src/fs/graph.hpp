@@ -81,6 +81,9 @@ class FilterGraph {
 };
 
 /// Execution statistics of one filter copy, common to both executors.
+/// Timing fields are wall seconds under the threaded executor and virtual
+/// seconds under the simulator; docs/OBSERVABILITY.md documents how each
+/// executor attributes them.
 struct CopyStats {
   std::string filter;
   int copy = 0;
@@ -89,6 +92,17 @@ struct CopyStats {
   double busy_seconds = 0.0;   ///< time spent inside process()/run_source()
   double finish_time = 0.0;    ///< when the copy completed (virtual or wall)
   std::size_t max_inbox = 0;   ///< high-water mark of queued buffers
+  /// Time this copy spent waiting for input buffers (threaded: blocked in
+  /// inbox pop; sim: idle — neither computing nor draining a send).
+  double blocked_input_seconds = 0.0;
+  /// Time this copy spent unable to proceed because of its *output* side
+  /// (threaded: blocked pushing into full downstream inboxes; sim: the
+  /// blocking-send window while emitted bytes clear the NIC).
+  double blocked_output_seconds = 0.0;
+  /// Total time producers spent stalled pushing into this copy's inbox
+  /// (threaded executor only; the sim has no bounded inboxes).
+  double enqueue_stall_seconds = 0.0;
+  std::int64_t stalled_pushes = 0;  ///< pushes into this inbox that stalled
 };
 
 /// Result of executing a graph.

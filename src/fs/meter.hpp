@@ -3,10 +3,16 @@
 // Filters report the elementary operations they perform (GLCM updates,
 // feature ops, bytes copied, disk activity). The threaded executor uses the
 // meter for reporting; the cluster simulator converts meter deltas into
-// virtual execution time through a CostModel.
+// virtual execution time through a CostModel. The metrics exporter
+// (fs/metrics) serializes every field by name — docs/OBSERVABILITY.md is the
+// field reference.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <string_view>
+#include <tuple>
+#include <utility>
 
 #include "haralick/glcm.hpp"
 
@@ -28,51 +34,74 @@ struct WorkMeter {
   std::int64_t bytes_in = 0;
   std::int64_t bytes_out = 0;
 
+  /// Every counter as one tuple of references, listed exactly once.
+  /// operator+=, delta() and for_each_field() fold over this list, so a new
+  /// field only needs an entry here and a name in kFieldNames — the
+  /// static_asserts below fire if either is forgotten.
+  template <typename Self>
+  static constexpr auto tied(Self& m) {
+    return std::tie(m.work.glcm_pair_updates, m.work.feature_cells_scanned,
+                    m.work.feature_cell_ops, m.work.matrices_built,
+                    m.work.sparse_entries_emitted, m.work.sparse_compress_cells,
+                    m.bytes_memcpy, m.stitch_elements, m.elements_quantized,
+                    m.disk_bytes_read, m.disk_seeks, m.disk_bytes_written,
+                    m.read_retries, m.slices_skipped, m.checksum_failures,
+                    m.buffers_in, m.buffers_out, m.bytes_in, m.bytes_out);
+  }
+
+  /// Export names of the counters, parallel to tied() (same order).
+  static constexpr std::array<std::string_view, 19> kFieldNames = {
+      "glcm_pair_updates", "feature_cells_scanned", "feature_cell_ops",
+      "matrices_built",    "sparse_entries_emitted", "sparse_compress_cells",
+      "bytes_memcpy",      "stitch_elements",       "elements_quantized",
+      "disk_bytes_read",   "disk_seeks",            "disk_bytes_written",
+      "read_retries",      "slices_skipped",        "checksum_failures",
+      "buffers_in",        "buffers_out",           "bytes_in",
+      "bytes_out"};
+
+  /// Visit every counter as (name, value). `Self` may be const.
+  template <typename Self, typename Fn>
+  static void for_each_field(Self& m, Fn&& fn) {
+    std::apply(
+        [&](auto&... v) {
+          std::size_t i = 0;
+          (fn(kFieldNames[i++], v), ...);
+        },
+        tied(m));
+  }
+
   WorkMeter& operator+=(const WorkMeter& o) {
-    work += o.work;
-    bytes_memcpy += o.bytes_memcpy;
-    stitch_elements += o.stitch_elements;
-    elements_quantized += o.elements_quantized;
-    disk_bytes_read += o.disk_bytes_read;
-    disk_seeks += o.disk_seeks;
-    disk_bytes_written += o.disk_bytes_written;
-    read_retries += o.read_retries;
-    slices_skipped += o.slices_skipped;
-    checksum_failures += o.checksum_failures;
-    buffers_in += o.buffers_in;
-    buffers_out += o.buffers_out;
-    bytes_in += o.bytes_in;
-    bytes_out += o.bytes_out;
+    std::apply(
+        [&](auto&... a) {
+          std::apply([&](const auto&... b) { ((a += b), ...); }, tied(o));
+        },
+        tied(*this));
     return *this;
   }
 
   /// Difference of two meter snapshots (b must be a later snapshot of a).
   friend WorkMeter delta(const WorkMeter& earlier, const WorkMeter& later) {
-    WorkMeter d;
-    d.work.glcm_pair_updates = later.work.glcm_pair_updates - earlier.work.glcm_pair_updates;
-    d.work.feature_cells_scanned =
-        later.work.feature_cells_scanned - earlier.work.feature_cells_scanned;
-    d.work.feature_cell_ops = later.work.feature_cell_ops - earlier.work.feature_cell_ops;
-    d.work.matrices_built = later.work.matrices_built - earlier.work.matrices_built;
-    d.work.sparse_entries_emitted =
-        later.work.sparse_entries_emitted - earlier.work.sparse_entries_emitted;
-    d.work.sparse_compress_cells =
-        later.work.sparse_compress_cells - earlier.work.sparse_compress_cells;
-    d.bytes_memcpy = later.bytes_memcpy - earlier.bytes_memcpy;
-    d.stitch_elements = later.stitch_elements - earlier.stitch_elements;
-    d.elements_quantized = later.elements_quantized - earlier.elements_quantized;
-    d.disk_bytes_read = later.disk_bytes_read - earlier.disk_bytes_read;
-    d.disk_seeks = later.disk_seeks - earlier.disk_seeks;
-    d.disk_bytes_written = later.disk_bytes_written - earlier.disk_bytes_written;
-    d.read_retries = later.read_retries - earlier.read_retries;
-    d.slices_skipped = later.slices_skipped - earlier.slices_skipped;
-    d.checksum_failures = later.checksum_failures - earlier.checksum_failures;
-    d.buffers_in = later.buffers_in - earlier.buffers_in;
-    d.buffers_out = later.buffers_out - earlier.buffers_out;
-    d.bytes_in = later.bytes_in - earlier.bytes_in;
-    d.bytes_out = later.bytes_out - earlier.bytes_out;
+    WorkMeter d = later;
+    std::apply(
+        [&](auto&... a) {
+          std::apply([&](const auto&... b) { ((a -= b), ...); }, tied(earlier));
+        },
+        tied(d));
     return d;
   }
 };
+
+namespace detail {
+inline constexpr std::size_t kMeterFields =
+    std::tuple_size_v<decltype(WorkMeter::tied(std::declval<WorkMeter&>()))>;
+}
+// Every field of WorkMeter (including the nested WorkCounters) must appear in
+// tied() and kFieldNames: the folds behind operator+=, delta() and the
+// metrics exporter visit exactly those members. If one of these fires, a
+// counter was added without extending the list.
+static_assert(detail::kMeterFields == WorkMeter::kFieldNames.size(),
+              "WorkMeter::kFieldNames out of sync with WorkMeter::tied()");
+static_assert(detail::kMeterFields * sizeof(std::int64_t) == sizeof(WorkMeter),
+              "WorkMeter field added without extending tied()/kFieldNames");
 
 }  // namespace h4d::fs

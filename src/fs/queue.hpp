@@ -1,13 +1,25 @@
 // Bounded multi-producer multi-consumer queue used for filter inboxes in the
-// threaded executor. Blocking push gives natural backpressure on streams.
+// threaded executor. Blocking push gives natural backpressure on streams; the
+// queue records how often and for how long producers were held back, which
+// the observability layer surfaces as enqueue-stall time (see
+// docs/OBSERVABILITY.md).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 
 namespace h4d::fs {
+
+/// Lifetime counters of one BoundedQueue (all under the queue's lock).
+struct QueueStats {
+  std::size_t max_depth = 0;        ///< high-water mark of queued items
+  std::int64_t stalled_pushes = 0;  ///< pushes that found the queue full
+  double stall_seconds = 0.0;       ///< total time producers waited in push()
+};
 
 template <typename T>
 class BoundedQueue {
@@ -17,9 +29,16 @@ class BoundedQueue {
   /// Blocks while full; returns false when the queue was closed.
   bool push(T item) {
     std::unique_lock lk(mu_);
-    not_full_.wait(lk, [this] { return items_.size() < capacity_ || closed_; });
+    if (items_.size() >= capacity_ && !closed_) {
+      stats_.stalled_pushes++;
+      const auto t0 = std::chrono::steady_clock::now();
+      not_full_.wait(lk, [this] { return items_.size() < capacity_ || closed_; });
+      stats_.stall_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    }
     if (closed_) return false;
     items_.push_back(std::move(item));
+    stats_.max_depth = std::max(stats_.max_depth, items_.size());
     lk.unlock();
     not_empty_.notify_one();
     return true;
@@ -54,12 +73,19 @@ class BoundedQueue {
 
   std::size_t capacity() const { return capacity_; }
 
+  /// Snapshot of the backpressure counters accumulated so far.
+  QueueStats stats() const {
+    std::lock_guard lk(mu_);
+    return stats_;
+  }
+
  private:
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> items_;
+  QueueStats stats_;
   bool closed_ = false;
 };
 

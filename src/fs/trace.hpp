@@ -1,0 +1,68 @@
+// Chrome-trace-format recorder for filter-copy activity.
+//
+// Both executors can record filter-copy activity spans (process/flush/source
+// calls) and buffer handoffs into a TraceRecorder; write_json() emits the
+// Trace Event Format JSON that chrome://tracing and Perfetto load directly.
+// Filter groups map to trace "processes" (pid), copies to "threads" (tid).
+// Timestamps are seconds — wall time since run start for the threaded
+// executor, virtual time for the simulator — converted to microseconds on
+// output. See docs/OBSERVABILITY.md for the file format reference.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace h4d::fs {
+
+class TraceRecorder {
+ public:
+  using Args = std::vector<std::pair<std::string, std::int64_t>>;
+
+  /// Complete span ("X" event): `dur` seconds of activity starting at `ts`.
+  void span(int pid, int tid, std::string name, double ts, double dur, Args args = {});
+
+  /// Instant event ("i", thread-scoped) — e.g. a buffer handoff.
+  void instant(int pid, int tid, std::string name, double ts, Args args = {});
+
+  /// Counter event ("C") — e.g. an inbox depth sample.
+  void counter(int pid, std::string name, double ts, std::int64_t value);
+
+  /// Names shown by the viewer for a filter group / one of its copies.
+  void set_process_name(int pid, std::string name);
+  void set_thread_name(int pid, int tid, std::string name);
+
+  bool empty() const;
+  std::size_t event_count() const;
+
+  /// Emits {"displayTimeUnit": "ms", "traceEvents": [...]}.
+  void write_json(std::ostream& os) const;
+
+ private:
+  struct Event {
+    char phase;  // 'X', 'i' or 'C'
+    int pid = 0;
+    int tid = 0;
+    double ts = 0.0;   // seconds
+    double dur = 0.0;  // seconds, spans only
+    std::string name;
+    Args args;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::map<int, std::string> process_names_;
+  std::map<std::pair<int, int>, std::string> thread_names_;
+};
+
+/// write_json() to `path`; throws std::runtime_error when the file cannot be
+/// written.
+void write_trace_file(const std::filesystem::path& path, const TraceRecorder& trace);
+
+}  // namespace h4d::fs

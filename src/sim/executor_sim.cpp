@@ -7,6 +7,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "fs/trace.hpp"
+
 namespace h4d::sim {
 
 namespace {
@@ -158,6 +160,12 @@ class Simulator {
           throw std::logic_error("simulation ended with unfinished filter copy " +
                                  c->stats.filter + "[" + std::to_string(c->copy) + "]");
         }
+        // Whatever of the copy's lifetime was neither compute nor a
+        // blocking-send window is attributed to waiting for input (or a
+        // core) — the sim has no bounded inboxes to measure directly.
+        c->stats.blocked_input_seconds =
+            std::max(0.0, c->stats.finish_time - c->stats.busy_seconds -
+                              c->stats.blocked_output_seconds);
         out.copies.push_back(c->stats);
       }
     }
@@ -198,6 +206,15 @@ class Simulator {
         c->stats.copy = k;
         c->stats.node = c->node;
         copies_[f].push_back(std::move(c));
+      }
+      if (opt_.trace != nullptr) {
+        opt_.trace->set_process_name(static_cast<int>(f), filters[f].name);
+        for (int k = 0; k < filters[f].copies; ++k) {
+          opt_.trace->set_thread_name(
+              static_cast<int>(f), k,
+              filters[f].name + "[" + std::to_string(k) + "] node" +
+                  std::to_string(filters[f].node_of_copy(k)));
+        }
       }
     }
     for (const EdgeSpec& e : graph_.edges()) {
@@ -293,6 +310,11 @@ class Simulator {
     // while they run.
     const double completion = now + duration / speed;
     c->stats.busy_seconds += duration / speed;
+    if (opt_.trace != nullptr && duration > 0.0) {
+      const char* suffix = is_source ? "::source" : (is_flush ? "::flush" : "");
+      opt_.trace->span(c->group, c->copy, c->stats.filter + suffix, now,
+                       duration / speed);
+    }
 
     const auto emissions = ctx.emissions();  // copy (ctx dies with this scope)
     events_.schedule(completion, [this, c, emissions, is_source, is_flush, now, speed,
@@ -308,11 +330,13 @@ class Simulator {
     });
   }
 
-  void finish_task(SimCopy* c, double /*completion*/, double release, bool was_final) {
+  void finish_task(SimCopy* c, double completion, double release, bool was_final) {
     SimNode& node = nodes_[static_cast<std::size_t>(c->node)];
     c->busy = false;
     node.busy_cores--;
     c->available_at = release;
+    // Blocking-send window: emitted bytes still draining through the NIC.
+    c->stats.blocked_output_seconds += std::max(0.0, release - completion);
 
     if (was_final) {
       // Source completed or flush completed: emit EOS downstream and retire.
@@ -392,6 +416,12 @@ class Simulator {
     const std::size_t bytes = eos ? kEosBytes : buffer->wire_bytes();
     from->stats.meter.buffers_out += eos ? 0 : 1;
     if (!eos) to->pending_deliveries++;
+    if (opt_.trace != nullptr && !eos) {
+      opt_.trace->instant(from->group, from->copy, "handoff:" + to->stats.filter, when,
+                          {{"bytes", static_cast<std::int64_t>(bytes)},
+                           {"to_copy", to->copy},
+                           {"remote", from->node == to->node ? 0 : 1}});
+    }
 
     if (from->node == to->node) {
       // Co-located: pointer copy, no wire cost, arrival immediate.

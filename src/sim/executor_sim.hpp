@@ -24,11 +24,19 @@
 #include "sim/cost_model.hpp"
 #include "sim/machine.hpp"
 
+namespace h4d::fs {
+class TraceRecorder;
+}
+
 namespace h4d::sim {
 
 struct SimOptions {
   ClusterSpec cluster;
   CostModel cost;
+  /// When set, filter-copy activity spans and buffer handoffs are recorded
+  /// in *virtual* time, comparable side-by-side with a threaded-run trace.
+  /// Must outlive run_simulated().
+  fs::TraceRecorder* trace = nullptr;
 };
 
 /// Extended statistics from a simulated run.

@@ -102,6 +102,27 @@ TEST(BoundedQueue, ManyProducersManyConsumers) {
   EXPECT_EQ(sum.load(), n * (n - 1) / 2);
 }
 
+TEST(BoundedQueue, StatsRecordDepthAndStalls) {
+  BoundedQueue<int> q(2);
+  EXPECT_EQ(q.stats().max_depth, 0u);
+  q.push(1);
+  q.push(2);
+  {
+    const QueueStats s = q.stats();
+    EXPECT_EQ(s.max_depth, 2u);
+    EXPECT_EQ(s.stalled_pushes, 0);
+    EXPECT_EQ(s.stall_seconds, 0.0);
+  }
+  std::thread producer([&] { q.push(3); });  // stalls against the full queue
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(q.pop(), 1);
+  producer.join();
+  const QueueStats s = q.stats();
+  EXPECT_EQ(s.max_depth, 2u);
+  EXPECT_EQ(s.stalled_pushes, 1);
+  EXPECT_GT(s.stall_seconds, 0.0);
+}
+
 TEST(BoundedQueue, ZeroCapacityClampedToOne) {
   BoundedQueue<int> q(0);
   EXPECT_EQ(q.capacity(), 1u);

@@ -2,7 +2,9 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "fs/filter.hpp"
@@ -92,6 +94,23 @@ class CollectSink final : public Filter {
  private:
   std::shared_ptr<SinkState> state_;
   std::int64_t work_;
+};
+
+/// Forwards its input unchanged after sleeping `per_buffer` — a deliberately
+/// throttled stage for backpressure/bottleneck tests.
+class SlowFilter final : public Filter {
+ public:
+  explicit SlowFilter(std::chrono::milliseconds per_buffer) : per_buffer_(per_buffer) {}
+
+  std::string_view name() const override { return "slow"; }
+
+  void process(int, const BufferPtr& buffer, FilterContext& ctx) override {
+    std::this_thread::sleep_for(per_buffer_);
+    ctx.emit(0, std::make_shared<DataBuffer>(*buffer));
+  }
+
+ private:
+  std::chrono::milliseconds per_buffer_;
 };
 
 /// Throws on the buffer whose payload equals `poison`.

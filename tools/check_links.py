@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for the repo's documentation.
+
+Walks the markdown files given on the command line (files or directories),
+extracts inline links and images, and verifies that every *relative* target
+exists on disk (including `#fragment` heading anchors within markdown
+targets). External http(s)/mailto links are only syntax-checked — CI must
+not depend on the network.
+
+Exit status: 0 when every relative link resolves, 1 otherwise.
+Usage: tools/check_links.py README.md DESIGN.md docs/
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def heading_anchor(text: str) -> str:
+    """GitHub-style anchor: lowercase, spaces to dashes, drop punctuation."""
+    text = re.sub(r"[`*_~\[\]()]", "", text.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(md_file: Path) -> set[str]:
+    text = md_file.read_text(encoding="utf-8", errors="replace")
+    text = CODE_FENCE_RE.sub("", text)
+    anchors = set()
+    for m in HEADING_RE.finditer(text):
+        base = heading_anchor(m.group(1))
+        n = 1
+        a = base
+        while a in anchors:  # duplicate headings get -1, -2, ... suffixes
+            a = f"{base}-{n}"
+            n += 1
+        anchors.add(a)
+    return anchors
+
+
+def collect_files(args: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for a in args:
+        p = Path(a)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.md")))
+        elif p.suffix == ".md":
+            files.append(p)
+        else:
+            print(f"warning: skipping non-markdown argument {a}", file=sys.stderr)
+    return files
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        return 2
+    files = collect_files(argv)
+    if not files:
+        print("error: no markdown files found", file=sys.stderr)
+        return 2
+
+    errors = 0
+    checked = 0
+    for md in files:
+        text = md.read_text(encoding="utf-8", errors="replace")
+        text = CODE_FENCE_RE.sub("", text)
+        for m in LINK_RE.finditer(text):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue  # external: syntax-only, no network in CI
+            checked += 1
+            target, _, fragment = target.partition("#")
+            if not target:  # same-file anchor
+                dest = md
+            else:
+                dest = (md.parent / target).resolve()
+                if not dest.exists():
+                    print(f"{md}: broken link -> {m.group(1)}")
+                    errors += 1
+                    continue
+            if fragment and dest.suffix == ".md" and dest.is_file():
+                if fragment not in anchors_of(dest):
+                    print(f"{md}: missing anchor -> {m.group(1)}")
+                    errors += 1
+    print(f"check_links: {checked} relative links in {len(files)} files, "
+          f"{errors} broken")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

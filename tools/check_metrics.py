@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Schema validator for the observability exports (no third-party deps).
+
+Validates the JSON files produced by `h4d --metrics` / the bench harnesses'
+`--metrics` flag, and optionally a `--trace` file against the Chrome Trace
+Event Format subset the runtime emits. Accepted metrics schemas:
+
+  h4d-metrics-v1        one run (CLI analyze/simulate)
+  h4d-bench-metrics-v1  {figure, runs: [{label, metrics: <h4d-metrics-v1>}]}
+
+Checks structure, types, and the internal invariant that per-filter meter
+aggregates equal the sum over that filter's copies.
+
+Usage: tools/check_metrics.py METRICS.json [...] [--trace TRACE.json ...]
+Exit status: 0 when every file validates, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+ERRORS: list[str] = []
+
+
+def err(path: str, msg: str) -> None:
+    ERRORS.append(f"{path}: {msg}")
+
+
+def require(cond: bool, path: str, msg: str) -> bool:
+    if not cond:
+        err(path, msg)
+    return cond
+
+
+TIMING_KEYS = (
+    "busy_seconds",
+    "blocked_input_seconds",
+    "blocked_output_seconds",
+    "enqueue_stall_seconds",
+)
+
+
+def check_meter(meter: object, path: str, where: str) -> None:
+    if not require(isinstance(meter, dict), path, f"{where}: meter is not an object"):
+        return
+    for k, v in meter.items():
+        require(isinstance(v, (int, float)), path, f"{where}: meter.{k} is not a number")
+
+
+def check_metrics_object(doc: object, path: str, where: str = "") -> None:
+    if not require(isinstance(doc, dict), path, f"{where}: not an object"):
+        return
+    require(doc.get("schema") == "h4d-metrics-v1", path,
+            f"{where}: schema != h4d-metrics-v1")
+    require(isinstance(doc.get("makespan_seconds"), (int, float)), path,
+            f"{where}: missing/invalid makespan_seconds")
+
+    filters = doc.get("filters")
+    copies = doc.get("copies")
+    if not require(isinstance(filters, list) and filters, path,
+                   f"{where}: filters missing or empty"):
+        return
+    if not require(isinstance(copies, list) and copies, path,
+                   f"{where}: copies missing or empty"):
+        return
+
+    # Per-copy rows: required keys and types.
+    by_filter_sums: dict[str, dict[str, float]] = {}
+    by_filter_count: dict[str, int] = {}
+    for i, c in enumerate(copies):
+        w = f"{where}copies[{i}]"
+        if not require(isinstance(c, dict), path, f"{w}: not an object"):
+            continue
+        require(isinstance(c.get("filter"), str), path, f"{w}: missing filter name")
+        for k in TIMING_KEYS + ("finish_time",):
+            require(isinstance(c.get(k), (int, float)), path, f"{w}: missing {k}")
+        check_meter(c.get("meter"), path, w)
+        name = c.get("filter", "?")
+        by_filter_count[name] = by_filter_count.get(name, 0) + 1
+        sums = by_filter_sums.setdefault(name, {})
+        for k, v in (c.get("meter") or {}).items():
+            if isinstance(v, (int, float)):
+                sums[k] = sums.get(k, 0) + v
+
+    # Per-filter aggregates: must equal the sum over that filter's copies.
+    for i, f in enumerate(filters):
+        w = f"{where}filters[{i}]"
+        if not require(isinstance(f, dict), path, f"{w}: not an object"):
+            continue
+        name = f.get("filter")
+        require(isinstance(name, str), path, f"{w}: missing filter name")
+        require(isinstance(f.get("utilization"), (int, float)), path,
+                f"{w}: missing utilization")
+        check_meter(f.get("meter"), path, w)
+        if name in by_filter_count:
+            require(f.get("copies") == by_filter_count[name], path,
+                    f"{w}: copies != number of copy rows for {name}")
+            for k, expected in by_filter_sums.get(name, {}).items():
+                got = (f.get("meter") or {}).get(k)
+                require(isinstance(got, (int, float)) and abs(got - expected) < 0.5,
+                        path, f"{w}: meter.{k} != sum over copies "
+                              f"({got} vs {expected})")
+        else:
+            err(path, f"{w}: filter {name} has no copy rows")
+
+    bn = doc.get("bottleneck")
+    if require(isinstance(bn, dict), path, f"{where}: missing bottleneck object"):
+        for k in ("bound_filter", "verdict"):
+            require(isinstance(bn.get(k), str), path, f"{where}: bottleneck.{k} missing")
+        require(isinstance(bn.get("bound_utilization"), (int, float)), path,
+                f"{where}: bottleneck.bound_utilization missing")
+
+
+def check_metrics_file(path: str) -> None:
+    try:
+        doc = json.load(open(path, encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        err(path, f"unreadable or invalid JSON: {e}")
+        return
+    schema = doc.get("schema") if isinstance(doc, dict) else None
+    if schema == "h4d-bench-metrics-v1":
+        require(isinstance(doc.get("figure"), str), path, "missing figure name")
+        runs = doc.get("runs")
+        if require(isinstance(runs, list) and runs, path, "runs missing or empty"):
+            for i, r in enumerate(runs):
+                if require(isinstance(r, dict) and isinstance(r.get("label"), str),
+                           path, f"runs[{i}]: missing label"):
+                    check_metrics_object(r.get("metrics"), path, f"runs[{i}].")
+    elif schema == "h4d-metrics-v1":
+        check_metrics_object(doc, path)
+    else:
+        err(path, f"unknown schema {schema!r}")
+
+
+def check_trace_file(path: str) -> None:
+    try:
+        doc = json.load(open(path, encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        err(path, f"unreadable or invalid JSON: {e}")
+        return
+    if not require(isinstance(doc, dict), path, "trace is not an object"):
+        return
+    events = doc.get("traceEvents")
+    if not require(isinstance(events, list) and events, path,
+                   "traceEvents missing or empty"):
+        return
+    spans = 0
+    for i, e in enumerate(events):
+        w = f"traceEvents[{i}]"
+        if not require(isinstance(e, dict), path, f"{w}: not an object"):
+            continue
+        ph = e.get("ph")
+        require(ph in ("X", "i", "C", "M"), path, f"{w}: unexpected phase {ph!r}")
+        require(isinstance(e.get("name"), str), path, f"{w}: missing name")
+        require(isinstance(e.get("pid"), int), path, f"{w}: missing pid")
+        if ph == "X":
+            spans += 1
+            for k in ("ts", "dur"):
+                require(isinstance(e.get(k), (int, float)), path, f"{w}: missing {k}")
+            require(e.get("dur", 0) >= 0, path, f"{w}: negative dur")
+    require(spans > 0, path, "trace has no 'X' activity spans")
+
+
+def main(argv: list[str]) -> int:
+    metrics, traces, i = [], [], 0
+    while i < len(argv):
+        if argv[i] == "--trace":
+            if i + 1 >= len(argv):
+                print("error: --trace needs a file", file=sys.stderr)
+                return 2
+            traces.append(argv[i + 1])
+            i += 2
+        else:
+            metrics.append(argv[i])
+            i += 1
+    if not metrics and not traces:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for p in metrics:
+        check_metrics_file(p)
+    for p in traces:
+        check_trace_file(p)
+    for e in ERRORS:
+        print(e)
+    print(f"check_metrics: {len(metrics)} metrics + {len(traces)} trace files, "
+          f"{len(ERRORS)} errors")
+    return 1 if ERRORS else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
