@@ -10,6 +10,7 @@
 #include "core/analysis.hpp"
 #include "core/planner.hpp"
 #include "fs/metrics.hpp"
+#include "fs/supervisor.hpp"
 #include "fs/trace.hpp"
 #include "haralick/directions.hpp"
 #include "io/image_write.hpp"
@@ -170,6 +171,14 @@ core::PipelineConfig pipeline_from_args(const Args& args, const std::string& dat
   cfg.resilience.verify_checksums = args.get("checksums", "on") == "on";
   cfg.resilience.fill_value = static_cast<std::uint16_t>(args.get_int("fill", 0));
 
+  // Checkpoint/resume: --checkpoint names the chunk-completion manifest;
+  // --resume on prunes chunks the manifest already records as complete.
+  cfg.checkpoint_path = args.get("checkpoint", "");
+  cfg.resume = args.get("resume", "off") == "on";
+  if (cfg.resume && cfg.checkpoint_path.empty()) {
+    throw std::runtime_error("--resume on requires --checkpoint FILE");
+  }
+
   const int workers = args.get_int("workers", 4);
   if (cfg.variant == core::Variant::HMP) {
     cfg.hmp_copies = workers;
@@ -193,11 +202,33 @@ void print_fault_report(const io::FaultReport& report, std::ostream& out) {
   out << "resilience: " << report.summary() << "\n";
 }
 
+/// Supervision knobs shared by analyze (threaded) and, via the failure
+/// model's policy, simulate: --supervise picks the crash policy, --watchdog-ms
+/// arms the hang detector, --max-restarts / --poison bound the recovery.
+fs::SupervisorOptions supervisor_from_args(const Args& args) {
+  fs::SupervisorOptions sup;
+  sup.policy = fs::supervise_policy_from_name(args.get("supervise", "fail"));
+  sup.max_restarts = args.get_int("max-restarts", sup.max_restarts);
+  sup.poison_threshold = args.get_int("poison", sup.poison_threshold);
+  sup.watchdog_deadline_ms = args.get_int("watchdog-ms", 0);
+  return sup;
+}
+
+void print_exec_report(const fs::ExecutionReport& exec, std::ostream& out) {
+  if (exec.clean()) return;
+  out << "supervision: " << exec.summary() << "\n";
+  for (const auto& q : exec.quarantined) {
+    out << "  quarantined: " << q.filter << "[" << q.copy << "] chunk " << q.chunk_id
+        << " seq " << q.seq << " region " << q.region.str() << " (" << q.reason << ")\n";
+  }
+}
+
 /// Shared --trace/--metrics handling of analyze and simulate: write the
 /// requested export files and print the end-of-run bottleneck report.
 void finish_observability(const Args& args, const fs::RunStats& stats,
                           const fs::TraceRecorder& trace, const fs::MetricsExtra& extra,
                           std::ostream& out) {
+  print_exec_report(stats.exec, out);
   const fs::BottleneckReport report = fs::analyze_bottleneck(stats);
   fs::print_bottleneck_report(out, report);
   if (args.has("trace")) {
@@ -221,6 +252,7 @@ int cmd_analyze(const Args& args, std::ostream& out) {
   fs::TraceRecorder trace;
   fs::ThreadedOptions topt;
   if (args.has("trace")) topt.trace = &trace;
+  topt.supervise = supervisor_from_args(args);
   const core::AnalysisResult result = core::analyze_threaded(cfg, topt);
   out << "analyzed " << dataset << " in " << result.stats.total_seconds << "s wall, "
       << result.maps.size() << " feature maps over " << result.origins.size.str()
@@ -267,6 +299,7 @@ int cmd_simulate(const Args& args, std::ostream& out) {
 
   sim::SimOptions sopt;
   sopt.cluster = sim::make_piii_cluster(first_texture + workers + 2);
+  sopt.failures = sim::FailureModel::parse(args.get("sim-failures", ""));
   fs::TraceRecorder trace;
   if (args.has("trace")) sopt.trace = &trace;
 
@@ -303,8 +336,11 @@ int usage(std::ostream& err) {
          "           [--chunk X,Y,Z,T] [--plan fixed|auto]\n"
          "           [--faults SPEC] [--retry N] [--on-corrupt fail|retry|skip]\n"
          "           [--checksums on|off] [--fill V]\n"
+         "           [--supervise fail|restart|quarantine] [--max-restarts N]\n"
+         "           [--poison N] [--watchdog-ms N]\n"
+         "           [--checkpoint FILE] [--resume on|off]\n"
          "           [--trace FILE] [--metrics FILE]\n"
-         "  simulate DATASET_DIR [same options as analyze]\n"
+         "  simulate DATASET_DIR [same options as analyze] [--sim-failures SPEC]\n"
          "\n"
          "observability (see docs/OBSERVABILITY.md):\n"
          "  --trace FILE        record filter-copy activity spans and buffer\n"
@@ -325,7 +361,27 @@ int usage(std::ostream& err) {
          "                      (exponential backoff)\n"
          "  --on-corrupt MODE   fail (default) | retry | skip: skip fills\n"
          "                      irrecoverable slices with --fill and reports them\n"
-         "  --checksums on|off  verify per-slice CRC-32 recorded in the index\n";
+         "  --checksums on|off  verify per-slice CRC-32 recorded in the index\n"
+         "\n"
+         "fault tolerance (see DESIGN.md sec. 9):\n"
+         "  --supervise MODE    filter-copy crash policy: fail (default, close\n"
+         "                      all streams and rethrow) | restart (rebuild the\n"
+         "                      copy and retry the buffer) | quarantine (drop\n"
+         "                      poison buffers into the damage inventory)\n"
+         "  --max-restarts N    filter rebuilds allowed per copy (default 3)\n"
+         "  --poison N          crashes by the same buffer before quarantine /\n"
+         "                      escalation (default 2)\n"
+         "  --watchdog-ms N     declare a copy dead when one filter call\n"
+         "                      exceeds N ms; pending buffers re-route to live\n"
+         "                      sibling copies (0 = watchdog off)\n"
+         "  --checkpoint FILE   append-only fsync'd manifest of completed\n"
+         "                      chunks, written as output is persisted\n"
+         "  --resume on|off     prune chunks the --checkpoint manifest already\n"
+         "                      records as complete, then continue the run\n"
+         "  --sim-failures SPEC simulate seeded copy crashes (simulate only);\n"
+         "                      comma-separated k=v among seed, crash, delay,\n"
+         "                      max_restarts, poison, policy\n"
+         "                      (e.g. seed=7,crash=0.05,policy=quarantine)\n";
   return 2;
 }
 

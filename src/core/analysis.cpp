@@ -54,6 +54,7 @@ AnalysisResult analyze_threaded(PipelineConfig config,
   const fs::RunStats stats = fs::run_threaded(graph, threaded_options);
   AnalysisResult r = finish(collected, params);
   r.stats = stats;
+  r.stats.exec.chunks_resumed = params->chunks_resumed;
   return r;
 }
 
@@ -66,6 +67,7 @@ AnalysisResult analyze_simulated(PipelineConfig config, const sim::SimOptions& s
   AnalysisResult r = finish(collected, params);
   r.sim = stats;
   r.stats = stats;
+  r.stats.exec.chunks_resumed = params->chunks_resumed;
   return r;
 }
 

@@ -34,6 +34,8 @@ filters::ParamsPtr make_params(const PipelineConfig& config) {
   p.feature_buffer_samples = config.feature_buffer_samples;
   p.resilience = config.resilience;
   p.faults = config.faults;
+  p.checkpoint_path = config.checkpoint_path;
+  p.resume = config.resume;
   return filters::PipelineParams::make(std::move(p));
 }
 
@@ -122,7 +124,7 @@ fs::FilterGraph build_pipeline(const PipelineConfig& config, filters::ParamsPtr 
            1, first_node(config.uso_nodes)});
       const int sink = g.add_filter(
           {"Collector",
-           [collected] { return std::make_unique<filters::ResultCollector>(collected); },
+           [params, collected] { return std::make_unique<filters::ResultCollector>(params, collected); },
            1, first_node(config.uso_nodes)});
       g.connect(texture_out, kPortFeatures, hic, fs::Policy::RoundRobin);
       g.connect(hic, kPortMaps, sink, fs::Policy::RoundRobin);

@@ -64,6 +64,12 @@ struct PipelineConfig {
   /// Deterministic fault injection (resilience drills / tests); a
   /// default-constructed config injects nothing.
   io::FaultConfig faults;
+
+  /// Chunk-completion manifest for checkpoint/resume (empty => disabled).
+  /// With `resume`, chunks already recorded in the manifest are pruned from
+  /// the work list before the run starts.
+  std::filesystem::path checkpoint_path;
+  bool resume = false;
 };
 
 /// Build the filter graph for a configuration. When `collected` is non-null

@@ -10,6 +10,10 @@ namespace h4d::filters {
 
 void RawFileReader::run_source(fs::FilterContext& ctx) {
   const int node = ctx.copy_index();
+  // Resume accounting: chunks pruned from the work list by the checkpoint
+  // manifest, credited once (copy 0) so the run's meters show what was
+  // skipped rather than silently planning less work.
+  if (node == 0) ctx.meter().chunks_resumed += p_->chunks_resumed;
   // Slice access goes through the resilient reader: bounded retry, checksum
   // verification and graceful degradation per the pipeline's policy. The
   // shared injector (when faults are configured) makes storage-fault drills

@@ -17,18 +17,25 @@ void UnstitchedOutput::process(int port, const fs::BufferPtr& buffer, fs::Filter
   }
   const auto samples = buffer->as<FeatureSample>();
   ctx.meter().disk_bytes_written += static_cast<std::int64_t>(buffer->payload.size());
-  if (dir_.empty()) return;
-
-  std::filesystem::create_directories(dir_);
-  const Feature f = static_cast<Feature>(buffer->header.feature);
-  const std::filesystem::path path =
-      dir_ / (std::string(haralick::feature_slug(f)) + "_c" +
-              std::to_string(ctx.copy_index()) + ".bin");
-  std::ofstream out(path, std::ios::binary | std::ios::app);
-  if (!out) throw std::runtime_error("USO: cannot open " + path.string());
-  out.write(reinterpret_cast<const char*>(samples.data()),
-            static_cast<std::streamsize>(samples.size_bytes()));
-  if (!out) throw std::runtime_error("USO: short write to " + path.string());
+  if (!dir_.empty()) {
+    std::filesystem::create_directories(dir_);
+    const Feature f = static_cast<Feature>(buffer->header.feature);
+    const std::filesystem::path path =
+        dir_ / (std::string(haralick::feature_slug(f)) + "_c" +
+                std::to_string(ctx.copy_index()) + ".bin");
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    if (!out) throw std::runtime_error("USO: cannot open " + path.string());
+    out.write(reinterpret_cast<const char*>(samples.data()),
+              static_cast<std::streamsize>(samples.size_bytes()));
+    if (!out) throw std::runtime_error("USO: short write to " + path.string());
+    out.flush();
+  }
+  // Checkpoint accounting happens *after* the samples are on disk: a crash
+  // between write and note leaves the chunk unrecorded, so a resume replays
+  // it — duplicates are idempotent under map assembly, losses are not.
+  if (p_->completion) {
+    for (const FeatureSample& s : samples) p_->completion->note_origin(s.origin());
+  }
 }
 
 void HaralickImageConstructor::process(int port, const fs::BufferPtr& buffer,
@@ -99,8 +106,19 @@ void ImageSeriesWriter::process(int port, const fs::BufferPtr& buffer,
   ctx.meter().disk_bytes_written +=
       static_cast<std::int64_t>(origins.size[0] * origins.size[1]) * origins.size[2] *
       origins.size[3];
-  if (dir_.empty()) return;
-  io::write_feature_map_images(dir_, std::string(haralick::feature_slug(f)), map, lo, hi);
+  if (!dir_.empty()) {
+    io::write_feature_map_images(dir_, std::string(haralick::feature_slug(f)), map, lo, hi);
+    // The whole map for this feature is now on disk; credit every origin so
+    // chunks whose remaining features were already accounted go durable.
+    if (p_->completion) {
+      Vec4 o;
+      for (o[3] = 0; o[3] < origins.size[3]; ++o[3])
+        for (o[2] = 0; o[2] < origins.size[2]; ++o[2])
+          for (o[1] = 0; o[1] < origins.size[1]; ++o[1])
+            for (o[0] = 0; o[0] < origins.size[0]; ++o[0])
+              p_->completion->note_origin(origins.origin + o);
+    }
+  }
 }
 
 void ResultCollector::process(int port, const fs::BufferPtr& buffer, fs::FilterContext&) {
@@ -118,9 +136,23 @@ void ResultCollector::process(int port, const fs::BufferPtr& buffer, fs::FilterC
     lo = std::min(lo, v);
     hi = std::max(hi, v);
   }
-  std::lock_guard lk(out_->mu);
-  out_->maps.insert_or_assign(f, std::move(map));
-  out_->ranges.insert_or_assign(f, std::pair<float, float>(lo, hi));
+  {
+    std::lock_guard lk(out_->mu);
+    out_->maps.insert_or_assign(f, std::move(map));
+    out_->ranges.insert_or_assign(f, std::pair<float, float>(lo, hi));
+  }
+  // The collected map is the run's durable product (the CLI writes images
+  // from it right after the run): credit every origin like JIW does, so
+  // --checkpoint works in Collect mode too.
+  if (p_->completion) {
+    const Region4& origins = buffer->header.region;
+    Vec4 o;
+    for (o[3] = 0; o[3] < origins.size[3]; ++o[3])
+      for (o[2] = 0; o[2] < origins.size[2]; ++o[2])
+        for (o[1] = 0; o[1] < origins.size[1]; ++o[1])
+          for (o[0] = 0; o[0] < origins.size[0]; ++o[0])
+            p_->completion->note_origin(origins.origin + o);
+  }
 }
 
 }  // namespace h4d::filters

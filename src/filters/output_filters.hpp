@@ -75,12 +75,14 @@ struct CollectedResults {
 /// Sink filter storing FeatureMap buffers into a CollectedResults.
 class ResultCollector final : public fs::Filter {
  public:
-  explicit ResultCollector(std::shared_ptr<CollectedResults> out) : out_(std::move(out)) {}
+  ResultCollector(ParamsPtr params, std::shared_ptr<CollectedResults> out)
+      : p_(std::move(params)), out_(std::move(out)) {}
 
   std::string_view name() const override { return "Collector"; }
   void process(int port, const fs::BufferPtr& buffer, fs::FilterContext& ctx) override;
 
  private:
+  ParamsPtr p_;
   std::shared_ptr<CollectedResults> out_;
 };
 

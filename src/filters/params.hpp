@@ -5,9 +5,12 @@
 #include <memory>
 #include <vector>
 
+#include <unordered_set>
+
 #include "haralick/roi_engine.hpp"
 #include "io/dataset.hpp"
 #include "io/fault.hpp"
+#include "io/manifest.hpp"
 #include "io/resilient_reader.hpp"
 #include "nd/chunking.hpp"
 
@@ -41,13 +44,27 @@ struct PipelineParams {
   /// default-constructed config injects nothing.
   io::FaultConfig faults;
 
+  /// Chunk-completion manifest file. Empty => no checkpointing. When set,
+  /// the output filters durably record each chunk whose every feature sample
+  /// has been written; with `resume`, chunks already in the manifest are
+  /// pruned from the work list before the run starts.
+  std::filesystem::path checkpoint_path;
+  bool resume = false;
+
   /// The overlapping chunk partition (derived; computed once via make()).
+  /// With resume, completed chunks are already pruned from this list; their
+  /// count is in `chunks_resumed`.
   std::vector<Chunk> chunks;
+  std::int64_t chunks_resumed = 0;
 
   /// Shared fault machinery (derived by make()): one injector and one report
   /// aggregator per pipeline run, shared by every filter copy.
   std::shared_ptr<io::FaultInjector> fault_injector;
   std::shared_ptr<io::FaultReportSink> fault_sink;
+
+  /// Checkpoint machinery (derived by make(); null without checkpoint_path).
+  std::shared_ptr<io::ChunkManifest> manifest;
+  std::shared_ptr<io::ChunkCompletionTracker> completion;
 
   static std::shared_ptr<const PipelineParams> make(PipelineParams p) {
     if (p.io_chunk[0] <= 0) p.io_chunk[0] = p.meta.dims[0];
@@ -55,6 +72,23 @@ struct PipelineParams {
     p.io_chunk[2] = 1;
     p.io_chunk[3] = 1;
     p.chunks = partition_overlapping(p.meta.dims, p.texture_chunk, p.engine.roi_dims);
+    if (!p.checkpoint_path.empty()) {
+      std::unordered_set<std::int64_t> done;
+      if (p.resume) {
+        for (std::int64_t id : io::ChunkManifest::load(p.checkpoint_path)) done.insert(id);
+      }
+      // The tracker needs the full grid; build it before pruning. A fresh
+      // (non-resume) run truncates any stale manifest.
+      p.manifest = std::make_shared<io::ChunkManifest>(p.checkpoint_path, !p.resume);
+      p.completion = std::make_shared<io::ChunkCompletionTracker>(
+          p.chunks, p.meta.dims, p.texture_chunk, p.engine.roi_dims,
+          p.engine.features.count(), p.manifest, done);
+      if (!done.empty()) {
+        const auto before = p.chunks.size();
+        std::erase_if(p.chunks, [&](const Chunk& c) { return done.count(c.id) != 0; });
+        p.chunks_resumed = static_cast<std::int64_t>(before - p.chunks.size());
+      }
+    }
     if (p.faults.enabled()) p.fault_injector = std::make_shared<io::FaultInjector>(p.faults);
     p.fault_sink = std::make_shared<io::FaultReportSink>();
     return std::make_shared<const PipelineParams>(std::move(p));

@@ -28,7 +28,7 @@ fs::FilterRegistry make_pipeline_registry(ParamsPtr params,
   });
   if (collected) {
     reg.register_type("collector",
-                      [collected] { return std::make_unique<ResultCollector>(collected); });
+                      [params, collected] { return std::make_unique<ResultCollector>(params, collected); });
   }
   return reg;
 }

@@ -15,10 +15,16 @@ struct ThreadedOptions {
   /// When set, filter-copy activity spans and buffer handoffs are recorded
   /// (wall time since run start). Must outlive run_threaded().
   TraceRecorder* trace = nullptr;
+  /// Supervision policy: what happens when a filter copy throws or hangs
+  /// (fs/supervisor.hpp). Default is hardened fail-fast: the first error
+  /// closes every stream so all copies unwind, then rethrows after join.
+  SupervisorOptions supervise;
 };
 
 /// Execute the graph to completion and return per-copy statistics.
-/// Throws whatever a filter throws (after joining all threads).
+/// Throws whatever a filter throws (after joining all threads); under
+/// restart/quarantine supervision, handled crashes do not throw — they are
+/// inventoried in RunStats::exec instead.
 RunStats run_threaded(const FilterGraph& graph, const ThreadedOptions& options = {});
 
 }  // namespace h4d::fs

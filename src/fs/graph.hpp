@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "fs/filter.hpp"
+#include "fs/supervisor.hpp"
 
 namespace h4d::fs {
 
@@ -109,6 +110,9 @@ struct CopyStats {
 struct RunStats {
   double total_seconds = 0.0;  ///< end-to-end makespan (virtual or wall)
   std::vector<CopyStats> copies;
+  /// Execution-layer damage inventory: restarts, quarantined buffers,
+  /// watchdog kills (empty when the run was clean / unsupervised).
+  ExecutionReport exec;
 
   /// Sum of busy time over every copy of the named filter group.
   double filter_busy_seconds(std::string_view filter) const;

@@ -196,6 +196,36 @@ void write_metrics_object(std::ostream& os, const RunStats& stats,
      << ", \"verdict\": ";
   jstr(os, report.verdict);
   os << "}";
+  os << ",\n \"execution\": {\"copy_restarts\": " << stats.exec.copy_restarts
+     << ", \"chunks_quarantined\": " << stats.exec.chunks_quarantined
+     << ", \"watchdog_kills\": " << stats.exec.watchdog_kills
+     << ", \"buffers_lost\": " << stats.exec.buffers_lost
+     << ", \"chunks_resumed\": " << stats.exec.chunks_resumed
+     << ", \"quarantined\": [";
+  for (std::size_t i = 0; i < stats.exec.quarantined.size(); ++i) {
+    const QuarantinedBuffer& q = stats.exec.quarantined[i];
+    os << (i ? ", " : "") << "{\"filter\": ";
+    jstr(os, q.filter);
+    os << ", \"copy\": " << q.copy << ", \"port\": " << q.port
+       << ", \"chunk_id\": " << q.chunk_id << ", \"seq\": " << q.seq
+       << ", \"from_copy\": " << q.from_copy << ", \"region\": ";
+    jstr(os, q.region.str());
+    os << ", \"reason\": ";
+    jstr(os, q.reason);
+    os << "}";
+  }
+  os << "], \"incidents\": [";
+  for (std::size_t i = 0; i < stats.exec.incidents.size(); ++i) {
+    const CopyIncident& inc = stats.exec.incidents[i];
+    os << (i ? ", " : "") << "{\"kind\": ";
+    jstr(os, incident_kind_name(inc.kind));
+    os << ", \"filter\": ";
+    jstr(os, inc.filter);
+    os << ", \"copy\": " << inc.copy << ", \"error\": ";
+    jstr(os, inc.error);
+    os << "}";
+  }
+  os << "]}";
   if (!extra.empty()) {
     os << ",\n \"extra\": {";
     for (std::size_t i = 0; i < extra.size(); ++i) {

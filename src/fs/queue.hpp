@@ -21,6 +21,13 @@ struct QueueStats {
   double stall_seconds = 0.0;       ///< total time producers waited in push()
 };
 
+/// Result of a timed push attempt.
+enum class PushOutcome {
+  Ok,       ///< enqueued
+  Closed,   ///< queue was closed (now or while waiting)
+  Timeout,  ///< still full after the timeout — caller decides what's next
+};
+
 template <typename T>
 class BoundedQueue {
  public:
@@ -42,6 +49,46 @@ class BoundedQueue {
     lk.unlock();
     not_empty_.notify_one();
     return true;
+  }
+
+  /// Like push(), but gives up after `timeout` when the queue stays full.
+  /// Lets the executor wait on backpressure in bounded slices (refreshing
+  /// watchdog heartbeats, noticing aborts) instead of blocking indefinitely.
+  /// `count_stall` controls whether a full queue increments stalled_pushes —
+  /// a caller retrying in a loop counts the stall once, not per slice; the
+  /// waited time is always added to stall_seconds.
+  template <typename Rep, typename Period>
+  PushOutcome push_for(T item, std::chrono::duration<Rep, Period> timeout,
+                       bool count_stall = true) {
+    std::unique_lock lk(mu_);
+    if (items_.size() >= capacity_ && !closed_) {
+      if (count_stall) stats_.stalled_pushes++;
+      const auto t0 = std::chrono::steady_clock::now();
+      not_full_.wait_for(lk, timeout,
+                         [this] { return items_.size() < capacity_ || closed_; });
+      stats_.stall_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    }
+    if (closed_) return PushOutcome::Closed;
+    if (items_.size() >= capacity_) return PushOutcome::Timeout;
+    items_.push_back(std::move(item));
+    stats_.max_depth = std::max(stats_.max_depth, items_.size());
+    lk.unlock();
+    not_empty_.notify_one();
+    return PushOutcome::Ok;
+  }
+
+  /// Non-blocking pop: the front item, or nullopt when currently empty
+  /// (regardless of closed state). Used by the watchdog to drain the inbox
+  /// of a copy declared dead without ever blocking.
+  std::optional<T> try_pop() {
+    std::unique_lock lk(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return item;
   }
 
   /// Blocks while empty; returns nullopt when closed and drained.

@@ -1,0 +1,48 @@
+#include "fs/supervisor.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace h4d::fs {
+
+std::string_view supervise_policy_name(SupervisePolicy p) {
+  switch (p) {
+    case SupervisePolicy::FailFast:
+      return "fail_fast";
+    case SupervisePolicy::RestartCopy:
+      return "restart_copy";
+    case SupervisePolicy::Quarantine:
+      return "quarantine";
+  }
+  return "?";
+}
+
+SupervisePolicy supervise_policy_from_name(const std::string& name) {
+  if (name == "fail" || name == "fail_fast") return SupervisePolicy::FailFast;
+  if (name == "restart" || name == "restart_copy") return SupervisePolicy::RestartCopy;
+  if (name == "quarantine") return SupervisePolicy::Quarantine;
+  throw std::runtime_error("unknown supervise policy: " + name +
+                           " (expected fail|restart|quarantine)");
+}
+
+std::string_view incident_kind_name(CopyIncident::Kind k) {
+  switch (k) {
+    case CopyIncident::Kind::Restart:
+      return "restart";
+    case CopyIncident::Kind::WatchdogKill:
+      return "watchdog_kill";
+    case CopyIncident::Kind::Fatal:
+      return "fatal";
+  }
+  return "?";
+}
+
+std::string ExecutionReport::summary() const {
+  std::ostringstream os;
+  os << copy_restarts << " copy restarts, " << chunks_quarantined << " quarantined, "
+     << watchdog_kills << " watchdog kills, " << buffers_lost << " buffers lost, "
+     << chunks_resumed << " chunks resumed";
+  return os.str();
+}
+
+}  // namespace h4d::fs

@@ -78,6 +78,8 @@ FaultConfig FaultConfig::parse(const std::string& spec) {
         cfg.p_stall = std::stod(value);
       } else if (key == "stall_ms") {
         cfg.stall_ms = std::stod(value);
+      } else if (key == "stall_cap") {
+        cfg.stall_cap_ms = std::stod(value);
       } else if (key == "max_transient") {
         cfg.max_transient_per_slice = std::stoi(value);
       } else {
@@ -136,8 +138,17 @@ AttemptPlan FaultInjector::plan_attempt(std::int64_t t, std::int64_t z) {
   if (plan.stall) {
     stats_.stalls.fetch_add(1, std::memory_order_relaxed);
     if (cfg_.really_sleep && cfg_.stall_ms > 0.0) {
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(cfg_.stall_ms));
+      // Never block a real thread longer than the hard cap: the *modeled*
+      // stall stays stall_ms, but a mis-typed stall_ms=60000 must not hang
+      // a test run for a minute per fault.
+      const double sleep_ms = std::min(cfg_.stall_ms, cfg_.stall_cap_ms);
+      if (cfg_.stall_ms > cfg_.stall_cap_ms) {
+        stats_.stalls_capped.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (sleep_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(sleep_ms));
+      }
     }
   }
   if (plan.fail_open || plan.short_read || plan.stall) {

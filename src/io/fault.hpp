@@ -41,6 +41,11 @@ struct FaultConfig {
   double p_corrupt = 0.0;     ///< per slice (sticky): delivered bytes are flipped
   double p_stall = 0.0;       ///< per attempt: the read stalls for stall_ms
   double stall_ms = 1.0;
+  /// Hard per-attempt bound on the *real* sleep an injected stall performs.
+  /// The configured stall_ms still describes the modeled hiccup, but a test
+  /// process never blocks longer than this per attempt; stalls clipped by
+  /// the cap are counted in FaultStats::stalls_capped.
+  double stall_cap_ms = 25.0;
   bool really_sleep = true;   ///< false: stalls are only counted, not slept
   /// Transient faults (open/short-read/stall) stop firing on a slice after
   /// this many have been injected, guaranteeing eventual read success.
@@ -51,7 +56,7 @@ struct FaultConfig {
   }
 
   /// Parse a CLI spec: comma-separated key=value pairs among
-  /// seed, open, read, corrupt, stall, stall_ms, max_transient.
+  /// seed, open, read, corrupt, stall, stall_ms, stall_cap, max_transient.
   /// Example: "seed=7,open=0.05,read=0.02,corrupt=0.01". Empty => disabled.
   static FaultConfig parse(const std::string& spec);
   std::string str() const;
@@ -62,6 +67,9 @@ struct FaultStats {
   std::atomic<std::int64_t> opens_failed{0};
   std::atomic<std::int64_t> short_reads{0};
   std::atomic<std::int64_t> stalls{0};
+  /// Stalls whose real sleep was clipped by stall_cap_ms (the modeled stall
+  /// exceeded the hard per-attempt sleep bound).
+  std::atomic<std::int64_t> stalls_capped{0};
   std::atomic<std::int64_t> slices_corrupted{0};  ///< corrupt deliveries (per read)
 };
 

@@ -3,15 +3,29 @@
 #include <algorithm>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <queue>
+#include <sstream>
 #include <stdexcept>
+#include <tuple>
 
 #include "fs/trace.hpp"
 
 namespace h4d::sim {
 
 namespace {
+
+/// splitmix64 (same mixer as the storage-fault injector): crash decisions
+/// are pure hashes, independent of event-queue ordering.
+std::uint64_t fmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double funit(std::uint64_t h) { return static_cast<double>(h >> 11) * 0x1.0p-53; }
 
 using fs::BufferPtr;
 using fs::CopyStats;
@@ -78,6 +92,10 @@ struct SimCopy {
   int pending_deliveries = 0;  ///< buffers routed here but not yet arrived
   double available_at = 0.0;    ///< blocking-send release time
   CopyStats stats;
+  // Failure-model state: restart budget spent, and per-task crash counts
+  // (key: port, chunk_id, seq, from_copy — one in-flight buffer's identity).
+  int restarts_used = 0;
+  std::map<std::tuple<int, std::int64_t, std::int64_t, std::int32_t>, int> crashes;
 };
 
 struct SimNode {
@@ -151,6 +169,7 @@ class Simulator {
 
     SimStats out;
     out.total_seconds = finish_time_;
+    out.exec = report_;
     out.network_transfers = net_transfers_;
     out.network_bytes = net_bytes_;
     out.network_busy_seconds = net_busy_;
@@ -279,21 +298,25 @@ class Simulator {
     node.busy_cores++;
 
     RecordingContext ctx(c, &opt_.cost);
-    double duration = 0.0;  // speed-1 seconds, scaled below
+    double duration = 0.0;       // speed-1 seconds, scaled below
+    double failure_delay = 0.0;  // wall virtual seconds lost to crashes/restarts
 
     switch (item.kind) {
       case Item::Kind::SourceRun:
         c->filter->run_source(ctx);
         c->filter->flush(ctx);
         break;
-      case Item::Kind::Data:
+      case Item::Kind::Data: {
         if (item.remote) {
           duration += opt_.cost.recv_cpu_seconds(item.buffer->wire_bytes());
           c->stats.meter.bytes_in += static_cast<std::int64_t>(item.buffer->wire_bytes());
         }
         c->stats.meter.buffers_in++;
-        c->filter->process(item.port, item.buffer, ctx);
+        const bool survives = !opt_.failures.enabled() ||
+                              apply_failure_model(c, item, failure_delay);
+        if (survives) c->filter->process(item.port, item.buffer, ctx);
         break;
+      }
       case Item::Kind::Flush:
         c->filter->flush(ctx);
         break;
@@ -307,9 +330,10 @@ class Simulator {
     // Routing decisions (demand-driven load inspection, network queueing)
     // happen at emission release time: completion for ordinary tasks, the
     // emission's own cumulative-cost point for sources, which stream output
-    // while they run.
-    const double completion = now + duration / speed;
-    c->stats.busy_seconds += duration / speed;
+    // while they run. Crash/restart delays occupy the copy in wall virtual
+    // time (a rebuilding copy is not idle, it is recovering).
+    const double completion = now + duration / speed + failure_delay;
+    c->stats.busy_seconds += duration / speed + failure_delay;
     if (opt_.trace != nullptr && duration > 0.0) {
       const char* suffix = is_source ? "::source" : (is_flush ? "::flush" : "");
       opt_.trace->span(c->group, c->copy, c->stats.filter + suffix, now,
@@ -328,6 +352,80 @@ class Simulator {
       }
       finish_task(c, completion, release, is_flush || is_source);
     });
+  }
+
+  /// Play out the failure model for one Data task: seeded crash decisions,
+  /// bounded restarts, poison quarantine. Returns false when the task is
+  /// quarantined (its data must not be processed); accumulates the virtual
+  /// time lost to rebuilds in `failure_delay`. Escalations throw.
+  bool apply_failure_model(SimCopy* c, const Item& item, double& failure_delay) {
+    const FailureModel& fm = opt_.failures;
+    const fs::BufferHeader& h = item.buffer->header;
+    const auto key = std::make_tuple(item.port, h.chunk_id, h.seq, h.from_copy);
+    int& task_crashes = c->crashes[key];
+    const std::uint64_t base =
+        fmix64(fm.seed ^ fmix64(static_cast<std::uint64_t>(c->group) << 32 |
+                                static_cast<std::uint64_t>(c->copy))) ^
+        fmix64(static_cast<std::uint64_t>(h.chunk_id + 1) * 0x9E3779B9u ^
+               static_cast<std::uint64_t>(h.seq) << 8 ^
+               static_cast<std::uint64_t>(h.from_copy) << 56 ^
+               static_cast<std::uint64_t>(item.port));
+    for (;;) {
+      const double u = funit(fmix64(base ^ static_cast<std::uint64_t>(task_crashes)));
+      if (u >= fm.p_crash) return true;  // this attempt succeeds
+      task_crashes++;
+      const std::string what = "sim: injected crash in " + c->stats.filter + "[" +
+                               std::to_string(c->copy) + "] on chunk " +
+                               std::to_string(h.chunk_id) + " seq " +
+                               std::to_string(h.seq) + " (attempt " +
+                               std::to_string(task_crashes) + ")";
+      if (fm.policy == fs::SupervisePolicy::FailFast) {
+        report_.incidents.push_back(
+            {fs::CopyIncident::Kind::Fatal, c->stats.filter, c->copy, what});
+        throw std::runtime_error(what);
+      }
+      const bool poison = task_crashes >= fm.poison_threshold;
+      const bool budget_left = c->restarts_used < fm.max_restarts;
+      if (fm.policy == fs::SupervisePolicy::Quarantine && (poison || !budget_left)) {
+        fs::QuarantinedBuffer q;
+        q.filter = c->stats.filter;
+        q.copy = c->copy;
+        q.port = item.port;
+        q.chunk_id = h.chunk_id;
+        q.seq = h.seq;
+        q.from_copy = h.from_copy;
+        q.region = h.region2.volume() > 0 ? h.region2 : h.region;
+        q.reason = what;
+        report_.chunks_quarantined++;
+        report_.quarantined.push_back(std::move(q));
+        c->stats.meter.chunks_quarantined++;
+        // The crashed copy still rebuilds before taking its next buffer.
+        record_restart(c, what, failure_delay);
+        if (opt_.trace != nullptr) {
+          opt_.trace->instant(c->group, c->copy, "quarantine", events_.now(),
+                              {{"chunk", h.chunk_id}});
+        }
+        return false;
+      }
+      if (poison || !budget_left) {
+        report_.incidents.push_back(
+            {fs::CopyIncident::Kind::Fatal, c->stats.filter, c->copy, what});
+        throw std::runtime_error(what + ": restart budget exhausted");
+      }
+      c->restarts_used++;
+      record_restart(c, what, failure_delay);
+    }
+  }
+
+  void record_restart(SimCopy* c, const std::string& what, double& failure_delay) {
+    failure_delay += opt_.failures.restart_delay_s;
+    c->stats.meter.copy_restarts++;
+    report_.copy_restarts++;
+    report_.incidents.push_back(
+        {fs::CopyIncident::Kind::Restart, c->stats.filter, c->copy, what});
+    if (opt_.trace != nullptr) {
+      opt_.trace->instant(c->group, c->copy, "restart", events_.now(), {});
+    }
   }
 
   void finish_task(SimCopy* c, double completion, double release, bool was_final) {
@@ -525,6 +623,7 @@ class Simulator {
   std::vector<std::vector<std::unique_ptr<SimCopy>>> copies_;
   std::vector<EdgeRt> edges_;
   std::vector<double> link_free_;
+  fs::ExecutionReport report_;
   double finish_time_ = 0.0;
   std::int64_t net_transfers_ = 0;
   std::int64_t net_bytes_ = 0;
@@ -532,6 +631,52 @@ class Simulator {
 };
 
 }  // namespace
+
+FailureModel FailureModel::parse(const std::string& spec) {
+  FailureModel fm;
+  if (spec.empty() || spec == "off") return fm;
+  std::istringstream is(spec);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("failure spec item needs key=value: " + item);
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    try {
+      if (key == "seed") {
+        fm.seed = std::stoull(value);
+      } else if (key == "crash") {
+        fm.p_crash = std::stod(value);
+      } else if (key == "delay") {
+        fm.restart_delay_s = std::stod(value);
+      } else if (key == "max_restarts") {
+        fm.max_restarts = std::stoi(value);
+      } else if (key == "poison") {
+        fm.poison_threshold = std::stoi(value);
+      } else if (key == "policy") {
+        fm.policy = fs::supervise_policy_from_name(value);
+      } else {
+        throw std::runtime_error("unknown failure spec key: " + key);
+      }
+    } catch (const std::invalid_argument&) {
+      throw std::runtime_error("bad failure spec value for " + key + ": " + value);
+    }
+  }
+  if (fm.p_crash < 0.0 || fm.p_crash > 1.0) {
+    throw std::runtime_error("failure crash probability outside [0,1]");
+  }
+  return fm;
+}
+
+std::string FailureModel::str() const {
+  std::ostringstream os;
+  os << "seed=" << seed << ",crash=" << p_crash << ",delay=" << restart_delay_s
+     << ",max_restarts=" << max_restarts << ",poison=" << poison_threshold
+     << ",policy=" << fs::supervise_policy_name(policy);
+  return os.str();
+}
 
 SimStats run_simulated(const fs::FilterGraph& graph, const SimOptions& options) {
   Simulator sim(graph, options);

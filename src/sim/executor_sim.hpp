@@ -30,6 +30,31 @@ class TraceRecorder;
 
 namespace h4d::sim {
 
+/// Seeded copy-failure model: what fraction of Data tasks crash their copy,
+/// and what a restart costs in virtual time. Decisions are pure hashes of
+/// (seed, copy, buffer identity, attempt) — the same seed yields the same
+/// crash schedule regardless of event ordering, so failure drills on modeled
+/// clusters are reproducible. Crashes strike before the filter runs (the
+/// model charges lost time and restarts; retried work is re-executed exactly
+/// once so outputs stay bit-identical to a clean run), except for poison
+/// tasks under quarantine, whose data is genuinely dropped.
+struct FailureModel {
+  std::uint64_t seed = 0;
+  double p_crash = 0.0;          ///< per Data-task crash probability
+  double restart_delay_s = 1.0;  ///< virtual seconds to rebuild a crashed copy
+  int max_restarts = 3;          ///< per copy, before the error escalates
+  int poison_threshold = 2;      ///< crashes by the same task before quarantine
+  fs::SupervisePolicy policy = fs::SupervisePolicy::RestartCopy;
+
+  bool enabled() const { return p_crash > 0.0; }
+
+  /// Parse a CLI spec: comma-separated key=value pairs among
+  /// seed, crash, delay (seconds), max_restarts, poison, policy.
+  /// Example: "seed=7,crash=0.05,policy=quarantine". Empty => disabled.
+  static FailureModel parse(const std::string& spec);
+  std::string str() const;
+};
+
 struct SimOptions {
   ClusterSpec cluster;
   CostModel cost;
@@ -37,6 +62,8 @@ struct SimOptions {
   /// in *virtual* time, comparable side-by-side with a threaded-run trace.
   /// Must outlive run_simulated().
   fs::TraceRecorder* trace = nullptr;
+  /// Copy failure/restart modeling (disabled by default).
+  FailureModel failures;
 };
 
 /// Extended statistics from a simulated run.

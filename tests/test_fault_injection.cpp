@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <random>
@@ -50,6 +51,39 @@ TEST(FaultConfig, ParseRoundTrip) {
   EXPECT_THROW(FaultConfig::parse("open=2.0"), std::runtime_error);
   EXPECT_THROW(FaultConfig::parse("bogus=1"), std::runtime_error);
   EXPECT_THROW(FaultConfig::parse("open"), std::runtime_error);
+}
+
+TEST(FaultConfig, ParseStallCap) {
+  const FaultConfig cfg = FaultConfig::parse("stall=0.5,stall_ms=3,stall_cap=2");
+  EXPECT_DOUBLE_EQ(cfg.stall_ms, 3.0);
+  EXPECT_DOUBLE_EQ(cfg.stall_cap_ms, 2.0);
+}
+
+TEST(FaultInjector, StallSleepIsCappedAndCounted) {
+  // A mis-typed stall_ms=60000 must not block the process for a minute per
+  // fault: the real sleep is clipped to stall_cap_ms, and the clip counted.
+  FaultConfig cfg;
+  cfg.seed = 1;
+  cfg.p_stall = 1.0;
+  cfg.stall_ms = 60000.0;
+  cfg.stall_cap_ms = 5.0;
+  FaultInjector inj(cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  const AttemptPlan plan = inj.plan_attempt(0, 0);
+  EXPECT_TRUE(plan.stall);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(2));
+  EXPECT_EQ(inj.stats().stalls.load(), 1);
+  EXPECT_EQ(inj.stats().stalls_capped.load(), 1);
+}
+
+TEST(FaultInjector, StallsBelowCapAreNotCounted) {
+  FaultConfig cfg;
+  cfg.p_stall = 1.0;
+  cfg.stall_ms = 1.0;  // well under the 25 ms default cap
+  FaultInjector inj(cfg);
+  EXPECT_TRUE(inj.plan_attempt(0, 0).stall);
+  EXPECT_EQ(inj.stats().stalls.load(), 1);
+  EXPECT_EQ(inj.stats().stalls_capped.load(), 0);
 }
 
 TEST(FaultInjector, SeededDecisionsAreDeterministic) {

@@ -130,5 +130,103 @@ TEST(BoundedQueue, ZeroCapacityClampedToOne) {
   EXPECT_EQ(q.pop(), 9);
 }
 
+TEST(BoundedQueue, CloseUnblocksWaitingPush) {
+  // The fatal-error path relies on this: a producer blocked on a wedged
+  // consumer's full inbox must unwind (push returns false) once the
+  // supervisor closes every stream.
+  BoundedQueue<int> q(1);
+  q.push(1);
+  std::atomic<bool> unblocked{false};
+  std::atomic<bool> accepted{true};
+  std::thread producer([&] {
+    accepted = q.push(2);
+    unblocked = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(unblocked.load());
+  q.close();
+  producer.join();
+  EXPECT_TRUE(unblocked.load());
+  EXPECT_FALSE(accepted.load());
+}
+
+TEST(BoundedQueue, PushForEnqueuesWhenSpaceAvailable) {
+  BoundedQueue<int> q(2);
+  EXPECT_EQ(q.push_for(1, std::chrono::milliseconds(1)), PushOutcome::Ok);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.stats().stalled_pushes, 0);
+}
+
+TEST(BoundedQueue, PushForTimesOutAgainstFullQueue) {
+  BoundedQueue<int> q(1);
+  q.push(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.push_for(2, std::chrono::milliseconds(30)), PushOutcome::Timeout);
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, std::chrono::milliseconds(25));
+  EXPECT_EQ(q.pop(), 1);  // the timed-out item was never enqueued
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, PushForReportsClosed) {
+  BoundedQueue<int> q(1);
+  q.close();
+  EXPECT_EQ(q.push_for(1, std::chrono::milliseconds(1)), PushOutcome::Closed);
+
+  // Closing while a timed push waits also unblocks it with Closed.
+  BoundedQueue<int> full(1);
+  full.push(1);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    full.close();
+  });
+  EXPECT_EQ(full.push_for(2, std::chrono::seconds(10)), PushOutcome::Closed);
+  closer.join();
+}
+
+TEST(BoundedQueue, PushForSucceedsWhenSlotFreesUp) {
+  BoundedQueue<int> q(1);
+  q.push(1);
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.pop();
+  });
+  EXPECT_EQ(q.push_for(2, std::chrono::seconds(10)), PushOutcome::Ok);
+  consumer.join();
+  EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(BoundedQueue, PushForStallAccountingIsOptional) {
+  BoundedQueue<int> q(1);
+  q.push(1);
+  // A retry loop counts the stall once (first slice), not per slice: the
+  // executor passes count_stall=false on follow-up slices.
+  EXPECT_EQ(q.push_for(2, std::chrono::milliseconds(5)), PushOutcome::Timeout);
+  EXPECT_EQ(q.push_for(2, std::chrono::milliseconds(5), /*count_stall=*/false),
+            PushOutcome::Timeout);
+  const QueueStats s = q.stats();
+  EXPECT_EQ(s.stalled_pushes, 1);
+  EXPECT_GT(s.stall_seconds, 0.0);  // waited time is always accounted
+}
+
+TEST(BoundedQueue, TryPopIsNonBlockingAndFreesASlot) {
+  BoundedQueue<int> q(1);
+  EXPECT_EQ(q.try_pop(), std::nullopt);  // empty: returns immediately
+  q.push(7);
+  std::atomic<bool> unblocked{false};
+  std::thread producer([&] {
+    q.push(8);  // blocked: queue full
+    unblocked = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(unblocked.load());
+  EXPECT_EQ(q.try_pop(), 7);  // frees the slot, waking the producer
+  producer.join();
+  EXPECT_TRUE(unblocked.load());
+  EXPECT_EQ(q.try_pop(), 8);
+
+  q.close();
+  EXPECT_EQ(q.try_pop(), std::nullopt);  // closed and drained
+}
+
 }  // namespace
 }  // namespace h4d::fs

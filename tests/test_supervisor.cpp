@@ -1,0 +1,239 @@
+// Supervised execution: crash policies, poison quarantine, watchdog kills.
+//
+// Every fault here is injected deterministically (a toy filter crashes or
+// hangs on specific payload values), so the resulting ExecutionReport can be
+// compared against the seeded fault schedule exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "fs/executor_threads.hpp"
+#include "toy_filters.hpp"
+
+namespace h4d::fs {
+namespace {
+
+using testing::CollectSink;
+using testing::FlakyFilter;
+using testing::FlakyState;
+using testing::HangFilter;
+using testing::NumberSource;
+using testing::PoisonFilter;
+using testing::SinkState;
+
+ThreadedOptions supervised(SupervisePolicy policy, int max_restarts = 3,
+                           int poison_threshold = 2) {
+  ThreadedOptions opt;
+  opt.supervise.policy = policy;
+  opt.supervise.max_restarts = max_restarts;
+  opt.supervise.poison_threshold = poison_threshold;
+  return opt;
+}
+
+/// source(items) -> mid (from `factory`, `copies` wide) -> sink.
+template <typename Factory>
+FilterGraph mid_graph(std::shared_ptr<SinkState> state, int items, Factory factory,
+                      int copies = 1, Policy policy = Policy::RoundRobin) {
+  FilterGraph g;
+  const int src = g.add_filter(
+      {"source", [items] { return std::make_unique<NumberSource>(items); }, 1, {}});
+  const int mid = g.add_filter({"mid", factory, copies, {}});
+  const int sink = g.add_filter(
+      {"sink", [state] { return std::make_unique<CollectSink>(state); }, 1, {}});
+  g.connect(src, 0, mid, policy);
+  g.connect(mid, 0, sink, Policy::DemandDriven);
+  return g;
+}
+
+std::int64_t count_incidents(const ExecutionReport& r, CopyIncident::Kind kind) {
+  return std::count_if(r.incidents.begin(), r.incidents.end(),
+                       [kind](const CopyIncident& i) { return i.kind == kind; });
+}
+
+// --- fail_fast ------------------------------------------------------------
+
+TEST(Supervisor, FailFastRethrowsAfterJoin) {
+  auto state = std::make_shared<SinkState>();
+  const auto g = mid_graph(
+      state, 10, [] { return std::make_unique<PoisonFilter>(5); });
+  EXPECT_THROW(run_threaded(g, supervised(SupervisePolicy::FailFast)),
+               std::runtime_error);
+}
+
+TEST(Supervisor, FailFastUnderMaxBackpressureDoesNotDeadlock) {
+  // Regression: queue_capacity=1 with many in-flight buffers used to leave
+  // the producer blocked forever on the crashed consumer's full inbox. The
+  // fatal path must close every stream so blocked pushes unwind.
+  auto state = std::make_shared<SinkState>();
+  ThreadedOptions opt = supervised(SupervisePolicy::FailFast);
+  opt.queue_capacity = 1;
+  const auto g = mid_graph(
+      state, 500, [] { return std::make_unique<PoisonFilter>(150); });
+  EXPECT_THROW(run_threaded(g, opt), std::runtime_error);
+}
+
+// --- restart_copy ---------------------------------------------------------
+
+TEST(Supervisor, RestartCopyRecoversTransientCrashesWithoutDataLoss) {
+  auto state = std::make_shared<SinkState>();
+  auto flaky = std::make_shared<FlakyState>();
+  const auto g = mid_graph(state, 20, [flaky] {
+    return std::make_unique<FlakyFilter>(flaky, std::vector<std::int64_t>{5, 11}, 1);
+  });
+  const RunStats stats = run_threaded(g, supervised(SupervisePolicy::RestartCopy));
+
+  EXPECT_EQ(state->count(), 20u);  // both crashed buffers were retried
+  EXPECT_EQ(state->sum(), 20 * 19 / 2);
+  EXPECT_EQ(stats.exec.copy_restarts, 2);
+  EXPECT_EQ(stats.exec.chunks_quarantined, 0);
+  EXPECT_EQ(stats.exec.buffers_lost, 0);
+  EXPECT_EQ(count_incidents(stats.exec, CopyIncident::Kind::Restart), 2);
+  std::int64_t meter_restarts = 0;
+  for (const CopyStats& c : stats.copies) {
+    if (c.filter == "mid") meter_restarts += c.meter.copy_restarts;
+  }
+  EXPECT_EQ(meter_restarts, 2);
+}
+
+TEST(Supervisor, RestartCopyEscalatesOnPoisonBuffer) {
+  // The same buffer crashing poison_threshold times means restarts cannot
+  // help; under restart_copy that escalates to the fatal path.
+  auto state = std::make_shared<SinkState>();
+  const auto g = mid_graph(
+      state, 10, [] { return std::make_unique<PoisonFilter>(7); });
+  EXPECT_THROW(
+      run_threaded(g, supervised(SupervisePolicy::RestartCopy, /*max_restarts=*/10)),
+      std::runtime_error);
+}
+
+TEST(Supervisor, RestartCopyEscalatesWhenBudgetExhausted) {
+  // Four distinct buffers each crash once; a budget of 3 rebuilds runs out
+  // on the fourth.
+  auto state = std::make_shared<SinkState>();
+  auto flaky = std::make_shared<FlakyState>();
+  const auto g = mid_graph(state, 20, [flaky] {
+    return std::make_unique<FlakyFilter>(flaky, std::vector<std::int64_t>{3, 6, 9, 12},
+                                         1);
+  });
+  EXPECT_THROW(
+      run_threaded(g, supervised(SupervisePolicy::RestartCopy, /*max_restarts=*/3)),
+      std::runtime_error);
+}
+
+// --- quarantine -----------------------------------------------------------
+
+TEST(Supervisor, QuarantineInventoryMatchesSeededFaultSchedule) {
+  auto state = std::make_shared<SinkState>();
+  auto flaky = std::make_shared<FlakyState>();
+  // Buffers 4 and 9 crash on every attempt (10 >> poison threshold); the run
+  // must complete with exactly those two in the damage inventory.
+  const auto g = mid_graph(state, 20, [flaky] {
+    return std::make_unique<FlakyFilter>(flaky, std::vector<std::int64_t>{4, 9}, 10);
+  });
+  const RunStats stats = run_threaded(
+      g, supervised(SupervisePolicy::Quarantine, /*max_restarts=*/100,
+                    /*poison_threshold=*/2));
+
+  EXPECT_EQ(state->count(), 18u);  // everything except the two poison buffers
+  EXPECT_EQ(state->sum(), 20 * 19 / 2 - 4 - 9);
+  EXPECT_EQ(stats.exec.chunks_quarantined, 2);
+  ASSERT_EQ(stats.exec.quarantined.size(), 2u);
+  std::vector<std::int64_t> seqs;
+  for (const QuarantinedBuffer& q : stats.exec.quarantined) {
+    EXPECT_EQ(q.filter, "mid");
+    EXPECT_FALSE(q.reason.empty());
+    seqs.push_back(q.seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+  EXPECT_EQ(seqs, (std::vector<std::int64_t>{4, 9}));
+  // Each poison buffer costs poison_threshold crashes, and every crash
+  // rebuilds the copy.
+  EXPECT_EQ(stats.exec.copy_restarts, 4);
+  EXPECT_FALSE(stats.exec.clean());
+  EXPECT_NE(stats.exec.summary().find("2 quarantined"), std::string::npos);
+}
+
+TEST(Supervisor, QuarantineCompletesCleanRunUntouched) {
+  auto state = std::make_shared<SinkState>();
+  const auto g = mid_graph(
+      state, 30, [] { return std::make_unique<PoisonFilter>(-1); }, 2);
+  const RunStats stats = run_threaded(g, supervised(SupervisePolicy::Quarantine));
+  EXPECT_EQ(state->count(), 30u);
+  EXPECT_TRUE(stats.exec.clean());
+}
+
+// --- watchdog -------------------------------------------------------------
+
+TEST(Supervisor, WatchdogKillsHungCopyAndSiblingsTakeOver) {
+  auto state = std::make_shared<SinkState>();
+  // Two transparent copies; the one that draws buffer 6 wedges for 1.5 s.
+  // The watchdog (200 ms deadline) must declare it dead, re-route its
+  // pending buffers to the live sibling, and send EOS on its behalf so the
+  // run completes degraded instead of hanging.
+  const auto g = mid_graph(
+      state, 40,
+      [] {
+        return std::make_unique<HangFilter>(6, std::chrono::milliseconds(1500));
+      },
+      /*copies=*/2, Policy::RoundRobin);
+  ThreadedOptions opt;
+  opt.supervise.watchdog_deadline_ms = 200.0;
+  // A tiny inbox keeps the source blocked on the wedged copy at kill time —
+  // which also proves a producer blocked on backpressure is never the one
+  // declared dead (its heartbeat refreshes while it waits).
+  opt.queue_capacity = 2;
+  const RunStats stats = run_threaded(g, opt);
+
+  // The victim buffer itself is gone (its call never produced output); every
+  // other buffer must arrive through the surviving copy.
+  EXPECT_EQ(state->count() + static_cast<std::size_t>(stats.exec.buffers_lost), 39u);
+  EXPECT_EQ(stats.exec.watchdog_kills, 1);
+  EXPECT_EQ(count_incidents(stats.exec, CopyIncident::Kind::WatchdogKill), 1);
+  std::int64_t killed_copies = 0;
+  for (const CopyStats& c : stats.copies) killed_copies += c.meter.watchdog_kills;
+  EXPECT_EQ(killed_copies, 1);
+}
+
+TEST(Supervisor, WatchdogWithoutSiblingsRunsDegradedAndReportsLoss) {
+  auto state = std::make_shared<SinkState>();
+  const auto g = mid_graph(state, 12, [] {
+    return std::make_unique<HangFilter>(2, std::chrono::milliseconds(1200));
+  });
+  ThreadedOptions opt;
+  opt.supervise.watchdog_deadline_ms = 150.0;
+  const RunStats stats = run_threaded(g, opt);  // must not throw or hang
+
+  EXPECT_EQ(stats.exec.watchdog_kills, 1);
+  // Buffers stranded in the dead copy's inbox have no live sibling: they are
+  // inventoried as lost, and the sink still terminates via the proxy EOS.
+  EXPECT_EQ(state->count() + static_cast<std::size_t>(stats.exec.buffers_lost), 11u);
+  EXPECT_LT(state->count(), 12u);
+}
+
+TEST(Supervisor, WatchdogLeavesHealthyRunAlone) {
+  auto state = std::make_shared<SinkState>();
+  const auto g = mid_graph(
+      state, 50, [] { return std::make_unique<PoisonFilter>(-1); }, 2);
+  ThreadedOptions opt;
+  opt.supervise.watchdog_deadline_ms = 30000.0;
+  const RunStats stats = run_threaded(g, opt);
+  EXPECT_EQ(state->count(), 50u);
+  EXPECT_EQ(stats.exec.watchdog_kills, 0);
+  EXPECT_TRUE(stats.exec.clean());
+}
+
+// --- policy names ---------------------------------------------------------
+
+TEST(Supervisor, PolicyNamesRoundTrip) {
+  EXPECT_EQ(supervise_policy_from_name("fail"), SupervisePolicy::FailFast);
+  EXPECT_EQ(supervise_policy_from_name("fail_fast"), SupervisePolicy::FailFast);
+  EXPECT_EQ(supervise_policy_from_name("restart"), SupervisePolicy::RestartCopy);
+  EXPECT_EQ(supervise_policy_from_name("restart_copy"), SupervisePolicy::RestartCopy);
+  EXPECT_EQ(supervise_policy_from_name("quarantine"), SupervisePolicy::Quarantine);
+  EXPECT_THROW(supervise_policy_from_name("bogus"), std::runtime_error);
+  EXPECT_EQ(supervise_policy_name(SupervisePolicy::Quarantine), "quarantine");
+}
+
+}  // namespace
+}  // namespace h4d::fs

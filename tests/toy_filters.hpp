@@ -1,9 +1,14 @@
 // Small synthetic filters shared by the executor tests.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -127,6 +132,66 @@ class PoisonFilter final : public Filter {
 
  private:
   std::int64_t poison_;
+};
+
+/// Crash bookkeeping shared across filter rebuilds: the supervisor builds a
+/// fresh instance from the factory on every restart, so counts that must
+/// survive a restart have to live outside the filter object.
+struct FlakyState {
+  std::mutex mu;
+  std::map<std::int64_t, int> crashes;  ///< payload value -> crashes so far
+};
+
+/// Throws on buffers whose payload is in `bad` until each has crashed
+/// `crashes_per_item` times, then forwards them normally — a transient fault
+/// that a restart_copy supervisor recovers from without losing data.
+class FlakyFilter final : public Filter {
+ public:
+  FlakyFilter(std::shared_ptr<FlakyState> state, std::vector<std::int64_t> bad,
+              int crashes_per_item)
+      : state_(std::move(state)), bad_(std::move(bad)), crashes_(crashes_per_item) {}
+
+  std::string_view name() const override { return "flaky"; }
+
+  void process(int, const BufferPtr& buffer, FilterContext& ctx) override {
+    const std::int64_t v = buffer->as<std::int64_t>()[0];
+    if (std::find(bad_.begin(), bad_.end(), v) != bad_.end()) {
+      std::lock_guard lk(state_->mu);
+      if (state_->crashes[v] < crashes_) {
+        ++state_->crashes[v];
+        throw std::runtime_error("flaky crash on " + std::to_string(v));
+      }
+    }
+    ctx.emit(0, std::make_shared<DataBuffer>(*buffer));
+  }
+
+ private:
+  std::shared_ptr<FlakyState> state_;
+  std::vector<std::int64_t> bad_;
+  int crashes_;
+};
+
+/// Hangs (sleeps `hang`, then swallows the buffer) on the payload equal to
+/// `victim`; forwards everything else immediately. Drives the watchdog tests:
+/// the sleep models a wedged filter call the executor cannot interrupt.
+class HangFilter final : public Filter {
+ public:
+  HangFilter(std::int64_t victim, std::chrono::milliseconds hang)
+      : victim_(victim), hang_(hang) {}
+
+  std::string_view name() const override { return "hang"; }
+
+  void process(int, const BufferPtr& buffer, FilterContext& ctx) override {
+    if (buffer->as<std::int64_t>()[0] == victim_) {
+      std::this_thread::sleep_for(hang_);
+      return;  // the hung call never produced output
+    }
+    ctx.emit(0, std::make_shared<DataBuffer>(*buffer));
+  }
+
+ private:
+  std::int64_t victim_;
+  std::chrono::milliseconds hang_;
 };
 
 }  // namespace h4d::fs::testing

@@ -40,12 +40,51 @@ TIMING_KEYS = (
     "enqueue_stall_seconds",
 )
 
+# Canonical WorkMeter counters (fs/meter.hpp kFieldNames). Every per-copy and
+# per-filter meter object must carry all of them — a missing key means the
+# C++ export and the meter struct have drifted apart.
+REQUIRED_METER_KEYS = (
+    "glcm_pair_updates",
+    "feature_cells_scanned",
+    "feature_cell_ops",
+    "matrices_built",
+    "sparse_entries_emitted",
+    "sparse_compress_cells",
+    "bytes_memcpy",
+    "stitch_elements",
+    "elements_quantized",
+    "disk_bytes_read",
+    "disk_seeks",
+    "disk_bytes_written",
+    "read_retries",
+    "slices_skipped",
+    "checksum_failures",
+    "copy_restarts",
+    "chunks_quarantined",
+    "watchdog_kills",
+    "chunks_resumed",
+    "buffers_in",
+    "buffers_out",
+    "bytes_in",
+    "bytes_out",
+)
+
+EXECUTION_COUNTER_KEYS = (
+    "copy_restarts",
+    "chunks_quarantined",
+    "watchdog_kills",
+    "buffers_lost",
+    "chunks_resumed",
+)
+
 
 def check_meter(meter: object, path: str, where: str) -> None:
     if not require(isinstance(meter, dict), path, f"{where}: meter is not an object"):
         return
     for k, v in meter.items():
         require(isinstance(v, (int, float)), path, f"{where}: meter.{k} is not a number")
+    for k in REQUIRED_METER_KEYS:
+        require(k in meter, path, f"{where}: meter missing required counter {k}")
 
 
 def check_metrics_object(doc: object, path: str, where: str = "") -> None:
@@ -110,6 +149,22 @@ def check_metrics_object(doc: object, path: str, where: str = "") -> None:
             require(isinstance(bn.get(k), str), path, f"{where}: bottleneck.{k} missing")
         require(isinstance(bn.get("bound_utilization"), (int, float)), path,
                 f"{where}: bottleneck.bound_utilization missing")
+
+    ex = doc.get("execution")
+    if require(isinstance(ex, dict), path, f"{where}: missing execution object"):
+        for k in EXECUTION_COUNTER_KEYS:
+            require(isinstance(ex.get(k), int), path, f"{where}: execution.{k} missing")
+        for k in ("quarantined", "incidents"):
+            require(isinstance(ex.get(k), list), path,
+                    f"{where}: execution.{k} is not an array")
+        for i, q in enumerate(ex.get("quarantined") or []):
+            w = f"{where}execution.quarantined[{i}]"
+            if require(isinstance(q, dict), path, f"{w}: not an object"):
+                require(isinstance(q.get("filter"), str), path, f"{w}: missing filter")
+                for k in ("copy", "chunk_id", "seq"):
+                    require(isinstance(q.get(k), int), path, f"{w}: missing {k}")
+        require(ex.get("chunks_quarantined") == len(ex.get("quarantined") or []),
+                path, f"{where}: chunks_quarantined != len(quarantined)")
 
 
 def check_metrics_file(path: str) -> None:
