@@ -1,0 +1,115 @@
+// Shared harness for the kernel micro-benchmarks (micro_glcm,
+// micro_features): an MRI-like phantom generator, a small best-of-N timing
+// loop, and the `h4d-bench-metrics-v1` JSON emission used to produce and
+// regression-check BENCH_kernel.json (tools/check_bench.py).
+//
+// Unlike bench_common.hpp (virtual seconds through the cluster simulator),
+// everything here is real wall time of the in-process kernels on the build
+// host.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nd/quantize.hpp"
+#include "nd/volume4.hpp"
+
+namespace h4d::bench {
+
+/// Smooth gradient + Gaussian jitter, quantized to ng levels — the same
+/// texture profile the paper's MRI inputs produce after requantization.
+inline Volume4<Level> mri_like(Vec4 dims, int ng) {
+  Volume4<Level> v(dims);
+  std::mt19937_64 rng(7);
+  std::normal_distribution<double> jitter(0.0, 1.0);
+  for (std::int64_t t = 0; t < dims[3]; ++t)
+    for (std::int64_t z = 0; z < dims[2]; ++z)
+      for (std::int64_t y = 0; y < dims[1]; ++y)
+        for (std::int64_t x = 0; x < dims[0]; ++x) {
+          const double base = static_cast<double>(x + 2 * y + z + t) /
+                              static_cast<double>(dims[0] * 3) * ng;
+          v.at(x, y, z, t) =
+              static_cast<Level>(std::clamp(base + jitter(rng), 0.0, ng - 1.0));
+        }
+  return v;
+}
+
+/// Nanoseconds per call of `fn`, best of `repeats` batches of auto-sized
+/// iteration counts (the minimum is robust against scheduler noise).
+template <typename F>
+double measure_ns_per_op(F&& fn, double min_batch_seconds = 0.04, int repeats = 9) {
+  using clock = std::chrono::steady_clock;
+  const auto once = [&fn] {
+    const auto t0 = clock::now();
+    fn();
+    return std::chrono::duration<double>(clock::now() - t0).count();
+  };
+  // Calibrate a batch size that runs for at least min_batch_seconds.
+  double probe = once();
+  std::int64_t iters = 1;
+  while (probe * static_cast<double>(iters) < min_batch_seconds && iters < (1 << 24)) {
+    iters *= 2;
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = clock::now();
+    for (std::int64_t i = 0; i < iters; ++i) fn();
+    const double sec = std::chrono::duration<double>(clock::now() - t0).count();
+    best = std::min(best, sec / static_cast<double>(iters));
+  }
+  return best * 1e9;
+}
+
+/// One benchmark row: a stable label plus numeric counters.
+struct MicroRun {
+  std::string label;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Serialize runs as {schema: h4d-bench-metrics-v1, figure, runs: [{label,
+/// metrics: {schema: h4d-micro-v1, ...numbers}}]} — the envelope
+/// tools/check_metrics.py validates and tools/check_bench.py diffs.
+inline int write_micro_json(const std::string& figure, const std::vector<MicroRun>& runs,
+                            const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  os << "{\"schema\": \"h4d-bench-metrics-v1\", \"figure\": \"" << figure
+     << "\", \"runs\": [";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\n  {\"label\": \"" << runs[i].label
+       << "\", \"metrics\": {\"schema\": \"h4d-micro-v1\"";
+    for (const auto& [key, value] : runs[i].metrics) {
+      os << ", \"" << key << "\": " << (std::isfinite(value) ? value : 0.0);
+    }
+    os << "}}";
+  }
+  os << "\n]}\n";
+  std::cout << "wrote " << path << " (" << runs.size() << " runs)\n";
+  return 0;
+}
+
+/// True when `--json FILE` was passed; strips the flag and returns FILE.
+inline bool json_output_path(int argc, char** argv, std::string& out) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      out = argv[i + 1];
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace h4d::bench

@@ -61,7 +61,7 @@ void HaralickMatrixProducer::process(int port, const fs::BufferPtr& buffer,
   const Region4& owned = buffer->header.region2;
 
   const auto blocks =
-      haralick::analyze_chunk(view, region, owned, p_->engine, &ctx.meter().work);
+      haralick::analyze_chunk(view, region, owned, p_->engine, &ctx.meter().work, &scratch_);
   for (const auto& block : blocks) {
     std::int64_t k = 0;
     for (const Vec4& origin : raster(block.origins)) {
@@ -87,7 +87,7 @@ void HaralickCoMatrixCalculator::process(int port, const fs::BufferPtr& buffer,
   for (const Vec4& origin : raster(owned)) {
     const Region4 roi{origin - region.origin, p_->engine.roi_dims};
     const Glcm g = haralick::glcm_for_roi(view, roi, dirs, p_->engine.num_levels,
-                                          &ctx.meter().work);
+                                          &ctx.meter().work, &scratch_);
     if (p_->engine.representation == Representation::Sparse) {
       // Compression cost: scan the dense matrix, emit the non-zeros.
       ctx.meter().work.sparse_compress_cells +=

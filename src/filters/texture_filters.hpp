@@ -13,6 +13,7 @@
 #include "filters/params.hpp"
 #include "filters/payloads.hpp"
 #include "fs/filter.hpp"
+#include "haralick/kernel.hpp"
 
 namespace h4d::filters {
 
@@ -47,6 +48,9 @@ class HaralickMatrixProducer final : public fs::Filter {
  private:
   ParamsPtr p_;
   FeatureEmitter out_;
+  // Kernel working state; each filter copy owns its own instance, so reuse
+  // across chunks is race-free.
+  haralick::KernelScratch scratch_{2};
 };
 
 /// HaralickCoMatrixCalculator (HCC): co-occurrence matrices only. Emits a
@@ -64,6 +68,7 @@ class HaralickCoMatrixCalculator final : public fs::Filter {
  private:
   ParamsPtr p_;
   MatrixPacketWriter writer_;
+  haralick::KernelScratch scratch_{2};  // per-copy, reused across ROIs
   std::int64_t seq_ = 0;
 };
 

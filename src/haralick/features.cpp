@@ -5,25 +5,11 @@
 #include <vector>
 
 #include "haralick/eigen.hpp"
+#include "haralick/features_detail.hpp"
 
 namespace h4d::haralick {
 
-namespace {
-
-constexpr double kEps = 1e-12;
-
-double xlogx(double p) { return p > 0.0 ? p * std::log(p) : 0.0; }
-
-/// Which intermediate quantities a feature selection requires.
-struct Needs {
-  bool cell_asm = false;      // sum p^2
-  bool cell_ixj = false;      // sum i*j*p
-  bool cell_idm = false;      // sum p / (1 + (i-j)^2)
-  bool cell_entropy = false;  // -sum p log p
-  bool marg_sum = false;      // p_{x+y}
-  bool marg_diff = false;     // p_{x-y}
-  int cell_terms = 0;         // per-cell multiply-accumulate terms (cost model)
-};
+namespace detail {
 
 Needs analyse(FeatureSet set) {
   Needs n;
@@ -41,17 +27,16 @@ Needs analyse(FeatureSet set) {
   return n;
 }
 
-/// Everything gathered from the cell pass, finalized into features below.
-struct Gathered {
-  int ng = 0;
-  std::vector<double> px;     // marginal; == py by symmetry
-  std::vector<double> psum;   // p_{x+y}, indices 0 .. 2Ng-2
-  std::vector<double> pdiff;  // p_{|x-y|}, indices 0 .. Ng-1
-  double asm_sum = 0.0;
-  double ixj = 0.0;
-  double idm = 0.0;
-  double entropy = 0.0;  // HXY
-};
+void Gathered::reset(int num_levels) {
+  ng = num_levels;
+  px.assign(static_cast<std::size_t>(num_levels), 0.0);
+  psum.assign(static_cast<std::size_t>(2 * num_levels - 1), 0.0);
+  pdiff.assign(static_cast<std::size_t>(num_levels), 0.0);
+  asm_sum = 0.0;
+  ixj = 0.0;
+  idm = 0.0;
+  entropy = 0.0;
+}
 
 /// f14: sqrt of the second-largest eigenvalue of Q. Q is similar to A A^T
 /// with A = Dx^{-1/2} P Dy^{-1/2}; compute A restricted to levels with
@@ -211,7 +196,13 @@ FeatureVector finalize(const Gathered& g, FeatureSet set, const Glcm* dense,
   return out;
 }
 
-}  // namespace
+}  // namespace detail
+
+using detail::analyse;
+using detail::finalize;
+using detail::Gathered;
+using detail::Needs;
+using detail::xlogx;
 
 std::string_view feature_name(Feature f) {
   switch (f) {

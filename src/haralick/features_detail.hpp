@@ -1,0 +1,51 @@
+// Internal feature-computation machinery shared between the reference paths
+// (features.cpp) and the fused kernel sweep (kernel.cpp). Not part of the
+// public haralick API; include features.hpp instead.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "haralick/features.hpp"
+
+namespace h4d::haralick::detail {
+
+inline constexpr double kEps = 1e-12;
+
+inline double xlogx(double p) { return p > 0.0 ? p * std::log(p) : 0.0; }
+
+/// Which intermediate quantities a feature selection requires.
+struct Needs {
+  bool cell_asm = false;      // sum p^2
+  bool cell_ixj = false;      // sum i*j*p
+  bool cell_idm = false;      // sum p / (1 + (i-j)^2)
+  bool cell_entropy = false;  // -sum p log p
+  bool marg_sum = false;      // p_{x+y}
+  bool marg_diff = false;     // p_{x-y}
+  int cell_terms = 0;         // per-cell multiply-accumulate terms (cost model)
+};
+
+Needs analyse(FeatureSet set);
+
+/// Everything gathered from the cell pass, finalized into features below.
+struct Gathered {
+  int ng = 0;
+  std::vector<double> px;     // marginal; == py by symmetry
+  std::vector<double> psum;   // p_{x+y}, indices 0 .. 2Ng-2
+  std::vector<double> pdiff;  // p_{|x-y|}, indices 0 .. Ng-1
+  double asm_sum = 0.0;
+  double ixj = 0.0;
+  double idm = 0.0;
+  double entropy = 0.0;  // HXY
+
+  /// Zero every accumulator for `num_levels`, reusing buffer capacity.
+  void reset(int num_levels);
+};
+
+/// Turn the gathered sums into the selected features. Exactly one of
+/// `dense`/`sparse` may be null; the non-null one is only consulted for the
+/// maximal correlation coefficient (f14).
+FeatureVector finalize(const Gathered& g, FeatureSet set, const Glcm* dense,
+                       const SparseGlcm* sparse, WorkCounters* wc);
+
+}  // namespace h4d::haralick::detail

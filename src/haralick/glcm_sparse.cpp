@@ -9,6 +9,9 @@ SparseGlcm SparseGlcm::from_dense(const Glcm& g) {
   std::vector<SparseEntry> entries;
   const int ng = g.num_levels();
   for (int i = 0; i < ng; ++i) {
+    // A clear occupancy bit guarantees the whole row is zero — skip it
+    // without touching its Ng - i cells.
+    if (!g.row_possibly_occupied(i)) continue;
     for (int j = i; j < ng; ++j) {
       const std::uint32_t c = g.count(i, j);
       if (c != 0) {

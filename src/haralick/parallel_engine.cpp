@@ -4,6 +4,7 @@
 #include <mutex>
 #include <thread>
 
+#include "haralick/kernel.hpp"
 #include "nd/raster.hpp"
 
 namespace h4d::haralick {
@@ -76,13 +77,17 @@ std::vector<FeatureBlock> analyze_volume_parallel(const Volume4<Level>& vol,
 
   const auto worker = [&] {
     WorkCounters local{};
+    // Per-thread kernel state (GLCM tile, gathered buffers) reused across
+    // every chunk this worker claims.
+    KernelScratch scratch(cfg.num_levels);
     try {
       for (;;) {
         const std::size_t i = next.fetch_add(1);
         if (i >= chunks.size()) break;
         const Chunk& c = chunks[i];
         const auto view = vol.view().subview(c.region);
-        const auto partial = analyze_chunk(view, c.region, c.owned_origins, cfg, &local);
+        const auto partial =
+            analyze_chunk(view, c.region, c.owned_origins, cfg, &local, &scratch);
         for (std::size_t s = 0; s < partial.size(); ++s) {
           std::int64_t k = 0;
           for (const Vec4& p : raster(partial[s].origins)) {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "haralick/directions.hpp"
+#include "haralick/kernel.hpp"
 #include "haralick/sliding.hpp"
 #include "nd/raster.hpp"
 
@@ -16,9 +17,9 @@ std::vector<Vec4> EngineConfig::effective_directions() const {
 }
 
 Glcm glcm_for_roi(Vol4View<const Level> vol, const Region4& roi, const std::vector<Vec4>& dirs,
-                  int num_levels, WorkCounters* wc) {
+                  int num_levels, WorkCounters* wc, KernelScratch* scratch) {
   Glcm g(num_levels);
-  const std::int64_t updates = g.accumulate(vol, roi, dirs);
+  const std::int64_t updates = g.accumulate(vol, roi, dirs, scratch);
   if (wc != nullptr) {
     wc->glcm_pair_updates += updates;
     wc->matrices_built += 1;
@@ -29,7 +30,7 @@ Glcm glcm_for_roi(Vol4View<const Level> vol, const Region4& roi, const std::vect
 std::vector<FeatureBlock> analyze_chunk(Vol4View<const Level> chunk_view,
                                         const Region4& chunk_region,
                                         const Region4& owned_origins, const EngineConfig& cfg,
-                                        WorkCounters* wc) {
+                                        WorkCounters* wc, KernelScratch* scratch) {
   if (chunk_view.dims() != chunk_region.size) {
     throw std::invalid_argument("analyze_chunk: view dims do not match chunk region");
   }
@@ -70,7 +71,38 @@ std::vector<FeatureBlock> analyze_chunk(Vol4View<const Level> chunk_view,
     return compute_features(g, cfg.features, cfg.zero_policy, wc);
   };
 
-  Glcm scratch(cfg.num_levels);
+  // Kernel working state: the caller's per-thread scratch when given, else a
+  // local one for this chunk.
+  std::optional<KernelScratch> local_scratch;
+  if (scratch == nullptr) {
+    local_scratch.emplace(cfg.num_levels);
+    scratch = &*local_scratch;
+  } else {
+    scratch->configure(cfg.num_levels);
+  }
+  KernelScratch& ks = *scratch;
+
+  // Per-ROI matrix + feature evaluation through the kernel: accumulate the
+  // upper-triangle tile, then either fold to the dense table (Full) or run
+  // the fused non-zero sweep which also stands in for the sparse conversion
+  // (Sparse). Results are bit-identical to features_of on a reference-built
+  // Glcm (property-tested in test_kernel).
+  Glcm dense_scratch(cfg.num_levels);
+  const auto kernel_features_of_roi = [&](const Region4& roi,
+                                          const std::vector<Vec4>& dv) {
+    const std::int64_t updates = ks.accumulate(chunk_view, roi, dv);
+    if (wc != nullptr) {
+      wc->glcm_pair_updates += updates;
+      wc->matrices_built += 1;
+    }
+    if (cfg.representation == Representation::Sparse) {
+      return ks.features_fused(cfg.features, wc);
+    }
+    dense_scratch.clear();
+    ks.finalize_add(dense_scratch);
+    return compute_features(dense_scratch, cfg.features, cfg.zero_policy, wc);
+  };
+
   std::optional<SlidingGlcm> sliding;
   if (cfg.sliding_window) {
     sliding.emplace(chunk_view, cfg.roi_dims, dirs, cfg.num_levels);
@@ -89,7 +121,6 @@ std::vector<FeatureBlock> analyze_chunk(Vol4View<const Level> chunk_view,
 
     FeatureVector fv;
     if (cfg.direction_mode == DirectionMode::Pooled) {
-      const Glcm* glcm = nullptr;
       if (sliding) {
         const Vec4 step = origin - prev_origin;
         if (sliding->positioned() && step == Vec4{1, 0, 0, 0}) {
@@ -97,22 +128,15 @@ std::vector<FeatureBlock> analyze_chunk(Vol4View<const Level> chunk_view,
         } else {
           sliding->reset(roi.origin);
         }
-        glcm = &sliding->glcm();
         if (wc != nullptr) {
           wc->glcm_pair_updates += sliding->updates_performed() - sliding_updates_before;
           wc->matrices_built += 1;
         }
         sliding_updates_before = sliding->updates_performed();
+        fv = features_of(sliding->glcm());
       } else {
-        scratch.clear();
-        const std::int64_t updates = scratch.accumulate(chunk_view, roi, dirs);
-        if (wc != nullptr) {
-          wc->glcm_pair_updates += updates;
-          wc->matrices_built += 1;
-        }
-        glcm = &scratch;
+        fv = kernel_features_of_roi(roi, dirs);
       }
-      fv = features_of(*glcm);
     } else {
       // One matrix per direction; aggregate the per-direction features.
       FeatureVector lo, hi, sum;
@@ -120,13 +144,7 @@ std::vector<FeatureBlock> analyze_chunk(Vol4View<const Level> chunk_view,
       std::vector<Vec4> one_dir(1);
       for (const Vec4& d : dirs) {
         one_dir[0] = d;
-        scratch.clear();
-        const std::int64_t updates = scratch.accumulate(chunk_view, roi, one_dir);
-        if (wc != nullptr) {
-          wc->glcm_pair_updates += updates;
-          wc->matrices_built += 1;
-        }
-        const FeatureVector f = features_of(scratch);
+        const FeatureVector f = kernel_features_of_roi(roi, one_dir);
         for (int s = 0; s < kNumFeatures; ++s) {
           const auto idx = static_cast<std::size_t>(s);
           sum.value[idx] += f.value[idx];

@@ -68,15 +68,21 @@ struct FeatureBlock {
 /// every ROI with origin in `owned_origins` must fit inside `chunk_region`
 /// (guaranteed by partition_overlapping). Returns one FeatureBlock per
 /// selected feature. `wc` accumulates operation counts for the cost model.
+///
+/// `scratch`, when non-null, supplies the kernel working state (tile,
+/// marginal buffers); pass one per worker thread / filter copy so repeated
+/// chunks reuse it instead of re-allocating.
 std::vector<FeatureBlock> analyze_chunk(Vol4View<const Level> chunk_view,
                                         const Region4& chunk_region,
                                         const Region4& owned_origins, const EngineConfig& cfg,
-                                        WorkCounters* wc = nullptr);
+                                        WorkCounters* wc = nullptr,
+                                        KernelScratch* scratch = nullptr);
 
 /// Build the co-occurrence matrix of a single ROI (used by the HCC filter).
-/// `roi` is in the local coordinates of `vol`.
+/// `roi` is in the local coordinates of `vol`. `scratch` as in analyze_chunk.
 Glcm glcm_for_roi(Vol4View<const Level> vol, const Region4& roi,
-                  const std::vector<Vec4>& dirs, int num_levels, WorkCounters* wc = nullptr);
+                  const std::vector<Vec4>& dirs, int num_levels, WorkCounters* wc = nullptr,
+                  KernelScratch* scratch = nullptr);
 
 /// Reference sequential path: analyze a whole in-memory quantized volume.
 /// Equivalent to one chunk covering everything.

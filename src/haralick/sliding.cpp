@@ -6,7 +6,11 @@ namespace h4d::haralick {
 
 SlidingGlcm::SlidingGlcm(Vol4View<const Level> vol, Vec4 roi_dims, std::vector<Vec4> dirs,
                          int num_levels)
-    : vol_(vol), roi_dims_(roi_dims), dirs_(std::move(dirs)), glcm_(num_levels) {
+    : vol_(vol),
+      roi_dims_(roi_dims),
+      dirs_(std::move(dirs)),
+      glcm_(num_levels),
+      scratch_(num_levels) {
   if (!roi_dims_.all_positive() || !roi_dims_.all_le(vol_.dims())) {
     throw std::invalid_argument("SlidingGlcm: roi " + roi_dims_.str() +
                                 " infeasible for volume " + vol_.dims().str());
@@ -28,7 +32,7 @@ void SlidingGlcm::reset(const Vec4& origin) {
                                 " outside volume");
   }
   glcm_.clear();
-  updates_ += glcm_.accumulate(vol_, roi, dirs_);
+  updates_ += glcm_.accumulate(vol_, roi, dirs_, &scratch_);
   origin_ = origin;
   positioned_ = true;
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "haralick/glcm.hpp"
+#include "haralick/kernel.hpp"
 
 namespace h4d::haralick {
 
@@ -51,8 +52,7 @@ class SlidingGlcm {
   Vec4 roi_dims_;
   std::vector<Vec4> dirs_;
   Glcm glcm_;
-  std::vector<std::uint32_t> counts_;  // working table (row-major Ng x Ng)
-  std::int64_t total_ = 0;
+  KernelScratch scratch_;  // reused by every from-scratch reset()
   Vec4 origin_{};
   bool positioned_ = false;
   std::int64_t updates_ = 0;

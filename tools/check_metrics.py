@@ -6,7 +6,10 @@ Validates the JSON files produced by `h4d --metrics` / the bench harnesses'
 Event Format subset the runtime emits. Accepted metrics schemas:
 
   h4d-metrics-v1        one run (CLI analyze/simulate)
-  h4d-bench-metrics-v1  {figure, runs: [{label, metrics: <h4d-metrics-v1>}]}
+  h4d-bench-metrics-v1  {figure, runs: [{label, metrics: <h4d-metrics-v1
+                        or h4d-micro-v1>}]}
+  h4d-micro-v1          flat {schema, <name>: <number>, ...} rows emitted by
+                        the micro-benchmarks (bench/micro_common.hpp)
 
 Checks structure, types, and the internal invariant that per-filter meter
 aggregates equal the sum over that filter's copies.
@@ -85,6 +88,20 @@ def check_meter(meter: object, path: str, where: str) -> None:
         require(isinstance(v, (int, float)), path, f"{where}: meter.{k} is not a number")
     for k in REQUIRED_METER_KEYS:
         require(k in meter, path, f"{where}: meter missing required counter {k}")
+
+
+def check_micro_object(doc: object, path: str, where: str) -> None:
+    """h4d-micro-v1: a flat bag of named numbers (wall-clock micro-bench row)."""
+    if not require(isinstance(doc, dict), path, f"{where}: not an object"):
+        return
+    numeric = 0
+    for k, v in doc.items():
+        if k == "schema":
+            continue
+        if require(isinstance(v, (int, float)), path,
+                   f"{where}: {k} is not a number"):
+            numeric += 1
+    require(numeric > 0, path, f"{where}: no numeric metrics")
 
 
 def check_metrics_object(doc: object, path: str, where: str = "") -> None:
@@ -181,7 +198,11 @@ def check_metrics_file(path: str) -> None:
             for i, r in enumerate(runs):
                 if require(isinstance(r, dict) and isinstance(r.get("label"), str),
                            path, f"runs[{i}]: missing label"):
-                    check_metrics_object(r.get("metrics"), path, f"runs[{i}].")
+                    m = r.get("metrics")
+                    if isinstance(m, dict) and m.get("schema") == "h4d-micro-v1":
+                        check_micro_object(m, path, f"runs[{i}].metrics")
+                    else:
+                        check_metrics_object(m, path, f"runs[{i}].")
     elif schema == "h4d-metrics-v1":
         check_metrics_object(doc, path)
     else:
