@@ -7,6 +7,9 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+#include <fstream>
+
 #include "core/analysis.hpp"
 #include "core/planner.hpp"
 #include "fs/metrics.hpp"
@@ -16,6 +19,7 @@
 #include "io/image_write.hpp"
 #include "io/mhd.hpp"
 #include "io/phantom.hpp"
+#include "io/scrub.hpp"
 
 namespace h4d::cli {
 
@@ -59,6 +63,25 @@ class Args {
       throw std::runtime_error("bad integer for --" + key + ": " + it->second);
     }
     return v;
+  }
+
+  /// "0,2,5" -> {0, 2, 5} (empty when the option is absent).
+  std::vector<int> get_int_list(const std::string& key) const {
+    std::vector<int> values;
+    const auto it = options_.find(key);
+    if (it == options_.end()) return values;
+    std::istringstream is(it->second);
+    std::string token;
+    while (std::getline(is, token, ',')) {
+      if (token.empty()) continue;
+      int v = 0;
+      const auto [p, ec] = std::from_chars(token.data(), token.data() + token.size(), v);
+      if (ec != std::errc() || p != token.data() + token.size()) {
+        throw std::runtime_error("bad integer in --" + key + ": " + token);
+      }
+      values.push_back(v);
+    }
+    return values;
   }
 
   /// "X,Y,Z,T" -> Vec4.
@@ -111,11 +134,14 @@ int cmd_phantom(const Args& args, std::ostream& out) {
   cfg.seed = static_cast<unsigned>(args.get_int("seed", 2004));
   const std::string dest = args.require("out");
   const int nodes = args.get_int("nodes", 4);
+  const int replicas = args.get_int("replicas", 1);
 
   const io::Phantom phantom = io::generate_phantom(cfg);
-  io::DiskDataset::create(dest, phantom.volume, nodes);
+  io::DiskDataset::create(dest, phantom.volume, nodes, replicas);
   out << "wrote phantom dataset " << cfg.dims.str() << " with " << phantom.tumors.size()
-      << " lesions across " << nodes << " storage nodes under " << dest << "\n";
+      << " lesions across " << nodes << " storage nodes under " << dest;
+  if (replicas > 1) out << " (replication factor " << std::min(replicas, nodes) << ")";
+  out << "\n";
   return 0;
 }
 
@@ -124,9 +150,11 @@ int cmd_import(const Args& args, std::ostream& out) {
   const std::string src = args.positional()[0];
   const std::string dest = args.require("out");
   const int nodes = args.get_int("nodes", 4);
-  const io::DiskDataset ds = io::import_mhd(src, dest, nodes);
+  const int replicas = args.get_int("replicas", 1);
+  const io::DiskDataset ds = io::import_mhd(src, dest, nodes, replicas);
   out << "imported " << src << " -> " << dest << " (" << ds.meta().dims.str() << ", "
-      << nodes << " storage nodes)\n";
+      << nodes << " storage nodes, replication factor " << ds.meta().replica_count()
+      << ")\n";
   return 0;
 }
 
@@ -138,9 +166,15 @@ int cmd_info(const Args& args, std::ostream& out) {
       << "dtype          " << io::dtype_name(m.dtype) << "\n"
       << "intensity      [" << m.value_min << ", " << m.value_max << "]\n"
       << "storage nodes  " << m.storage_nodes << "\n"
+      << "replicas       " << m.replica_count() << "\n"
       << "slices         " << m.num_slices() << " (" << m.slice_bytes() << " B each)\n";
   for (int n = 0; n < m.storage_nodes; ++n) {
-    out << "  node_" << n << ": " << ds.node_reader(n).slices().size() << " slices\n";
+    out << "  node_" << n << ": ";
+    try {
+      out << ds.node_reader(n).slices().size() << " slices\n";
+    } catch (const std::exception&) {
+      out << "missing (run `h4d scrub` / `h4d repair`)\n";
+    }
   }
   return 0;
 }
@@ -170,6 +204,9 @@ core::PipelineConfig pipeline_from_args(const Args& args, const std::string& dat
   }
   cfg.resilience.verify_checksums = args.get("checksums", "on") == "on";
   cfg.resilience.fill_value = static_cast<std::uint16_t>(args.get_int("fill", 0));
+  // Degraded mode: nodes listed here read nothing; their slices come from
+  // the surviving replicas (missing node directories are detected on top).
+  cfg.dead_nodes = args.get_int_list("dead-nodes");
 
   // Checkpoint/resume: --checkpoint names the chunk-completion manifest;
   // --resume on prunes chunks the manifest already records as complete.
@@ -323,24 +360,54 @@ int cmd_simulate(const Args& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_scrub(const Args& args, std::ostream& out) {
+  if (args.positional().empty()) throw std::runtime_error("scrub: need a dataset directory");
+  const std::string dataset = args.positional()[0];
+  const io::ScrubReport report = io::scrub_dataset(dataset);
+  out << "scrub " << dataset << ": " << report.summary() << "\n";
+  if (args.has("json")) {
+    const std::string path = args.get("json", "");
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("scrub: cannot write " + path);
+    report.write_json(f);
+    out << "scrub: wrote inventory to " << path << "\n";
+  }
+  return report.clean() ? 0 : 1;
+}
+
+int cmd_repair(const Args& args, std::ostream& out) {
+  if (args.positional().empty()) throw std::runtime_error("repair: need a dataset directory");
+  const std::string dataset = args.positional()[0];
+  const io::RepairReport report = io::repair_dataset(dataset);
+  out << "repair " << dataset << ": " << report.summary() << "\n";
+  if (args.get("add-checksums", "off") == "on") {
+    const io::ChecksumMigrationReport migration = io::add_checksums(dataset);
+    out << "add-checksums: " << migration.summary() << "\n";
+  }
+  return report.complete() ? 0 : 1;
+}
+
 int usage(std::ostream& err) {
   err << "usage: h4d <command> [options]\n"
          "\n"
          "commands:\n"
          "  phantom  --out DIR [--dims X,Y,Z,T] [--tumors N] [--seed S] [--nodes N]\n"
-         "  import   FILE.mhd --out DIR [--nodes N]\n"
+         "           [--replicas R]\n"
+         "  import   FILE.mhd --out DIR [--nodes N] [--replicas R]\n"
          "  info     DATASET_DIR\n"
          "  analyze  DATASET_DIR [--out DIR] [--variant hmp|split] [--workers N]\n"
          "           [--roi X,Y,Z,T] [--levels N] [--features paper|all]\n"
          "           [--repr full|sparse] [--dirs all|axis] [--sliding on|off]\n"
          "           [--chunk X,Y,Z,T] [--plan fixed|auto]\n"
          "           [--faults SPEC] [--retry N] [--on-corrupt fail|retry|skip]\n"
-         "           [--checksums on|off] [--fill V]\n"
+         "           [--checksums on|off] [--fill V] [--dead-nodes N,M]\n"
          "           [--supervise fail|restart|quarantine] [--max-restarts N]\n"
          "           [--poison N] [--watchdog-ms N]\n"
          "           [--checkpoint FILE] [--resume on|off]\n"
          "           [--trace FILE] [--metrics FILE]\n"
          "  simulate DATASET_DIR [same options as analyze] [--sim-failures SPEC]\n"
+         "  scrub    DATASET_DIR [--json FILE]\n"
+         "  repair   DATASET_DIR [--add-checksums on|off]\n"
          "\n"
          "observability (see docs/OBSERVABILITY.md):\n"
          "  --trace FILE        record filter-copy activity spans and buffer\n"
@@ -362,6 +429,21 @@ int usage(std::ostream& err) {
          "  --on-corrupt MODE   fail (default) | retry | skip: skip fills\n"
          "                      irrecoverable slices with --fill and reports them\n"
          "  --checksums on|off  verify per-slice CRC-32 recorded in the index\n"
+         "\n"
+         "replication (see DESIGN.md sec. 12):\n"
+         "  --replicas R        phantom/import: store every slice on R distinct\n"
+         "                      nodes (rotated round-robin); reads fail over\n"
+         "                      between copies, so any single node can be lost\n"
+         "  --dead-nodes N,M    analyze/simulate: treat these storage nodes as\n"
+         "                      dead; their slices are read from the surviving\n"
+         "                      replicas (missing node dirs are auto-detected)\n"
+         "  scrub               verify every replica copy against the index\n"
+         "                      CRC-32s; --json FILE writes the machine-readable\n"
+         "                      damage inventory; exit 1 when damage was found\n"
+         "  repair              re-clone damaged/missing copies from surviving\n"
+         "                      good replicas and rebuild lost node indexes;\n"
+         "                      --add-checksums on also backfills CRC columns\n"
+         "                      for pre-checksum indexes\n"
          "\n"
          "fault tolerance (see DESIGN.md sec. 9):\n"
          "  --supervise MODE    filter-copy crash policy: fail (default, close\n"
@@ -397,6 +479,8 @@ int run(int argc, const char* const* argv, std::ostream& out, std::ostream& err)
     if (cmd == "info") return cmd_info(args, out);
     if (cmd == "analyze") return cmd_analyze(args, out);
     if (cmd == "simulate") return cmd_simulate(args, out);
+    if (cmd == "scrub") return cmd_scrub(args, out);
+    if (cmd == "repair") return cmd_repair(args, out);
     err << "unknown command: " << cmd << "\n";
     return usage(err);
   } catch (const std::exception& e) {

@@ -55,6 +55,8 @@ AnalysisResult analyze_threaded(PipelineConfig config,
   AnalysisResult r = finish(collected, params);
   r.stats = stats;
   r.stats.exec.chunks_resumed = params->chunks_resumed;
+  r.stats.exec.replica_failovers = r.faults.replica_failovers;
+  r.stats.exec.nodes_evicted = r.faults.nodes_evicted;
   return r;
 }
 
@@ -68,6 +70,8 @@ AnalysisResult analyze_simulated(PipelineConfig config, const sim::SimOptions& s
   r.sim = stats;
   r.stats = stats;
   r.stats.exec.chunks_resumed = params->chunks_resumed;
+  r.stats.exec.replica_failovers = r.faults.replica_failovers;
+  r.stats.exec.nodes_evicted = r.faults.nodes_evicted;
   return r;
 }
 

@@ -33,6 +33,7 @@ filters::ParamsPtr make_params(const PipelineConfig& config) {
   p.packets_per_chunk = config.packets_per_chunk;
   p.feature_buffer_samples = config.feature_buffer_samples;
   p.resilience = config.resilience;
+  p.dead_nodes = config.dead_nodes;
   p.faults = config.faults;
   p.checkpoint_path = config.checkpoint_path;
   p.resume = config.resume;

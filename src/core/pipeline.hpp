@@ -61,6 +61,10 @@ struct PipelineConfig {
   /// Storage-fault handling of the RFR read path (retry budget, checksum
   /// verification, degradation policy for irrecoverable slices).
   io::ResilienceConfig resilience;
+  /// Storage nodes the operator declares dead (--dead-nodes). Their RFR
+  /// copies read nothing; slice ownership moves to the surviving replicas.
+  /// Node directories missing at open are detected and added automatically.
+  std::vector<int> dead_nodes;
   /// Deterministic fault injection (resilience drills / tests); a
   /// default-constructed config injects nothing.
   io::FaultConfig faults;

@@ -1,15 +1,36 @@
 #include "filters/output_filters.hpp"
 
-#include <fstream>
 #include <limits>
 #include <stdexcept>
 
+#include "io/durable_file.hpp"
 #include "io/image_write.hpp"
 #include "nd/chunking.hpp"
 
 namespace h4d::filters {
 
 using haralick::Feature;
+
+namespace {
+
+/// Run one output write, mapping a typed storage failure (ENOSPC, short
+/// write) into the run's fault accounting before it propagates — the
+/// supervisor and metrics then show *why* the run died, not just that it did.
+template <typename Fn>
+void counted_write(const ParamsPtr& p, Fn&& fn) {
+  try {
+    fn();
+  } catch (const io::WriteError&) {
+    if (p->fault_sink) {
+      io::FaultReport r;
+      r.write_errors = 1;
+      p->fault_sink->merge(r);
+    }
+    throw;
+  }
+}
+
+}  // namespace
 
 void UnstitchedOutput::process(int port, const fs::BufferPtr& buffer, fs::FilterContext& ctx) {
   if (port != kPortFeatures || buffer->header.kind != fs::BufferKind::FeatureValues) {
@@ -23,12 +44,12 @@ void UnstitchedOutput::process(int port, const fs::BufferPtr& buffer, fs::Filter
     const std::filesystem::path path =
         dir_ / (std::string(haralick::feature_slug(f)) + "_c" +
                 std::to_string(ctx.copy_index()) + ".bin");
-    std::ofstream out(path, std::ios::binary | std::ios::app);
-    if (!out) throw std::runtime_error("USO: cannot open " + path.string());
-    out.write(reinterpret_cast<const char*>(samples.data()),
-              static_cast<std::streamsize>(samples.size_bytes()));
-    if (!out) throw std::runtime_error("USO: short write to " + path.string());
-    out.flush();
+    // Durable append (O_APPEND + fsync): the samples are on disk before the
+    // completion tracker can mark their chunk done, so a crash never leaves
+    // a recorded-but-lost chunk for --resume to trust.
+    counted_write(p_, [&] {
+      io::append_durable(path, samples.data(), samples.size_bytes());
+    });
   }
   // Checkpoint accounting happens *after* the samples are on disk: a crash
   // between write and note leaves the chunk unrecorded, so a resume replays
@@ -107,7 +128,10 @@ void ImageSeriesWriter::process(int port, const fs::BufferPtr& buffer,
       static_cast<std::int64_t>(origins.size[0] * origins.size[1]) * origins.size[2] *
       origins.size[3];
   if (!dir_.empty()) {
-    io::write_feature_map_images(dir_, std::string(haralick::feature_slug(f)), map, lo, hi);
+    counted_write(p_, [&] {
+      io::write_feature_map_images(dir_, std::string(haralick::feature_slug(f)), map, lo,
+                                   hi);
+    });
     // The whole map for this feature is now on disk; credit every origin so
     // chunks whose remaining features were already accounted go durable.
     if (p_->completion) {

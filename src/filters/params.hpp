@@ -1,6 +1,7 @@
 // Parameters shared by every filter in one pipeline instantiation.
 #pragma once
 
+#include <algorithm>
 #include <filesystem>
 #include <memory>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "io/dataset.hpp"
 #include "io/fault.hpp"
 #include "io/manifest.hpp"
+#include "io/replica_set.hpp"
 #include "io/resilient_reader.hpp"
 #include "nd/chunking.hpp"
 
@@ -40,6 +42,10 @@ struct PipelineParams {
   /// Storage-fault handling of the RFR read path: retry budget, checksum
   /// verification, and what to do with irrecoverable slices.
   io::ResilienceConfig resilience;
+  /// Storage nodes declared dead by the operator (--dead-nodes). Merged with
+  /// the node directories found missing at open; the union is the static
+  /// dead list of the run's ReplicaSet.
+  std::vector<int> dead_nodes;
   /// Deterministic fault injection (testing / resilience drills); a
   /// default-constructed config injects nothing.
   io::FaultConfig faults;
@@ -61,6 +67,12 @@ struct PipelineParams {
   /// aggregator per pipeline run, shared by every filter copy.
   std::shared_ptr<io::FaultInjector> fault_injector;
   std::shared_ptr<io::FaultReportSink> fault_sink;
+
+  /// Replica placement / failover / node-health view of the dataset (derived
+  /// by make(); always present). Slice ownership and read failover route
+  /// around the static dead list, so a degraded run with r >= 2 produces
+  /// byte-identical output.
+  std::shared_ptr<io::ReplicaSet> replica_set;
 
   /// Checkpoint machinery (derived by make(); null without checkpoint_path).
   std::shared_ptr<io::ChunkManifest> manifest;
@@ -91,6 +103,35 @@ struct PipelineParams {
     }
     if (p.faults.enabled()) p.fault_injector = std::make_shared<io::FaultInjector>(p.faults);
     p.fault_sink = std::make_shared<io::FaultReportSink>();
+
+    // Static dead list: operator-declared nodes plus node directories found
+    // missing right now. The run plans around these; a slice none of whose
+    // replicas survive is only tolerable under skip_and_fill.
+    std::vector<int> dead = p.dead_nodes;
+    for (const int n : io::ReplicaSet::missing_node_dirs(p.dataset_root, p.meta)) {
+      dead.push_back(n);
+    }
+    p.replica_set = std::make_shared<io::ReplicaSet>(p.dataset_root, p.meta, dead);
+    if (p.resilience.policy != io::DegradePolicy::SkipAndFill) {
+      // Slice numbers are consecutive, so coverage only depends on the slice
+      // number's residue mod storage_nodes; check each occurring residue.
+      const std::int64_t residues =
+          std::min<std::int64_t>(p.meta.storage_nodes, p.meta.num_slices());
+      for (std::int64_t c = 0; c < residues; ++c) {
+        bool covered = false;
+        for (int rank = 0; rank < p.meta.replica_count() && !covered; ++rank) {
+          covered = !p.replica_set->node_dead(
+              static_cast<int>((c + rank) % p.meta.storage_nodes));
+        }
+        if (!covered) {
+          throw std::runtime_error(
+              "dataset " + p.dataset_root.string() + " has slices with no surviving "
+              "replica (replication factor " + std::to_string(p.meta.replica_count()) +
+              ", " + std::to_string(p.replica_set->dead_nodes().size()) +
+              " dead nodes); repair the dataset or run with --on-corrupt skip");
+        }
+      }
+    }
     return std::make_shared<const PipelineParams>(std::move(p));
   }
 

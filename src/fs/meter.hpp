@@ -29,6 +29,8 @@ struct WorkMeter {
   std::int64_t read_retries = 0;       ///< resilience: re-attempted slice reads
   std::int64_t slices_skipped = 0;     ///< resilience: slices degraded to fill
   std::int64_t checksum_failures = 0;  ///< resilience: CRC mismatches observed
+  std::int64_t replica_failovers = 0;  ///< resilience: reads rerouted to another replica
+  std::int64_t nodes_evicted = 0;      ///< resilience: node health evictions
   std::int64_t copy_restarts = 0;      ///< supervisor: filter rebuilds of this copy
   std::int64_t chunks_quarantined = 0;  ///< supervisor: poison buffers dropped here
   std::int64_t watchdog_kills = 0;     ///< supervisor: 1 when declared dead hung
@@ -50,21 +52,22 @@ struct WorkMeter {
                     m.bytes_memcpy, m.stitch_elements, m.elements_quantized,
                     m.disk_bytes_read, m.disk_seeks, m.disk_bytes_written,
                     m.read_retries, m.slices_skipped, m.checksum_failures,
-                    m.copy_restarts, m.chunks_quarantined, m.watchdog_kills,
-                    m.chunks_resumed, m.buffers_in, m.buffers_out, m.bytes_in,
-                    m.bytes_out);
+                    m.replica_failovers, m.nodes_evicted, m.copy_restarts,
+                    m.chunks_quarantined, m.watchdog_kills, m.chunks_resumed,
+                    m.buffers_in, m.buffers_out, m.bytes_in, m.bytes_out);
   }
 
   /// Export names of the counters, parallel to tied() (same order).
-  static constexpr std::array<std::string_view, 23> kFieldNames = {
+  static constexpr std::array<std::string_view, 25> kFieldNames = {
       "glcm_pair_updates", "feature_cells_scanned", "feature_cell_ops",
       "matrices_built",    "sparse_entries_emitted", "sparse_compress_cells",
       "bytes_memcpy",      "stitch_elements",       "elements_quantized",
       "disk_bytes_read",   "disk_seeks",            "disk_bytes_written",
       "read_retries",      "slices_skipped",        "checksum_failures",
-      "copy_restarts",     "chunks_quarantined",    "watchdog_kills",
-      "chunks_resumed",    "buffers_in",            "buffers_out",
-      "bytes_in",          "bytes_out"};
+      "replica_failovers", "nodes_evicted",         "copy_restarts",
+      "chunks_quarantined", "watchdog_kills",       "chunks_resumed",
+      "buffers_in",        "buffers_out",           "bytes_in",
+      "bytes_out"};
 
   /// Visit every counter as (name, value). `Self` may be const.
   template <typename Self, typename Fn>

@@ -201,6 +201,8 @@ void write_metrics_object(std::ostream& os, const RunStats& stats,
      << ", \"watchdog_kills\": " << stats.exec.watchdog_kills
      << ", \"buffers_lost\": " << stats.exec.buffers_lost
      << ", \"chunks_resumed\": " << stats.exec.chunks_resumed
+     << ", \"replica_failovers\": " << stats.exec.replica_failovers
+     << ", \"nodes_evicted\": " << stats.exec.nodes_evicted
      << ", \"quarantined\": [";
   for (std::size_t i = 0; i < stats.exec.quarantined.size(); ++i) {
     const QuarantinedBuffer& q = stats.exec.quarantined[i];

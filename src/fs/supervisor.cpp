@@ -42,6 +42,10 @@ std::string ExecutionReport::summary() const {
   os << copy_restarts << " copy restarts, " << chunks_quarantined << " quarantined, "
      << watchdog_kills << " watchdog kills, " << buffers_lost << " buffers lost, "
      << chunks_resumed << " chunks resumed";
+  if (replica_failovers > 0 || nodes_evicted > 0) {
+    os << ", " << replica_failovers << " replica failovers, " << nodes_evicted
+       << " node evictions";
+  }
   return os.str();
 }
 

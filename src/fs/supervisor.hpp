@@ -102,12 +102,15 @@ struct ExecutionReport {
   std::int64_t watchdog_kills = 0;      ///< copies declared dead while hung
   std::int64_t buffers_lost = 0;        ///< dead-copy buffers with no sibling
   std::int64_t chunks_resumed = 0;      ///< chunks pruned by --resume
+  std::int64_t replica_failovers = 0;   ///< reads rerouted to another replica
+  std::int64_t nodes_evicted = 0;       ///< storage-node health evictions
   std::vector<QuarantinedBuffer> quarantined;  ///< exact dropped buffers
   std::vector<CopyIncident> incidents;         ///< per-copy event log
 
   bool clean() const {
     return copy_restarts == 0 && chunks_quarantined == 0 && watchdog_kills == 0 &&
-           buffers_lost == 0 && chunks_resumed == 0 && incidents.empty();
+           buffers_lost == 0 && chunks_resumed == 0 && replica_failovers == 0 &&
+           nodes_evicted == 0 && incidents.empty();
   }
   std::string summary() const;
 };

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "io/fault.hpp"
+#include "io/replica_set.hpp"
 #include "io/resilient_reader.hpp"
 #include "nd/quantize.hpp"
 
@@ -17,11 +18,6 @@ namespace h4d::io {
 namespace {
 
 constexpr const char* kMetaFile = "dataset.meta";
-constexpr const char* kIndexFile = "index.txt";
-
-std::string slice_filename(std::int64_t t, std::int64_t z) {
-  return "slice_t" + std::to_string(t) + "_z" + std::to_string(z) + ".raw";
-}
 
 std::string slice_read_error_message(const std::string& file, std::int64_t t,
                                      std::int64_t z, std::int64_t expected,
@@ -44,6 +40,12 @@ SliceReadError::SliceReadError(const std::string& file, std::int64_t t_, std::in
       expected_bytes(expected_bytes_),
       actual_bytes(actual_bytes_) {}
 
+std::string slice_filename(std::int64_t t, std::int64_t z) {
+  return "slice_t" + std::to_string(t) + "_z" + std::to_string(z) + ".raw";
+}
+
+std::string node_dir_name(int node) { return "node_" + std::to_string(node); }
+
 std::size_t dtype_size(Dtype d) { return d == Dtype::U8 ? 1 : 2; }
 
 std::string dtype_name(Dtype d) { return d == Dtype::U8 ? "u8" : "u16"; }
@@ -57,10 +59,12 @@ Dtype dtype_from_name(const std::string& name) {
 void DatasetMeta::save(const std::filesystem::path& root) const {
   std::ofstream f(root / kMetaFile);
   if (!f) throw std::runtime_error("cannot write " + (root / kMetaFile).string());
-  f << "dims " << dims[0] << ' ' << dims[1] << ' ' << dims[2] << ' ' << dims[3] << '\n'
+  f << "version " << kMetaVersion << '\n'
+    << "dims " << dims[0] << ' ' << dims[1] << ' ' << dims[2] << ' ' << dims[3] << '\n'
     << "dtype " << dtype_name(dtype) << '\n'
     << "range " << value_min << ' ' << value_max << '\n'
-    << "storage_nodes " << storage_nodes << '\n';
+    << "storage_nodes " << storage_nodes << '\n'
+    << "replicas " << replicas << '\n';
 }
 
 DatasetMeta DatasetMeta::load(const std::filesystem::path& root) {
@@ -69,7 +73,15 @@ DatasetMeta DatasetMeta::load(const std::filesystem::path& root) {
   DatasetMeta m;
   std::string key;
   while (f >> key) {
-    if (key == "dims") {
+    if (key == "version") {
+      int version = 0;
+      f >> version;
+      if (version > kMetaVersion) {
+        throw std::runtime_error("dataset.meta under " + root.string() + " is version " +
+                                 std::to_string(version) + ", newer than supported " +
+                                 std::to_string(kMetaVersion));
+      }
+    } else if (key == "dims") {
       f >> m.dims[0] >> m.dims[1] >> m.dims[2] >> m.dims[3];
     } else if (key == "dtype") {
       std::string name;
@@ -79,12 +91,14 @@ DatasetMeta DatasetMeta::load(const std::filesystem::path& root) {
       f >> m.value_min >> m.value_max;
     } else if (key == "storage_nodes") {
       f >> m.storage_nodes;
+    } else if (key == "replicas") {
+      f >> m.replicas;
     } else {
       std::string rest;
       std::getline(f, rest);  // tolerate unknown keys
     }
   }
-  if (!m.dims.all_positive() || m.storage_nodes < 1) {
+  if (!m.dims.all_positive() || m.storage_nodes < 1 || m.replicas < 1) {
     throw std::runtime_error("corrupt dataset.meta under " + root.string());
   }
   return m;
@@ -93,8 +107,8 @@ DatasetMeta DatasetMeta::load(const std::filesystem::path& root) {
 StorageNodeReader::StorageNodeReader(std::filesystem::path node_dir, DatasetMeta meta,
                                      int node_id)
     : dir_(std::move(node_dir)), meta_(meta), node_id_(node_id) {
-  std::ifstream idx(dir_ / kIndexFile);
-  if (!idx) throw std::runtime_error("cannot read index " + (dir_ / kIndexFile).string());
+  std::ifstream idx(dir_ / kIndexFileName);
+  if (!idx) throw std::runtime_error("cannot read index " + (dir_ / kIndexFileName).string());
   // Line format: "<t> <z> <filename> [<crc32-hex>]". The checksum column was
   // added later; indexes without it stay readable (has_crc == false).
   std::string line;
@@ -104,7 +118,7 @@ StorageNodeReader::StorageNodeReader(std::filesystem::path node_dir, DatasetMeta
     SliceRef s;
     if (!(is >> s.t >> s.z >> s.filename)) {
       throw std::runtime_error("malformed index line in " +
-                               (dir_ / kIndexFile).string() + ": " + line);
+                               (dir_ / kIndexFileName).string() + ": " + line);
     }
     std::string crc_hex;
     if (is >> crc_hex) {
@@ -125,7 +139,7 @@ const SliceRef* StorageNodeReader::find_slice(std::int64_t t, std::int64_t z) co
 void StorageNodeReader::read_slice_region(const SliceRef& slice, std::int64_t x0,
                                           std::int64_t y0, std::int64_t w, std::int64_t h,
                                           std::uint16_t* out) const {
-  if (meta_.node_of_slice(slice.z, slice.t) != node_id_) {
+  if (meta_.replica_rank(slice.z, slice.t, node_id_) < 0) {
     throw std::invalid_argument("slice (t=" + std::to_string(slice.t) +
                                 ", z=" + std::to_string(slice.z) + ") is not local to node " +
                                 std::to_string(node_id_));
@@ -176,7 +190,7 @@ void StorageNodeReader::read_slice_region(const SliceRef& slice, std::int64_t x0
 }
 
 void StorageNodeReader::read_slice_bytes(const SliceRef& slice, std::uint8_t* out) const {
-  if (meta_.node_of_slice(slice.z, slice.t) != node_id_) {
+  if (meta_.replica_rank(slice.z, slice.t, node_id_) < 0) {
     throw std::invalid_argument("slice (t=" + std::to_string(slice.t) +
                                 ", z=" + std::to_string(slice.z) + ") is not local to node " +
                                 std::to_string(node_id_));
@@ -207,14 +221,17 @@ void StorageNodeReader::read_slice_bytes(const SliceRef& slice, std::uint8_t* ou
 }
 
 DiskDataset DiskDataset::create(const std::filesystem::path& root,
-                                const Volume4<std::uint16_t>& vol, int num_nodes) {
+                                const Volume4<std::uint16_t>& vol, int num_nodes,
+                                int replicas) {
   if (num_nodes < 1) throw std::invalid_argument("DiskDataset::create: num_nodes must be >= 1");
+  if (replicas < 1) throw std::invalid_argument("DiskDataset::create: replicas must be >= 1");
   std::filesystem::create_directories(root);
 
   DatasetMeta meta;
   meta.dims = vol.dims();
   meta.dtype = Dtype::U16;
   meta.storage_nodes = num_nodes;
+  meta.replicas = std::min(replicas, num_nodes);
   const auto [lo, hi] = min_max<std::uint16_t>(vol.view());
   meta.value_min = lo;
   meta.value_max = hi;
@@ -222,9 +239,9 @@ DiskDataset DiskDataset::create(const std::filesystem::path& root,
 
   std::vector<std::ofstream> indexes;
   for (int n = 0; n < num_nodes; ++n) {
-    const std::filesystem::path dir = root / ("node_" + std::to_string(n));
+    const std::filesystem::path dir = root / node_dir_name(n);
     std::filesystem::create_directories(dir);
-    indexes.emplace_back(dir / kIndexFile);
+    indexes.emplace_back(dir / kIndexFileName);
     if (!indexes.back()) throw std::runtime_error("cannot create index in " + dir.string());
   }
 
@@ -233,23 +250,26 @@ DiskDataset DiskDataset::create(const std::filesystem::path& root,
   std::vector<std::uint16_t> slice(static_cast<std::size_t>(nx * ny));
   for (std::int64_t t = 0; t < meta.dims[3]; ++t) {
     for (std::int64_t z = 0; z < meta.dims[2]; ++z) {
-      const int node = meta.node_of_slice(z, t);
       const std::string name = slice_filename(t, z);
       for (std::int64_t y = 0; y < ny; ++y) {
         std::memcpy(slice.data() + y * nx, &vol.at(0, y, z, t),
                     static_cast<std::size_t>(nx) * sizeof(std::uint16_t));
       }
-      const std::filesystem::path path = root / ("node_" + std::to_string(node)) / name;
-      std::ofstream f(path, std::ios::binary);
-      if (!f) throw std::runtime_error("cannot write slice " + path.string());
       const std::size_t nbytes = slice.size() * sizeof(std::uint16_t);
-      f.write(reinterpret_cast<const char*>(slice.data()),
-              static_cast<std::streamsize>(nbytes));
       const std::uint32_t crc = crc32(slice.data(), nbytes);
       std::ostringstream crc_hex;
       crc_hex << std::hex << crc;
-      indexes[static_cast<std::size_t>(node)]
-          << t << ' ' << z << ' ' << name << ' ' << crc_hex.str() << '\n';
+      for (int rank = 0; rank < meta.replica_count(); ++rank) {
+        const int node = meta.replica_node(z, t, rank);
+        const std::filesystem::path path = root / node_dir_name(node) / name;
+        std::ofstream f(path, std::ios::binary);
+        if (!f) throw std::runtime_error("cannot write slice " + path.string());
+        f.write(reinterpret_cast<const char*>(slice.data()),
+                static_cast<std::streamsize>(nbytes));
+        if (!f) throw std::runtime_error("short write to slice " + path.string());
+        indexes[static_cast<std::size_t>(node)]
+            << t << ' ' << z << ' ' << name << ' ' << crc_hex.str() << '\n';
+      }
     }
   }
   return DiskDataset(root, meta);
@@ -260,7 +280,7 @@ DiskDataset DiskDataset::open(const std::filesystem::path& root) {
 }
 
 std::filesystem::path DiskDataset::node_dir(int node) const {
-  return root_ / ("node_" + std::to_string(node));
+  return root_ / node_dir_name(node);
 }
 
 StorageNodeReader DiskDataset::node_reader(int node) const {
@@ -289,6 +309,9 @@ Volume4<std::uint16_t> DiskDataset::read_region(const Region4& region,
   Volume4<std::uint16_t> out(region.size);
   std::vector<std::uint16_t> rect(static_cast<std::size_t>(region.size[0] * region.size[1]));
   FaultReportSink sink;
+  // Missing node directories are dead from the start; with r >= 2 their
+  // slices are read from the surviving replicas instead.
+  ReplicaSet replicas(root_, meta_, ReplicaSet::missing_node_dirs(root_, meta_));
   {
     std::vector<std::unique_ptr<ResilientReader>> readers(
         static_cast<std::size_t>(meta_.storage_nodes));
@@ -296,11 +319,17 @@ Volume4<std::uint16_t> DiskDataset::read_region(const Region4& region,
       for (std::int64_t z = 0; z < region.size[2]; ++z) {
         const std::int64_t gz = region.origin[2] + z;
         const std::int64_t gt = region.origin[3] + t;
-        const int node = meta_.node_of_slice(gz, gt);
+        int node = replicas.read_owner(gz, gt);
+        if (node < 0) node = replicas.first_alive_node();
+        if (node < 0) {
+          throw std::runtime_error("read_region: every storage node of " + root_.string() +
+                                   " is missing");
+        }
         auto& reader = readers[static_cast<std::size_t>(node)];
         if (!reader) {
           reader = std::make_unique<ResilientReader>(
-              StorageNodeReader(node_dir(node), meta_, node), resilience, injector, &sink);
+              StorageNodeReader(node_dir(node), meta_, node), resilience, injector, &sink,
+              &replicas);
         }
         // Prefer the index entry (it carries the checksum); fall back to the
         // conventional filename for indexes that lack the slice.

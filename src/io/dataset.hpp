@@ -7,6 +7,12 @@
 // with its (t, z) tuple. A dataset.meta file at the root records dimensions,
 // element type and global intensity range (so distributed readers agree on
 // requantization).
+//
+// With a replication factor r > 1 every slice is stored on r distinct nodes
+// (rotated round-robin: replica k of slice s lives on node (s + k) % N), each
+// of which lists the copy in its own index. Readers prefer the rank-0
+// (primary) copy and fail over along the rank order when a node is dead or a
+// copy is damaged (io/replica_set.hpp).
 #pragma once
 
 #include <cstdint>
@@ -33,12 +39,22 @@ std::string dtype_name(Dtype d);
 Dtype dtype_from_name(const std::string& name);
 
 /// Dataset-level metadata persisted in <root>/dataset.meta.
+///
+/// Format versioning: v1 files (no `version` key) predate replication and
+/// load with replicas == 1; v2 adds the `version` and `replicas` keys.
+/// Loaders reject versions newer than kMetaVersion instead of silently
+/// misreading a future layout.
 struct DatasetMeta {
+  static constexpr int kMetaVersion = 2;
+
   Vec4 dims;  ///< (x, y, z, t) extents
   Dtype dtype = Dtype::U16;
   double value_min = 0.0;  ///< global intensity range, for requantization
   double value_max = 0.0;
   int storage_nodes = 1;
+  /// Copies of every slice, each on a distinct node (clamped to
+  /// storage_nodes). 1 = the original unreplicated layout.
+  int replicas = 1;
 
   std::int64_t num_slices() const { return dims[2] * dims[3]; }
   std::int64_t slice_bytes() const {
@@ -46,14 +62,36 @@ struct DatasetMeta {
   }
   /// Global slice number of slice z at timestep t (round-robin key).
   std::int64_t slice_number(std::int64_t z, std::int64_t t) const { return t * dims[2] + z; }
-  /// Storage node a slice is assigned to.
+  /// Effective replication factor (r cannot exceed the node count).
+  int replica_count() const { return std::min(replicas, storage_nodes); }
+  /// Storage node holding replica `rank` of a slice: rotated round-robin, so
+  /// ranks 0..r-1 land on r distinct nodes with balanced per-node counts.
+  int replica_node(std::int64_t z, std::int64_t t, int rank) const {
+    return static_cast<int>((slice_number(z, t) + rank) % storage_nodes);
+  }
+  /// Rank of `node` among a slice's replicas, or -1 when it holds no copy.
+  int replica_rank(std::int64_t z, std::int64_t t, int node) const {
+    const int rank = static_cast<int>(
+        (node - slice_number(z, t) % storage_nodes + storage_nodes) % storage_nodes);
+    return rank < replica_count() ? rank : -1;
+  }
+  /// Storage node a slice's primary (rank-0) copy is assigned to.
   int node_of_slice(std::int64_t z, std::int64_t t) const {
-    return static_cast<int>(slice_number(z, t) % storage_nodes);
+    return replica_node(z, t, 0);
   }
 
   void save(const std::filesystem::path& root) const;
   static DatasetMeta load(const std::filesystem::path& root);
 };
+
+/// Conventional file name of a slice inside its node directory.
+std::string slice_filename(std::int64_t t, std::int64_t z);
+
+/// Conventional directory name of a storage node under the dataset root.
+std::string node_dir_name(int node);
+
+/// Name of the per-node index file.
+inline constexpr const char* kIndexFileName = "index.txt";
 
 /// One slice owned by a storage node (an entry of the node's index file).
 struct SliceRef {
@@ -129,9 +167,11 @@ class StorageNodeReader {
 class DiskDataset {
  public:
   /// Distribute `vol` across `num_nodes` storage node directories under
-  /// `root` (created if needed), with index and meta files.
+  /// `root` (created if needed), with index and meta files. With
+  /// `replicas` > 1 every slice is written to min(replicas, num_nodes)
+  /// distinct nodes (rotated round-robin), each listing it in its index.
   static DiskDataset create(const std::filesystem::path& root, const Volume4<std::uint16_t>& vol,
-                            int num_nodes);
+                            int num_nodes, int replicas = 1);
 
   /// Open an existing dataset.
   static DiskDataset open(const std::filesystem::path& root);

@@ -1,0 +1,116 @@
+#include "io/durable_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+namespace h4d::io {
+
+namespace {
+
+std::string describe(const std::filesystem::path& path, std::int64_t bytes_attempted,
+                     int errno_value, const std::string& op) {
+  std::ostringstream os;
+  os << "write failed (" << op << "): " << path.string() << ": "
+     << (errno_value != 0 ? std::strerror(errno_value) : "short write");
+  if (errno_value == ENOSPC || errno_value == EDQUOT) {
+    std::error_code ec;
+    const auto space = std::filesystem::space(path.parent_path(), ec);
+    os << " — device holding " << path.parent_path().string() << " needs "
+       << bytes_attempted << " more bytes";
+    if (!ec) os << " (" << space.available << " available)";
+    os << "; free space or move the output elsewhere";
+  } else if (errno_value == 0) {
+    os << " — device accepted fewer than the " << bytes_attempted
+       << " bytes requested";
+  }
+  return os.str();
+}
+
+/// RAII fd that closes on scope exit (errors on this close are ignored —
+/// durability was already decided by the explicit fsync).
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+void write_fully(int fd, const std::filesystem::path& path, const void* data,
+                 std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::size_t left = n;
+  while (left > 0) {
+    const ssize_t wrote = ::write(fd, p, left);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      throw WriteError(path, static_cast<std::int64_t>(left), errno, "write");
+    }
+    if (wrote == 0) {
+      throw WriteError(path, static_cast<std::int64_t>(left), ENOSPC, "write");
+    }
+    p += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+}
+
+void fsync_or_throw(int fd, const std::filesystem::path& path, std::int64_t n) {
+  if (::fsync(fd) != 0) throw WriteError(path, n, errno, "fsync");
+}
+
+}  // namespace
+
+WriteError::WriteError(std::filesystem::path path, std::int64_t bytes_attempted,
+                       int errno_value, const std::string& op)
+    : std::runtime_error(describe(path, bytes_attempted, errno_value, op)),
+      path_(std::move(path)),
+      bytes_attempted_(bytes_attempted),
+      errno_(errno_value) {}
+
+bool WriteError::disk_full() const { return errno_ == ENOSPC || errno_ == EDQUOT; }
+
+void fsync_directory(const std::filesystem::path& dir) {
+  Fd d{::open(dir.c_str(), O_RDONLY | O_DIRECTORY)};
+  if (d.fd < 0) {
+    if (errno == ENOENT) throw WriteError(dir, 0, errno, "open directory");
+    return;  // filesystem without directory fds: rename durability best-effort
+  }
+  if (::fsync(d.fd) != 0 && errno != EINVAL && errno != EROFS) {
+    throw WriteError(dir, 0, errno, "fsync directory");
+  }
+}
+
+void atomic_write_file(const std::filesystem::path& path, const void* data,
+                       std::size_t n) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  try {
+    {
+      Fd f{::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644)};
+      if (f.fd < 0) {
+        throw WriteError(tmp, static_cast<std::int64_t>(n), errno, "open");
+      }
+      write_fully(f.fd, tmp, data, n);
+      fsync_or_throw(f.fd, tmp, static_cast<std::int64_t>(n));
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+      throw WriteError(path, static_cast<std::int64_t>(n), errno, "rename");
+    }
+    fsync_directory(path.parent_path());
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw;
+  }
+}
+
+void append_durable(const std::filesystem::path& path, const void* data, std::size_t n) {
+  Fd f{::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644)};
+  if (f.fd < 0) throw WriteError(path, static_cast<std::int64_t>(n), errno, "open");
+  write_fully(f.fd, path, data, n);
+  fsync_or_throw(f.fd, path, static_cast<std::int64_t>(n));
+}
+
+}  // namespace h4d::io

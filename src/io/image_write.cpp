@@ -5,17 +5,23 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "io/durable_file.hpp"
+
 namespace h4d::io {
 
 void write_pgm(const std::filesystem::path& path, std::int64_t width, std::int64_t height,
                const std::uint8_t* pixels) {
   if (width <= 0 || height <= 0) throw std::invalid_argument("write_pgm: bad dimensions");
-  std::ofstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("write_pgm: cannot open " + path.string());
-  f << "P5\n" << width << ' ' << height << "\n255\n";
-  f.write(reinterpret_cast<const char*>(pixels),
-          static_cast<std::streamsize>(width * height));
-  if (!f) throw std::runtime_error("write_pgm: short write to " + path.string());
+  // Assemble in memory, then tmp + fsync + rename: a crash mid-write leaves
+  // the previous image (or nothing), never a torn file a resumed run trusts.
+  // Storage failures surface as typed WriteError (ENOSPC etc.).
+  std::ostringstream header;
+  header << "P5\n" << width << ' ' << height << "\n255\n";
+  const std::string& h = header.str();
+  std::vector<std::uint8_t> file(h.size() + static_cast<std::size_t>(width * height));
+  std::copy(h.begin(), h.end(), file.begin());
+  std::copy(pixels, pixels + width * height, file.begin() + static_cast<std::ptrdiff_t>(h.size()));
+  atomic_write_file(path, file.data(), file.size());
 }
 
 std::vector<std::uint8_t> read_pgm(const std::filesystem::path& path, std::int64_t& width,

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "io/durable_file.hpp"
 #include "io/fault.hpp"
 
 namespace h4d::io {
@@ -65,14 +66,17 @@ void ChunkManifest::record(std::int64_t chunk_id) {
     const ssize_t n = ::write(fd_, s.data() + off, s.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw std::runtime_error("manifest: write failed on " + path_.string() + ": " +
-                               std::strerror(errno));
+      throw WriteError(path_, static_cast<std::int64_t>(s.size() - off), errno,
+                       "manifest write");
+    }
+    if (n == 0) {
+      throw WriteError(path_, static_cast<std::int64_t>(s.size() - off), ENOSPC,
+                       "manifest write");
     }
     off += static_cast<std::size_t>(n);
   }
   if (::fsync(fd_) != 0) {
-    throw std::runtime_error("manifest: fsync failed on " + path_.string() + ": " +
-                             std::strerror(errno));
+    throw WriteError(path_, static_cast<std::int64_t>(s.size()), errno, "manifest fsync");
   }
 }
 

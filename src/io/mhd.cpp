@@ -135,8 +135,9 @@ void write_mhd(const std::filesystem::path& header_path, const Volume4<std::uint
 }
 
 DiskDataset import_mhd(const std::filesystem::path& header_path,
-                       const std::filesystem::path& dataset_root, int storage_nodes) {
-  return DiskDataset::create(dataset_root, read_mhd(header_path), storage_nodes);
+                       const std::filesystem::path& dataset_root, int storage_nodes,
+                       int replicas) {
+  return DiskDataset::create(dataset_root, read_mhd(header_path), storage_nodes, replicas);
 }
 
 }  // namespace h4d::io

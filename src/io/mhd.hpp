@@ -28,8 +28,10 @@ Volume4<std::uint16_t> read_mhd(const std::filesystem::path& header_path);
 void write_mhd(const std::filesystem::path& header_path, const Volume4<std::uint16_t>& vol);
 
 /// Convenience: read an .mhd study and lay it out as a disk-resident
-/// dataset (slice files distributed over storage nodes).
+/// dataset (slice files distributed over storage nodes, each slice stored on
+/// `replicas` distinct nodes).
 DiskDataset import_mhd(const std::filesystem::path& header_path,
-                       const std::filesystem::path& dataset_root, int storage_nodes);
+                       const std::filesystem::path& dataset_root, int storage_nodes,
+                       int replicas = 1);
 
 }  // namespace h4d::io

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <thread>
 
+#include "io/replica_set.hpp"
+
 namespace h4d::io {
 
 namespace {
@@ -57,6 +59,9 @@ void FaultReport::merge(const FaultReport& o) {
   checksum_failures += o.checksum_failures;
   slices_skipped += o.slices_skipped;
   slices_recovered += o.slices_recovered;
+  replica_failovers += o.replica_failovers;
+  nodes_evicted += o.nodes_evicted;
+  write_errors += o.write_errors;
   skipped.insert(skipped.end(), o.skipped.begin(), o.skipped.end());
 }
 
@@ -65,6 +70,11 @@ std::string FaultReport::summary() const {
   os << read_retries << " read retries, " << slices_recovered << " slices recovered, "
      << checksum_failures << " checksum failures, " << slices_skipped
      << " slices skipped";
+  if (replica_failovers > 0 || nodes_evicted > 0) {
+    os << ", " << replica_failovers << " replica failovers, " << nodes_evicted
+       << " node evictions";
+  }
+  if (write_errors > 0) os << ", " << write_errors << " write errors";
   for (const SkippedSlice& s : skipped) {
     os << "\n  skipped slice (t=" << s.t << ", z=" << s.z << "): " << s.reason;
   }
@@ -72,13 +82,40 @@ std::string FaultReport::summary() const {
 }
 
 ResilientReader::ResilientReader(StorageNodeReader reader, ResilienceConfig config,
-                                 FaultInjector* injector, FaultReportSink* sink)
-    : reader_(std::move(reader)), cfg_(config), sink_(sink) {
+                                 FaultInjector* injector, FaultReportSink* sink,
+                                 ReplicaSet* replicas)
+    : reader_(std::move(reader)), cfg_(config), sink_(sink), replicas_(replicas) {
   reader_.set_fault_injector(injector);
 }
 
 ResilientReader::~ResilientReader() {
   if (sink_) sink_->merge(report_);
+}
+
+std::int64_t ResilientReader::seeks_performed() const {
+  std::int64_t seeks = reader_.seeks_performed();
+  for (const auto& [node, fallback] : fallbacks_) seeks += fallback.seeks_performed();
+  return seeks;
+}
+
+std::int64_t ResilientReader::bytes_read() const {
+  std::int64_t bytes = reader_.bytes_read();
+  for (const auto& [node, fallback] : fallbacks_) bytes += fallback.bytes_read();
+  return bytes;
+}
+
+const StorageNodeReader* ResilientReader::reader_for(int node, std::string& error) {
+  if (node == reader_.node_id()) return &reader_;
+  if (const auto it = fallbacks_.find(node); it != fallbacks_.end()) return &it->second;
+  try {
+    // Fallback readers carry no fault injector: injected faults model the
+    // first-asked storage path, so a failover lands on clean storage.
+    StorageNodeReader fallback(replicas_->node_dir(node), reader_.meta(), node);
+    return &fallbacks_.emplace(node, std::move(fallback)).first->second;
+  } catch (const std::exception& e) {
+    error = e.what();
+    return nullptr;
+  }
 }
 
 void ResilientReader::extract_rect(const std::uint8_t* slice_bytes, std::int64_t x0,
@@ -102,19 +139,19 @@ void ResilientReader::extract_rect(const std::uint8_t* slice_bytes, std::int64_t
   }
 }
 
-void ResilientReader::attempt_read(const SliceRef& slice, std::int64_t x0,
-                                   std::int64_t y0, std::int64_t w, std::int64_t h,
-                                   std::uint16_t* out) {
+void ResilientReader::attempt_read(const StorageNodeReader& reader, const SliceRef& slice,
+                                   std::int64_t x0, std::int64_t y0, std::int64_t w,
+                                   std::int64_t h, std::uint16_t* out) {
   if (!(cfg_.verify_checksums && slice.has_crc)) {
-    reader_.read_slice_region(slice, x0, y0, w, h, out);
+    reader.read_slice_region(slice, x0, y0, w, h, out);
     return;
   }
   // Verified path: fetch + check the whole slice file (the checksum unit),
   // then serve the rectangle from the cached bytes.
   if (cached_slice_ != slice_key(slice)) {
-    const std::size_t nbytes = static_cast<std::size_t>(reader_.meta().slice_bytes());
+    const std::size_t nbytes = static_cast<std::size_t>(reader.meta().slice_bytes());
     std::vector<std::uint8_t> bytes(nbytes);
-    reader_.read_slice_bytes(slice, bytes.data());
+    reader.read_slice_bytes(slice, bytes.data());
     const std::uint32_t actual = crc32(bytes.data(), bytes.size());
     if (actual != slice.crc) {
       ++report_.checksum_failures;
@@ -141,32 +178,60 @@ bool ResilientReader::read_slice_region(const SliceRef& slice, std::int64_t x0,
     return false;
   }
 
+  // Candidate nodes in failover order: the wrapped node alone without a
+  // replica set; otherwise this node's copy first, then the remaining
+  // replicas by rank (dead/evicted nodes already filtered out).
+  const std::vector<int> order =
+      replicas_ ? replicas_->replica_order(slice.z, slice.t, reader_.node_id())
+                : std::vector<int>{reader_.node_id()};
   const int max_attempts =
       cfg_.policy == DegradePolicy::FailFast ? 1 : std::max(1, cfg_.retry.max_attempts);
-  std::string last_error;
-  for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    if (attempt > 0) {
-      ++report_.read_retries;
-      const double ms = cfg_.retry.backoff_ms(attempt - 1);
-      if (cfg_.retry.really_sleep && ms > 0.0) {
-        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  std::string last_error = "no surviving replica holds this slice";
+  for (std::size_t ri = 0; ri < order.size(); ++ri) {
+    const int node = order[ri];
+    const bool last_replica = ri + 1 == order.size();
+    const StorageNodeReader* node_reader = reader_for(node, last_error);
+    bool exhausted = node_reader == nullptr;
+    if (node_reader) {
+      for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        if (attempt > 0) {
+          ++report_.read_retries;
+          const double ms = cfg_.retry.backoff_ms(attempt - 1);
+          if (cfg_.retry.really_sleep && ms > 0.0) {
+            std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+          }
+        }
+        try {
+          attempt_read(*node_reader, slice, x0, y0, w, h, out);
+          if (attempt > 0) ++report_.slices_recovered;
+          if (replicas_) replicas_->note_success(node);
+          return true;
+        } catch (const std::exception& e) {
+          last_error = e.what();
+          // FailFast on the final replica keeps the original exception type
+          // (ChecksumError, SliceReadError) — with r=1 this is exactly the
+          // pre-replication behavior.
+          if (cfg_.policy == DegradePolicy::FailFast && last_replica) {
+            if (replicas_ && replicas_->note_failure(node)) ++report_.nodes_evicted;
+            throw;
+          }
+          if (cfg_.policy == DegradePolicy::FailFast) break;
+        }
       }
+      exhausted = true;
     }
-    try {
-      attempt_read(slice, x0, y0, w, h, out);
-      if (attempt > 0) ++report_.slices_recovered;
-      return true;
-    } catch (const std::exception& e) {
-      last_error = e.what();
-      if (cfg_.policy == DegradePolicy::FailFast) throw;
+    if (exhausted) {
+      if (replicas_ && replicas_->note_failure(node)) ++report_.nodes_evicted;
+      if (!last_replica) ++report_.replica_failovers;
     }
   }
 
-  if (cfg_.policy == DegradePolicy::Retry) {
+  if (cfg_.policy == DegradePolicy::Retry || cfg_.policy == DegradePolicy::FailFast) {
     throw std::runtime_error("slice (t=" + std::to_string(slice.t) +
                              ", z=" + std::to_string(slice.z) + ") unreadable after " +
-                             std::to_string(max_attempts) +
-                             " attempts: " + last_error);
+                             std::to_string(max_attempts) + " attempts on " +
+                             std::to_string(order.size()) +
+                             " replicas: " + last_error);
   }
   // SkipAndFill: degrade gracefully and record the loss.
   failed_slices_.push_back(slice_key(slice));

@@ -6,6 +6,10 @@
 //     (failed opens, short reads);
 //   * per-slice CRC-32 verification against the checksum recorded in the
 //     node index at DiskDataset::create time, catching silent corruption;
+//   * replica failover: with a ReplicaSet attached, a slice whose local copy
+//     stays unreadable (or fails verification) is re-read from the next
+//     replica node in rank order, with per-node health eviction — an error
+//     only surfaces once *every* replica is exhausted;
 //   * graceful degradation: fail_fast rethrows immediately, retry gives up
 //     after the attempt budget, skip_and_fill substitutes a configurable
 //     fill intensity for irrecoverable slices and records them in a
@@ -16,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -24,6 +29,8 @@
 #include "io/fault.hpp"
 
 namespace h4d::io {
+
+class ReplicaSet;  // io/replica_set.hpp
 
 /// A slice whose recorded CRC-32 did not match the bytes read back.
 class ChecksumError : public std::runtime_error {
@@ -83,11 +90,15 @@ struct FaultReport {
   std::int64_t checksum_failures = 0;  ///< CRC mismatches observed
   std::int64_t slices_skipped = 0;     ///< slices degraded to fill_value
   std::int64_t slices_recovered = 0;   ///< slices that succeeded after >=1 retry
+  std::int64_t replica_failovers = 0;  ///< reads rerouted to another replica
+  std::int64_t nodes_evicted = 0;      ///< node health evictions triggered
+  std::int64_t write_errors = 0;       ///< typed output-write failures observed
   std::vector<SkippedSlice> skipped;   ///< exactly the irrecoverable slices
 
   void merge(const FaultReport& o);
   bool clean() const {
-    return read_retries == 0 && checksum_failures == 0 && slices_skipped == 0;
+    return read_retries == 0 && checksum_failures == 0 && slices_skipped == 0 &&
+           replica_failovers == 0 && nodes_evicted == 0 && write_errors == 0;
   }
   std::string summary() const;
 };
@@ -113,10 +124,14 @@ class FaultReportSink {
 /// copy, like StorageNodeReader); aggregate reports through the shared sink.
 class ResilientReader {
  public:
-  /// `injector` and `sink` are non-owning and may be nullptr. The local
-  /// report is merged into `sink` on destruction.
+  /// `injector`, `sink` and `replicas` are non-owning and may be nullptr.
+  /// The local report is merged into `sink` on destruction. With `replicas`,
+  /// reads that exhaust one replica fail over to the next node in the set's
+  /// order; fallback readers are built lazily and are fault-injection-free
+  /// (injected faults model the first-asked storage path).
   ResilientReader(StorageNodeReader reader, ResilienceConfig config,
-                  FaultInjector* injector = nullptr, FaultReportSink* sink = nullptr);
+                  FaultInjector* injector = nullptr, FaultReportSink* sink = nullptr,
+                  ReplicaSet* replicas = nullptr);
   ~ResilientReader();
 
   ResilientReader(const ResilientReader&) = delete;
@@ -138,20 +153,28 @@ class ResilientReader {
   /// meters deltas between calls).
   const FaultReport& report() const { return report_; }
 
-  std::int64_t seeks_performed() const { return reader_.seeks_performed(); }
-  std::int64_t bytes_read() const { return reader_.bytes_read(); }
+  /// I/O accounting summed over the primary and every fallback reader used.
+  std::int64_t seeks_performed() const;
+  std::int64_t bytes_read() const;
 
  private:
-  /// One verified or plain read attempt; throws on failure.
-  void attempt_read(const SliceRef& slice, std::int64_t x0, std::int64_t y0,
-                    std::int64_t w, std::int64_t h, std::uint16_t* out);
+  /// One verified or plain read attempt through `reader`; throws on failure.
+  void attempt_read(const StorageNodeReader& reader, const SliceRef& slice,
+                    std::int64_t x0, std::int64_t y0, std::int64_t w, std::int64_t h,
+                    std::uint16_t* out);
   void fill(std::int64_t w, std::int64_t h, std::uint16_t* out) const;
   void extract_rect(const std::uint8_t* slice_bytes, std::int64_t x0, std::int64_t y0,
                     std::int64_t w, std::int64_t h, std::uint16_t* out) const;
+  /// Reader for one replica node (the wrapped one, or a lazily-built
+  /// fallback). Returns nullptr when the fallback cannot be opened (missing
+  /// directory or index), with the reason in `error`.
+  const StorageNodeReader* reader_for(int node, std::string& error);
 
   StorageNodeReader reader_;
   ResilienceConfig cfg_;
   FaultReportSink* sink_;
+  ReplicaSet* replicas_;
+  std::map<int, StorageNodeReader> fallbacks_;  ///< other replica nodes, lazy
   FaultReport report_;
 
   // Whole-slice cache for the verified path (one slice: the RFR tile loop

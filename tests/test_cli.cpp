@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "io/mhd.hpp"
@@ -121,6 +123,67 @@ TEST_F(CliTest, SparseSplitAnalyzeWorks) {
   EXPECT_EQ(invoke({"analyze", ds, "--roi", "5,5,3,3", "--repr", "sparse", "--variant",
                     "split", "--workers", "3", "--dirs", "axis", "--chunk", "12,12,6,4"}),
             0);
+}
+
+TEST_F(CliTest, PhantomWithReplicasReportsAndPersistsFactor) {
+  const std::string ds = (dir_ / "ds").string();
+  EXPECT_EQ(invoke({"phantom", "--out", ds, "--dims", "12,12,4,2", "--nodes", "3",
+                    "--replicas", "2"}),
+            0);
+  EXPECT_NE(stdout_text().find("replication factor 2"), std::string::npos);
+  EXPECT_EQ(invoke({"info", ds}), 0);
+  EXPECT_NE(stdout_text().find("replicas       2"), std::string::npos);
+}
+
+TEST_F(CliTest, ScrubReportsCleanAndDamagedDatasets) {
+  const std::string ds = (dir_ / "ds").string();
+  ASSERT_EQ(invoke({"phantom", "--out", ds, "--dims", "12,12,4,2", "--nodes", "3",
+                    "--replicas", "2"}),
+            0);
+  EXPECT_EQ(invoke({"scrub", ds}), 0);
+  EXPECT_NE(stdout_text().find("0 defects"), std::string::npos);
+
+  fsys::remove(fsys::path(ds) / io::node_dir_name(0) / io::slice_filename(0, 0));
+  const std::string json = (dir_ / "inventory.json").string();
+  EXPECT_EQ(invoke({"scrub", ds, "--json", json}), 1);
+  EXPECT_NE(stdout_text().find("missing_copy"), std::string::npos);
+  std::ifstream f(json);
+  std::string inv((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  EXPECT_NE(inv.find("\"schema\": \"h4d-scrub-v1\""), std::string::npos);
+  EXPECT_NE(inv.find("missing_copy"), std::string::npos);
+}
+
+TEST_F(CliTest, RepairRestoresALostNodeDirectory) {
+  const std::string ds = (dir_ / "ds").string();
+  ASSERT_EQ(invoke({"phantom", "--out", ds, "--dims", "12,12,4,2", "--nodes", "3",
+                    "--replicas", "2"}),
+            0);
+  fsys::remove_all(fsys::path(ds) / io::node_dir_name(1));
+  ASSERT_EQ(invoke({"scrub", ds}), 1);
+  EXPECT_EQ(invoke({"repair", ds}), 0);
+  EXPECT_EQ(invoke({"scrub", ds}), 0);
+}
+
+TEST_F(CliTest, AnalyzeToleratesDeadNodesWhenReplicated) {
+  const std::string ds = (dir_ / "ds").string();
+  ASSERT_EQ(invoke({"phantom", "--out", ds, "--dims", "16,16,6,4", "--nodes", "3",
+                    "--replicas", "2"}),
+            0);
+  const std::string maps = (dir_ / "maps").string();
+  EXPECT_EQ(invoke({"analyze", ds, "--out", maps, "--roi", "5,5,3,3", "--workers", "2",
+                    "--dirs", "axis", "--chunk", "12,12,6,4", "--dead-nodes", "1"}),
+            0);
+  EXPECT_NE(stdout_text().find("4 feature maps"), std::string::npos);
+  EXPECT_NE(stdout_text().find("replica failovers"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeFailsWhenDeadNodesUncovered) {
+  const std::string ds = (dir_ / "ds").string();
+  ASSERT_EQ(invoke({"phantom", "--out", ds, "--dims", "16,16,4,2", "--nodes", "2"}), 0);
+  EXPECT_EQ(invoke({"analyze", ds, "--roi", "5,5,3,1", "--dirs", "axis", "--dead-nodes",
+                    "0"}),
+            1);
+  EXPECT_NE(stderr_text().find("no surviving replica"), std::string::npos);
 }
 
 }  // namespace

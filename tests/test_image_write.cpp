@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "io/durable_file.hpp"
 
 namespace h4d::io {
 namespace {
@@ -86,6 +92,65 @@ TEST(CsvWriter, RejectsBadShape) {
 TEST(CsvWriter, NumFormatting) {
   EXPECT_EQ(CsvWriter::num(1.5), "1.5");
   EXPECT_EQ(CsvWriter::num(42), "42");
+}
+
+// --- Durable write primitives (io/durable_file.hpp) -------------------------
+
+using DurableFileTest = ImageWriteTest;
+
+TEST_F(DurableFileTest, AtomicWriteRoundTripsAndLeavesNoTmp) {
+  const std::string payload = "hello, durable world";
+  atomic_write_file(dir_ / "f.bin", payload.data(), payload.size());
+  std::ifstream f(dir_ / "f.bin", std::ios::binary);
+  std::string back((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(back, payload);
+  EXPECT_FALSE(fsys::exists(dir_ / "f.bin.tmp"));
+}
+
+TEST_F(DurableFileTest, AtomicWriteReplacesExistingFile) {
+  const std::string a = "first version, longer";
+  const std::string b = "second";
+  atomic_write_file(dir_ / "f.bin", a.data(), a.size());
+  atomic_write_file(dir_ / "f.bin", b.data(), b.size());
+  std::ifstream f(dir_ / "f.bin", std::ios::binary);
+  std::string back((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(back, b);
+}
+
+TEST_F(DurableFileTest, AtomicWriteToMissingDirectoryThrowsTypedError) {
+  const fsys::path target = dir_ / "no_such_dir" / "f.bin";
+  try {
+    atomic_write_file(target, "x", 1);
+    FAIL() << "expected WriteError";
+  } catch (const WriteError& e) {
+    EXPECT_EQ(e.path(), fsys::path(target.string() + ".tmp"));
+    EXPECT_NE(e.errno_value(), 0);
+    EXPECT_FALSE(e.disk_full());
+    EXPECT_NE(std::string(e.what()).find("f.bin"), std::string::npos);
+  }
+}
+
+TEST_F(DurableFileTest, AppendDurableAccumulatesRecords) {
+  append_durable(dir_ / "log.bin", "abc", 3);
+  append_durable(dir_ / "log.bin", "def", 3);
+  std::ifstream f(dir_ / "log.bin", std::ios::binary);
+  std::string back((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(back, "abcdef");
+}
+
+TEST_F(DurableFileTest, DiskFullErrorIsActionable) {
+  const WriteError e(dir_ / "out.pgm", 1024, ENOSPC, "feature map write");
+  EXPECT_TRUE(e.disk_full());
+  EXPECT_EQ(e.bytes_attempted(), 1024);
+  const std::string msg = e.what();
+  EXPECT_NE(msg.find("free space"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("out.pgm"), std::string::npos) << msg;
+}
+
+TEST_F(DurableFileTest, ShortWriteErrorReportsByteCounts) {
+  const WriteError e(dir_ / "samples.uso", 512, 0, "sample append");
+  EXPECT_FALSE(e.disk_full());
+  EXPECT_NE(std::string(e.what()).find("512"), std::string::npos);
 }
 
 }  // namespace

@@ -39,9 +39,9 @@ struct E2EFixture : ::testing::Test {
     return e;
   }
 
-  PipelineConfig base_config(int storage_nodes) {
+  PipelineConfig base_config(int storage_nodes, int replicas = 1) {
     DiskDataset_ = std::make_unique<io::DiskDataset>(
-        io::DiskDataset::create(root_, phantom_, storage_nodes));
+        io::DiskDataset::create(root_, phantom_, storage_nodes, replicas));
     PipelineConfig cfg;
     cfg.dataset_root = root_;
     cfg.engine = engine();
@@ -181,6 +181,55 @@ TEST_F(E2EFixture, AllFourteenFeaturesThroughPipeline) {
           << haralick::feature_name(f);
     }
   }
+}
+
+TEST_F(E2EFixture, ReplicatedHealthyRunMatchesReferenceWithoutFailovers) {
+  PipelineConfig cfg = base_config(3, 2);
+  cfg.variant = Variant::HMP;
+  cfg.hmp_copies = 2;
+  const AnalysisResult got = analyze_threaded(cfg);
+  expect_matches_reference(got);
+  // Replication must not duplicate reads or reroute anything while every
+  // node is healthy.
+  EXPECT_EQ(got.stats.exec.replica_failovers, 0);
+  EXPECT_EQ(got.stats.exec.nodes_evicted, 0);
+}
+
+TEST_F(E2EFixture, ReplicatedRunSurvivesDeletedNodeDirByteIdentical) {
+  PipelineConfig cfg = base_config(3, 2);
+  cfg.variant = Variant::HMP;
+  cfg.hmp_copies = 2;
+  const AnalysisResult healthy = analyze_threaded(cfg);
+
+  fsys::remove_all(root_ / io::node_dir_name(1));
+  const AnalysisResult degraded = analyze_threaded(cfg);
+
+  ASSERT_EQ(degraded.maps.size(), healthy.maps.size());
+  for (const auto& [f, map] : healthy.maps) {
+    ASSERT_EQ(degraded.maps.at(f).storage(), map.storage()) << haralick::feature_name(f);
+  }
+  // The rerouted reads are visible in the run's accounting.
+  EXPECT_GT(degraded.faults.replica_failovers, 0);
+  EXPECT_EQ(degraded.stats.exec.replica_failovers, degraded.faults.replica_failovers);
+}
+
+TEST_F(E2EFixture, DeadNodesFlagReroutesWithoutChangingOutput) {
+  PipelineConfig cfg = base_config(3, 2);
+  cfg.variant = Variant::Split;
+  cfg.hcc_copies = 2;
+  cfg.hpc_copies = 2;
+  cfg.dead_nodes = {2};  // directory still exists; operator declared it dead
+  const AnalysisResult got = analyze_threaded(cfg);
+  expect_matches_reference(got);
+  EXPECT_GT(got.faults.replica_failovers, 0);
+}
+
+TEST_F(E2EFixture, UnreplicatedRunRefusesToStartWithoutCoverage) {
+  PipelineConfig cfg = base_config(3, 1);
+  fsys::remove_all(root_ / io::node_dir_name(0));
+  // With r = 1 a lost node means lost slices; the run must fail up front
+  // instead of producing silently incomplete maps.
+  EXPECT_THROW(analyze_threaded(cfg), std::runtime_error);
 }
 
 TEST_F(E2EFixture, RfrCopyCountMustMatchStorageNodes) {

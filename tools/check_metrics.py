@@ -62,6 +62,8 @@ REQUIRED_METER_KEYS = (
     "read_retries",
     "slices_skipped",
     "checksum_failures",
+    "replica_failovers",
+    "nodes_evicted",
     "copy_restarts",
     "chunks_quarantined",
     "watchdog_kills",
@@ -78,6 +80,8 @@ EXECUTION_COUNTER_KEYS = (
     "watchdog_kills",
     "buffers_lost",
     "chunks_resumed",
+    "replica_failovers",
+    "nodes_evicted",
 )
 
 
