@@ -289,6 +289,7 @@ int cmd_analyze(const Args& args, std::ostream& out) {
   fs::TraceRecorder trace;
   fs::ThreadedOptions topt;
   if (args.has("trace")) topt.trace = &trace;
+  topt.queue = fs::queue_impl_from_name(args.get("queue", "locked"));
   topt.supervise = supervisor_from_args(args);
   const core::AnalysisResult result = core::analyze_threaded(cfg, topt);
   out << "analyzed " << dataset << " in " << result.stats.total_seconds << "s wall, "
@@ -404,6 +405,7 @@ int usage(std::ostream& err) {
          "           [--supervise fail|restart|quarantine] [--max-restarts N]\n"
          "           [--poison N] [--watchdog-ms N]\n"
          "           [--checkpoint FILE] [--resume on|off]\n"
+         "           [--queue locked|mpmc]\n"
          "           [--trace FILE] [--metrics FILE]\n"
          "  simulate DATASET_DIR [same options as analyze] [--sim-failures SPEC]\n"
          "  scrub    DATASET_DIR [--json FILE]\n"
@@ -463,7 +465,16 @@ int usage(std::ostream& err) {
          "  --sim-failures SPEC simulate seeded copy crashes (simulate only);\n"
          "                      comma-separated k=v among seed, crash, delay,\n"
          "                      max_restarts, poison, policy\n"
-         "                      (e.g. seed=7,crash=0.05,policy=quarantine)\n";
+         "                      (e.g. seed=7,crash=0.05,policy=quarantine)\n"
+         "\n"
+         "runtime (see DESIGN.md sec. 13):\n"
+         "  --queue MODE        inbox implementation between filter copies:\n"
+         "                      locked (default, mutex+condvar) | mpmc\n"
+         "                      (lock-free array queue with per-slot sequence\n"
+         "                      numbers and a parking layer); identical\n"
+         "                      semantics and byte-identical maps, the chosen\n"
+         "                      impl and stall counters land in the metrics\n"
+         "                      \"execution\" section\n";
   return 2;
 }
 

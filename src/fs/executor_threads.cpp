@@ -1,5 +1,6 @@
 #include "fs/executor_threads.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -9,6 +10,7 @@
 #include <thread>
 #include <tuple>
 
+#include "fs/mpmc_queue.hpp"
 #include "fs/queue.hpp"
 #include "fs/trace.hpp"
 
@@ -50,7 +52,7 @@ struct CopyRuntime {
   int copy = 0;
   int node = 0;
   std::unique_ptr<Filter> filter;
-  std::unique_ptr<BoundedQueue<Envelope>> inbox;
+  std::unique_ptr<QueueInterface<Envelope>> inbox;
   int expected_eos = 0;
   CopyStats stats;
 
@@ -284,7 +286,7 @@ RunStats run_threaded(const FilterGraph& graph, const ThreadedOptions& options) 
       rt->copy = c;
       rt->node = filters[f].node_of_copy(c);
       rt->filter = filters[f].factory();
-      rt->inbox = std::make_unique<BoundedQueue<Envelope>>(options.queue_capacity);
+      rt->inbox = make_queue<Envelope>(options.queue, options.queue_capacity);
       rt->stats.filter = filters[f].name;
       rt->stats.copy = c;
       rt->stats.node = rt->node;
@@ -596,6 +598,7 @@ RunStats run_threaded(const FilterGraph& graph, const ThreadedOptions& options) 
   RunStats out;
   out.total_seconds = seconds_since(t0, Clock::now());
   out.exec = shared.report;
+  out.exec.queue_impl = std::string(queue_impl_name(options.queue));
   std::size_t idx = 0;
   for (auto& group : copies) {
     for (auto& c : group) {
@@ -603,6 +606,10 @@ RunStats run_threaded(const FilterGraph& graph, const ThreadedOptions& options) 
       c->stats.max_inbox = q.max_depth;
       c->stats.enqueue_stall_seconds = q.stall_seconds;
       c->stats.stalled_pushes = q.stalled_pushes;
+      out.exec.queue_stalled_pushes += q.stalled_pushes;
+      out.exec.queue_stall_seconds += q.stall_seconds;
+      out.exec.queue_max_depth =
+          std::max(out.exec.queue_max_depth, static_cast<std::int64_t>(q.max_depth));
       // Folded after join to keep the meter single-writer during the run.
       if (killed[idx].load()) c->stats.meter.watchdog_kills = 1;
       idx++;

@@ -1,0 +1,433 @@
+// Lock-free bounded MPMC queue: the --queue=mpmc fast path for the threaded
+// executor's filter inboxes (DESIGN §13).
+//
+// The fast path is the classic array-of-slots protocol with per-slot
+// sequence numbers (Vyukov): producers claim positions with one CAS on the
+// enqueue cursor and publish with one release store of the slot's sequence;
+// consumers mirror it on the dequeue cursor. No mutex, fence, or wake is
+// touched while the queue is neither emptying nor filling up, which is
+// where the runtime lives when copy counts are balanced — the mutex+condvar
+// BoundedQueue serializes every handoff through one lock and convoys once
+// the ROI kernel is in single-digit microseconds.
+//
+// The blocked paths (full producers, empty consumers) park on a mutex +
+// condvar pair, which on Linux bottoms out in futex wait/wake. Wakes are
+// edge-triggered: a publish notifies consumers only when it is the
+// empty->non-empty transition (the claimed position equals the dequeue
+// cursor), and a pop notifies producers only when it is the full->not-full
+// transition (the enqueue cursor is exactly capacity ahead of the freed
+// position) — steady streaming issues no wakes at all. Each transition uses
+// the Dekker handshake: a parker increments its waiter count, fences, and
+// rechecks the slot protocol before sleeping; a waker publishes, fences,
+// and only takes the park mutex when a waiter count is visible — so a
+// wakeup is either observed or unnecessary. Because one transition wakes
+// one waiter, a woken thread passes the baton: if it made progress and
+// peers are still parked with room/items left, it re-notifies.
+//
+// close()-then-drain matches BoundedQueue exactly, including against
+// concurrent pushes: close() seals the enqueue cursor by setting a high
+// bit with one fetch_or, after which no claim can ever succeed (the claim
+// CAS fails and the reload sees the seal). A consumer reports "closed and
+// drained" only after seeing the seal and a dequeue cursor that has caught
+// up with the sealed claim count — claimed-but-unpublished slots are
+// drained with bounded waits, so an in-flight publish can never strand an
+// item behind a nullopt.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "fs/queue.hpp"
+
+namespace h4d::fs {
+
+namespace detail {
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+}  // namespace detail
+
+template <typename T>
+class MpmcQueue {
+ public:
+  static constexpr QueueImpl kImpl = QueueImpl::Mpmc;
+
+  explicit MpmcQueue(std::size_t capacity = 64)
+      : capacity_(capacity ? capacity : 1),
+        ring_(next_pow2(capacity_)),
+        mask_(ring_ - 1),
+        slots_(std::make_unique<Slot[]>(ring_)) {
+    for (std::uint64_t i = 0; i < ring_; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  ~MpmcQueue() {
+    // Destroy whatever is still in flight; no concurrent access by now.
+    std::uint64_t pos = 0;
+    while (try_pop_slot(pos)) {
+    }
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Blocks while full; returns false when the queue was closed.
+  bool push(T item) {
+    std::uint64_t pos = 0;
+    for (int i = 0; i < kSpinAttempts; ++i) {
+      switch (try_push_slot(item, pos)) {
+        case TrySlot::Done:
+          maybe_wake_pop(pos);
+          return true;
+        case TrySlot::Closed:
+          return false;
+        case TrySlot::Blocked:
+          break;
+      }
+      detail::cpu_relax();
+    }
+    // Slow path: the queue was full on arrival — park until a consumer
+    // frees a slot or the queue closes. Accounted like BoundedQueue's wait.
+    const StallTimer timer;
+    bool pushed = false;
+    {
+      std::unique_lock lk(park_mu_);
+      push_waiters_.fetch_add(1, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      for (;;) {
+        const TrySlot r = try_push_slot(item, pos);
+        if (r == TrySlot::Done) {
+          pushed = true;
+          break;
+        }
+        if (r == TrySlot::Closed) break;
+        not_full_cv_.wait(lk);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+      }
+      push_waiters_.fetch_sub(1, std::memory_order_relaxed);
+      // Baton: a transition wakes one producer; if there is room for more
+      // and peers are still parked, pass the wake along.
+      if (pushed && push_waiters_.load(std::memory_order_relaxed) > 0 && !looks_full()) {
+        not_full_cv_.notify_one();
+      }
+    }
+    record_stall(timer, /*count_stall=*/true);
+    if (pushed) maybe_wake_pop(pos);
+    return pushed;
+  }
+
+  /// Like push(), but gives up after `timeout` when the queue stays full.
+  /// `count_stall` matches BoundedQueue: a caller retrying in slices counts
+  /// the stall once; the waited time always accumulates.
+  template <typename Rep, typename Period>
+  PushOutcome push_for(T item, std::chrono::duration<Rep, Period> timeout,
+                       bool count_stall = true) {
+    std::uint64_t pos = 0;
+    switch (try_push_slot(item, pos)) {
+      case TrySlot::Done:
+        maybe_wake_pop(pos);
+        return PushOutcome::Ok;
+      case TrySlot::Closed:
+        return PushOutcome::Closed;
+      case TrySlot::Blocked:
+        break;
+    }
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    const StallTimer timer;
+    PushOutcome out = PushOutcome::Timeout;
+    {
+      std::unique_lock lk(park_mu_);
+      push_waiters_.fetch_add(1, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      for (;;) {
+        const TrySlot r = try_push_slot(item, pos);
+        if (r == TrySlot::Done) {
+          out = PushOutcome::Ok;
+          break;
+        }
+        if (r == TrySlot::Closed) {
+          out = PushOutcome::Closed;
+          break;
+        }
+        if (std::chrono::steady_clock::now() >= deadline) break;
+        not_full_cv_.wait_until(lk, deadline);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+      }
+      push_waiters_.fetch_sub(1, std::memory_order_relaxed);
+      if (out == PushOutcome::Ok && push_waiters_.load(std::memory_order_relaxed) > 0 &&
+          !looks_full()) {
+        not_full_cv_.notify_one();
+      }
+    }
+    record_stall(timer, count_stall);
+    if (out == PushOutcome::Ok) maybe_wake_pop(pos);
+    return out;
+  }
+
+  /// Non-blocking pop: an item, or nullopt when currently empty (regardless
+  /// of closed state). Watchdog drains rely on this never blocking.
+  std::optional<T> try_pop() {
+    std::uint64_t pos = 0;
+    std::optional<T> out = try_pop_slot(pos);
+    if (out) maybe_wake_push(pos);
+    return out;
+  }
+
+  /// Blocks while empty; returns nullopt when closed and drained.
+  std::optional<T> pop() {
+    std::uint64_t pos = 0;
+    for (int i = 0; i < kSpinAttempts; ++i) {
+      if (std::optional<T> out = try_pop_slot(pos)) {
+        maybe_wake_push(pos);
+        return out;
+      }
+      if (drained_forever()) return std::nullopt;
+      detail::cpu_relax();
+    }
+    std::optional<T> out;
+    {
+      std::unique_lock lk(park_mu_);
+      pop_waiters_.fetch_add(1, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      for (;;) {
+        if ((out = try_pop_slot(pos))) break;
+        if (drained_forever()) break;
+        if (sealed()) {
+          // Sealed, but a claim that beat the seal may still be publishing:
+          // bounded wait, then recheck. That window is a few instructions
+          // wide in the producer.
+          not_empty_cv_.wait_for(lk, std::chrono::microseconds(100));
+        } else {
+          not_empty_cv_.wait(lk);
+        }
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+      }
+      pop_waiters_.fetch_sub(1, std::memory_order_relaxed);
+      // Baton: if items remain and peers are still parked, pass the wake.
+      if (out && pop_waiters_.load(std::memory_order_relaxed) > 0 && size() > 0) {
+        not_empty_cv_.notify_one();
+      }
+    }
+    if (out) maybe_wake_push(pos);
+    return out;
+  }
+
+  /// After close(), push() fails and pop() drains the remaining items.
+  void close() {
+    enq_pos_.fetch_or(kSeal, std::memory_order_seq_cst);
+    std::lock_guard lk(park_mu_);
+    not_full_cv_.notify_all();
+    not_empty_cv_.notify_all();
+  }
+
+  std::size_t size() const {
+    // Two racing loads; clamped so a torn snapshot stays in range.
+    const std::uint64_t deq = deq_pos_.load(std::memory_order_acquire);
+    const std::uint64_t enq = enq_pos_.load(std::memory_order_acquire) & ~kSeal;
+    const std::int64_t d = static_cast<std::int64_t>(enq - deq);
+    if (d <= 0) return 0;
+    return std::min(static_cast<std::size_t>(d), capacity_);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Snapshot of the backpressure counters accumulated so far.
+  QueueStats stats() const {
+    QueueStats s;
+    s.max_depth = static_cast<std::size_t>(max_depth_.load(std::memory_order_relaxed));
+    s.stalled_pushes = stalled_pushes_.load(std::memory_order_relaxed);
+    s.stall_seconds =
+        static_cast<double>(stall_ns_.load(std::memory_order_relaxed)) * 1e-9;
+    return s;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    alignas(alignof(T)) unsigned char storage[sizeof(T)];
+  };
+
+  enum class TrySlot { Done, Blocked, Closed };
+
+  /// close() ORs this into the enqueue cursor; every later claim attempt
+  /// sees it (directly, or via its CAS failing and reloading) and reports
+  /// Closed. Unreachable by counting: 2^63 pushes.
+  static constexpr std::uint64_t kSeal = 1ull << 63;
+
+  static constexpr int kSpinAttempts = 16;
+
+  static std::uint64_t next_pow2(std::size_t v) {
+    std::uint64_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  TrySlot try_push_slot(T& item, std::uint64_t& out_pos) {
+    std::uint64_t pos = enq_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (pos & kSeal) return TrySlot::Closed;
+      // Exact backpressure depth: the ring is rounded up to a power of two,
+      // so fullness is gated on the logical capacity, not the ring size. A
+      // stale dequeue cursor can only under-report free slots (it is
+      // monotonic), which errs toward a spurious Blocked — the parking
+      // layer's recheck resolves it.
+      if (pos - deq_pos_.load(std::memory_order_acquire) >= capacity_) {
+        return TrySlot::Blocked;
+      }
+      Slot& s = slots_[pos & mask_];
+      const std::uint64_t seq = s.seq.load(std::memory_order_acquire);
+      const std::int64_t dif = static_cast<std::int64_t>(seq - pos);
+      if (dif == 0) {
+        if (enq_pos_.compare_exchange_weak(pos, pos + 1,
+                                           std::memory_order_relaxed)) {
+          ::new (static_cast<void*>(s.storage)) T(std::move(item));
+          s.seq.store(pos + 1, std::memory_order_release);
+          note_depth(pos + 1 - deq_pos_.load(std::memory_order_relaxed));
+          out_pos = pos;
+          return TrySlot::Done;
+        }
+        // CAS failure reloaded pos — the loop re-examines it (seal included).
+      } else if (dif < 0) {
+        return TrySlot::Blocked;  // slot not yet recycled: ring full
+      } else {
+        pos = enq_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::optional<T> try_pop_slot(std::uint64_t& out_pos) {
+    std::uint64_t pos = deq_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& s = slots_[pos & mask_];
+      const std::uint64_t seq = s.seq.load(std::memory_order_acquire);
+      const std::int64_t dif = static_cast<std::int64_t>(seq - (pos + 1));
+      if (dif == 0) {
+        if (deq_pos_.compare_exchange_weak(pos, pos + 1,
+                                           std::memory_order_relaxed)) {
+          T* p = std::launder(reinterpret_cast<T*>(s.storage));
+          std::optional<T> out(std::move(*p));
+          p->~T();
+          s.seq.store(pos + ring_, std::memory_order_release);
+          out_pos = pos;
+          return out;
+        }
+      } else if (dif < 0) {
+        return std::nullopt;  // next slot not yet published: empty
+      } else {
+        pos = deq_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  bool sealed() const {
+    return (enq_pos_.load(std::memory_order_seq_cst) & kSeal) != 0;
+  }
+
+  /// Conclusive "closed and drained": once the enqueue cursor is sealed no
+  /// claim can ever succeed, so a dequeue cursor that reached the sealed
+  /// claim count proves the queue is empty forever. While the dequeue
+  /// cursor is short of it, claimed slots remain — possibly mid-publish —
+  /// and the caller must keep popping (with bounded waits).
+  bool drained_forever() const {
+    const std::uint64_t enq = enq_pos_.load(std::memory_order_seq_cst);
+    if (!(enq & kSeal)) return false;
+    return deq_pos_.load(std::memory_order_seq_cst) == (enq & ~kSeal);
+  }
+
+  /// Racy fullness hint for the wake baton; a spurious wake is resolved by
+  /// the woken producer's own recheck.
+  bool looks_full() const {
+    const std::uint64_t enq = enq_pos_.load(std::memory_order_relaxed) & ~kSeal;
+    return enq - deq_pos_.load(std::memory_order_relaxed) >= capacity_;
+  }
+
+  void note_depth(std::uint64_t depth) {
+    std::uint64_t cur = max_depth_.load(std::memory_order_relaxed);
+    while (depth > cur &&
+           !max_depth_.compare_exchange_weak(cur, depth, std::memory_order_relaxed)) {
+    }
+  }
+
+  void record_stall(const StallTimer& timer, bool count_stall) {
+    if (count_stall) stalled_pushes_.fetch_add(1, std::memory_order_relaxed);
+    stall_ns_.fetch_add(static_cast<std::int64_t>(timer.seconds() * 1e9),
+                        std::memory_order_relaxed);
+  }
+
+  /// Edge-triggered consumer wake after publishing position `pos`: only the
+  /// empty->non-empty transition (dequeue cursor still at `pos`) can have a
+  /// consumer parked with nothing to recheck. If the cursor moved past, a
+  /// consumer is demonstrably active; if older positions are unconsumed,
+  /// their publishers own the transition. Only the transition branch pays
+  /// the Dekker fence (publish happened-before the fence; only touch the
+  /// park mutex when a waiter is visible).
+  void maybe_wake_pop(std::uint64_t pos) {
+    if (deq_pos_.load(std::memory_order_acquire) != pos) return;
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (pop_waiters_.load(std::memory_order_relaxed) == 0) return;
+    std::lock_guard lk(park_mu_);
+    not_empty_cv_.notify_one();
+  }
+
+  /// Edge-triggered producer wake after consuming position `pos`: only the
+  /// full->not-full transition (enqueue cursor exactly capacity ahead) can
+  /// have a producer parked with no slot to recheck. A stale enqueue read
+  /// can only miss the transition when a producer is mid-claim — and that
+  /// producer either succeeds or rechecks after the Dekker fence.
+  void maybe_wake_push(std::uint64_t pos) {
+    const std::uint64_t enq = enq_pos_.load(std::memory_order_acquire) & ~kSeal;
+    if (enq - pos != capacity_) return;
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (push_waiters_.load(std::memory_order_relaxed) == 0) return;
+    std::lock_guard lk(park_mu_);
+    not_full_cv_.notify_one();
+  }
+
+  const std::size_t capacity_;
+  const std::uint64_t ring_;  ///< slot count: next_pow2(capacity_)
+  const std::uint64_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+
+  alignas(64) std::atomic<std::uint64_t> enq_pos_{0};
+  alignas(64) std::atomic<std::uint64_t> deq_pos_{0};
+
+  // Parking layer (slow paths and transitions only).
+  alignas(64) std::atomic<int> push_waiters_{0};
+  std::atomic<int> pop_waiters_{0};
+  mutable std::mutex park_mu_;
+  std::condition_variable not_full_cv_;
+  std::condition_variable not_empty_cv_;
+
+  // Stats via relaxed atomics; see QueueStats.
+  std::atomic<std::uint64_t> max_depth_{0};
+  std::atomic<std::int64_t> stalled_pushes_{0};
+  std::atomic<std::int64_t> stall_ns_{0};
+};
+
+/// Builds the inbox implementation a run selected (--queue=locked|mpmc).
+template <typename T>
+std::unique_ptr<QueueInterface<T>> make_queue(QueueImpl impl, std::size_t capacity) {
+  switch (impl) {
+    case QueueImpl::Locked:
+      return std::make_unique<QueueAdapter<T, BoundedQueue<T>>>(capacity);
+    case QueueImpl::Mpmc:
+      return std::make_unique<QueueAdapter<T, MpmcQueue<T>>>(capacity);
+  }
+  throw std::invalid_argument("make_queue: unknown QueueImpl");
+}
+
+}  // namespace h4d::fs

@@ -1,20 +1,33 @@
-// Bounded multi-producer multi-consumer queue used for filter inboxes in the
+// Bounded multi-producer multi-consumer queues used for filter inboxes in the
 // threaded executor. Blocking push gives natural backpressure on streams; the
 // queue records how often and for how long producers were held back, which
 // the observability layer surfaces as enqueue-stall time (see
 // docs/OBSERVABILITY.md).
+//
+// Two implementations share one contract (selected per run with --queue):
+//   * BoundedQueue (this file)     — mutex + condvar, the reference;
+//   * MpmcQueue (fs/mpmc_queue.hpp) — lock-free array-based fast path with a
+//     condvar parking layer for the blocked paths (DESIGN §13).
+// QueueInterface is the type-erased view the executor holds, so every
+// close/EOS/watchdog path behaves identically regardless of implementation.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
 
 namespace h4d::fs {
 
-/// Lifetime counters of one BoundedQueue (all under the queue's lock).
+/// Lifetime counters of one queue. BoundedQueue maintains them under its
+/// lock; MpmcQueue via relaxed atomics — either way stats() returns a
+/// consistent-enough snapshot for end-of-run reporting.
 struct QueueStats {
   std::size_t max_depth = 0;        ///< high-water mark of queued items
   std::int64_t stalled_pushes = 0;  ///< pushes that found the queue full
@@ -28,21 +41,82 @@ enum class PushOutcome {
   Timeout,  ///< still full after the timeout — caller decides what's next
 };
 
+/// Which queue implementation a run's inboxes use (--queue=locked|mpmc).
+enum class QueueImpl {
+  Locked,  ///< BoundedQueue: mutex + condvar (default)
+  Mpmc,    ///< MpmcQueue: lock-free slot protocol + parking layer
+};
+
+inline std::string_view queue_impl_name(QueueImpl impl) {
+  switch (impl) {
+    case QueueImpl::Locked:
+      return "locked";
+    case QueueImpl::Mpmc:
+      return "mpmc";
+  }
+  return "?";
+}
+
+inline QueueImpl queue_impl_from_name(const std::string& name) {
+  if (name == "locked") return QueueImpl::Locked;
+  if (name == "mpmc") return QueueImpl::Mpmc;
+  throw std::runtime_error("unknown queue implementation: " + name +
+                           " (expected locked|mpmc)");
+}
+
+/// Times one producer stall. Both queue implementations route their stall
+/// accounting through this helper so `stalled_pushes`/`stall_seconds` mean
+/// exactly the same thing under --queue=locked and --queue=mpmc.
+class StallTimer {
+ public:
+  StallTimer() : t0_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// The queue contract the threaded executor programs against. Semantics
+/// (shared by every implementation):
+///   * push() blocks while full, fails (false) once closed;
+///   * push_for() waits at most `timeout`, reporting Ok/Closed/Timeout;
+///     `count_stall` lets a retry loop count one stall across many slices
+///     while the waited time always accumulates into stall_seconds;
+///   * try_pop() never blocks (watchdog drains of a dead copy's inbox);
+///   * pop() blocks while empty; after close() it drains the remaining
+///     items, then returns nullopt.
+template <typename T>
+class QueueInterface {
+ public:
+  virtual ~QueueInterface() = default;
+  virtual bool push(T item) = 0;
+  virtual PushOutcome push_for(T item, std::chrono::nanoseconds timeout,
+                               bool count_stall) = 0;
+  virtual std::optional<T> try_pop() = 0;
+  virtual std::optional<T> pop() = 0;
+  virtual void close() = 0;
+  virtual std::size_t size() const = 0;
+  virtual std::size_t capacity() const = 0;
+  virtual QueueStats stats() const = 0;
+  virtual QueueImpl impl() const = 0;
+};
+
 template <typename T>
 class BoundedQueue {
  public:
+  static constexpr QueueImpl kImpl = QueueImpl::Locked;
+
   explicit BoundedQueue(std::size_t capacity = 64) : capacity_(capacity ? capacity : 1) {}
 
   /// Blocks while full; returns false when the queue was closed.
   bool push(T item) {
     std::unique_lock lk(mu_);
-    if (items_.size() >= capacity_ && !closed_) {
-      stats_.stalled_pushes++;
-      const auto t0 = std::chrono::steady_clock::now();
+    wait_while_full(lk, /*count_stall=*/true, [this, &lk] {
       not_full_.wait(lk, [this] { return items_.size() < capacity_ || closed_; });
-      stats_.stall_seconds +=
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-    }
+    });
     if (closed_) return false;
     items_.push_back(std::move(item));
     stats_.max_depth = std::max(stats_.max_depth, items_.size());
@@ -54,21 +128,14 @@ class BoundedQueue {
   /// Like push(), but gives up after `timeout` when the queue stays full.
   /// Lets the executor wait on backpressure in bounded slices (refreshing
   /// watchdog heartbeats, noticing aborts) instead of blocking indefinitely.
-  /// `count_stall` controls whether a full queue increments stalled_pushes —
-  /// a caller retrying in a loop counts the stall once, not per slice; the
-  /// waited time is always added to stall_seconds.
   template <typename Rep, typename Period>
   PushOutcome push_for(T item, std::chrono::duration<Rep, Period> timeout,
                        bool count_stall = true) {
     std::unique_lock lk(mu_);
-    if (items_.size() >= capacity_ && !closed_) {
-      if (count_stall) stats_.stalled_pushes++;
-      const auto t0 = std::chrono::steady_clock::now();
+    wait_while_full(lk, count_stall, [this, &lk, timeout] {
       not_full_.wait_for(lk, timeout,
                          [this] { return items_.size() < capacity_ || closed_; });
-      stats_.stall_seconds +=
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-    }
+    });
     if (closed_) return PushOutcome::Closed;
     if (items_.size() >= capacity_) return PushOutcome::Timeout;
     items_.push_back(std::move(item));
@@ -127,6 +194,21 @@ class BoundedQueue {
   }
 
  private:
+  /// The stall-timing block shared by push() and push_for(): when the queue
+  /// is full (and open), count the stall once if asked, run the caller's
+  /// wait, and account the whole waited time. Factored so both paths — and,
+  /// via StallTimer, both queue implementations — report stalls identically.
+  template <typename WaitFn>
+  void wait_while_full(std::unique_lock<std::mutex>& lk, bool count_stall,
+                       WaitFn&& wait) {
+    (void)lk;  // held by the caller; the wait runs under it
+    if (items_.size() < capacity_ || closed_) return;
+    if (count_stall) stats_.stalled_pushes++;
+    const StallTimer timer;
+    wait();
+    stats_.stall_seconds += timer.seconds();
+  }
+
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
@@ -134,6 +216,31 @@ class BoundedQueue {
   std::deque<T> items_;
   QueueStats stats_;
   bool closed_ = false;
+};
+
+/// Adapts a concrete queue (BoundedQueue, MpmcQueue) to QueueInterface. The
+/// concrete classes stay virtual-free so tests and benchmarks can exercise
+/// them directly; the executor pays one indirect call per queue operation.
+template <typename T, typename Q>
+class QueueAdapter final : public QueueInterface<T> {
+ public:
+  explicit QueueAdapter(std::size_t capacity) : q_(capacity) {}
+
+  bool push(T item) override { return q_.push(std::move(item)); }
+  PushOutcome push_for(T item, std::chrono::nanoseconds timeout,
+                       bool count_stall) override {
+    return q_.push_for(std::move(item), timeout, count_stall);
+  }
+  std::optional<T> try_pop() override { return q_.try_pop(); }
+  std::optional<T> pop() override { return q_.pop(); }
+  void close() override { q_.close(); }
+  std::size_t size() const override { return q_.size(); }
+  std::size_t capacity() const override { return q_.capacity(); }
+  QueueStats stats() const override { return q_.stats(); }
+  QueueImpl impl() const override { return Q::kImpl; }
+
+ private:
+  Q q_;
 };
 
 }  // namespace h4d::fs

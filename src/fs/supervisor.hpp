@@ -107,6 +107,13 @@ struct ExecutionReport {
   std::vector<QuarantinedBuffer> quarantined;  ///< exact dropped buffers
   std::vector<CopyIncident> incidents;         ///< per-copy event log
 
+  // --- hot-queue accounting (threaded executor only; "none" under the
+  // simulator, which has no bounded inboxes) -----------------------------
+  std::string queue_impl = "none";  ///< locked | mpmc | none (fs/queue.hpp)
+  std::int64_t queue_stalled_pushes = 0;  ///< sum over every inbox
+  double queue_stall_seconds = 0.0;       ///< sum over every inbox
+  std::int64_t queue_max_depth = 0;       ///< max over every inbox
+
   bool clean() const {
     return copy_restarts == 0 && chunks_quarantined == 0 && watchdog_kills == 0 &&
            buffers_lost == 0 && chunks_resumed == 0 && replica_failovers == 0 &&

@@ -1,22 +1,46 @@
+// Contract tests for the filter-inbox queues. The whole suite is typed over
+// both implementations (BoundedQueue and MpmcQueue) — the executor selects
+// one per run (--queue), so anything asserted here is asserted for both.
+// The heavy concurrency schedules live in test_queue_stress.cpp; this file
+// pins the single-threaded semantics, the blocking/unblocking edges, the
+// stats accounting, and (at the bottom) a trace-equivalence property test
+// that replays random op traces against both queues side by side.
 #include "fs/queue.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <random>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "fs/mpmc_queue.hpp"
 
 namespace h4d::fs {
 namespace {
 
-TEST(BoundedQueue, FifoOrder) {
-  BoundedQueue<int> q(8);
+template <typename Q>
+class QueueContract : public ::testing::Test {};
+
+struct ImplName {
+  template <typename Q>
+  static std::string GetName(int) {
+    return std::string(queue_impl_name(Q::kImpl));
+  }
+};
+
+using Impls = ::testing::Types<BoundedQueue<int>, MpmcQueue<int>>;
+TYPED_TEST_SUITE(QueueContract, Impls, ImplName);
+
+TYPED_TEST(QueueContract, FifoOrder) {
+  TypeParam q(8);
   for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.push(i));
   for (int i = 0; i < 5; ++i) EXPECT_EQ(q.pop(), i);
 }
 
-TEST(BoundedQueue, SizeTracksContents) {
-  BoundedQueue<int> q(8);
+TYPED_TEST(QueueContract, SizeTracksContents) {
+  TypeParam q(8);
   EXPECT_EQ(q.size(), 0u);
   q.push(1);
   q.push(2);
@@ -25,8 +49,8 @@ TEST(BoundedQueue, SizeTracksContents) {
   EXPECT_EQ(q.size(), 1u);
 }
 
-TEST(BoundedQueue, CloseDrainsThenReturnsNullopt) {
-  BoundedQueue<int> q(8);
+TYPED_TEST(QueueContract, CloseDrainsThenReturnsNullopt) {
+  TypeParam q(8);
   q.push(1);
   q.push(2);
   q.close();
@@ -36,8 +60,8 @@ TEST(BoundedQueue, CloseDrainsThenReturnsNullopt) {
   EXPECT_EQ(q.pop(), std::nullopt);
 }
 
-TEST(BoundedQueue, PopBlocksUntilPush) {
-  BoundedQueue<int> q(4);
+TYPED_TEST(QueueContract, PopBlocksUntilPush) {
+  TypeParam q(4);
   std::thread producer([&q] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     q.push(42);
@@ -46,8 +70,8 @@ TEST(BoundedQueue, PopBlocksUntilPush) {
   producer.join();
 }
 
-TEST(BoundedQueue, PushBlocksWhenFull) {
-  BoundedQueue<int> q(2);
+TYPED_TEST(QueueContract, PushBlocksWhenFull) {
+  TypeParam q(2);
   q.push(1);
   q.push(2);
   std::atomic<bool> third_pushed{false};
@@ -62,8 +86,8 @@ TEST(BoundedQueue, PushBlocksWhenFull) {
   EXPECT_TRUE(third_pushed.load());
 }
 
-TEST(BoundedQueue, CloseUnblocksWaitingPop) {
-  BoundedQueue<int> q(4);
+TYPED_TEST(QueueContract, CloseUnblocksWaitingPop) {
+  TypeParam q(4);
   std::thread closer([&q] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     q.close();
@@ -72,10 +96,10 @@ TEST(BoundedQueue, CloseUnblocksWaitingPop) {
   closer.join();
 }
 
-TEST(BoundedQueue, ManyProducersManyConsumers) {
+TYPED_TEST(QueueContract, ManyProducersManyConsumers) {
   constexpr int kProducers = 4;
   constexpr int kItemsEach = 500;
-  BoundedQueue<int> q(16);
+  TypeParam q(16);
   std::atomic<long> sum{0};
   std::atomic<int> count{0};
 
@@ -102,8 +126,8 @@ TEST(BoundedQueue, ManyProducersManyConsumers) {
   EXPECT_EQ(sum.load(), n * (n - 1) / 2);
 }
 
-TEST(BoundedQueue, StatsRecordDepthAndStalls) {
-  BoundedQueue<int> q(2);
+TYPED_TEST(QueueContract, StatsRecordDepthAndStalls) {
+  TypeParam q(2);
   EXPECT_EQ(q.stats().max_depth, 0u);
   q.push(1);
   q.push(2);
@@ -123,18 +147,51 @@ TEST(BoundedQueue, StatsRecordDepthAndStalls) {
   EXPECT_GT(s.stall_seconds, 0.0);
 }
 
-TEST(BoundedQueue, ZeroCapacityClampedToOne) {
-  BoundedQueue<int> q(0);
+TYPED_TEST(QueueContract, StatsUnderProducerContention) {
+  // Several producers stall against a full queue at once while a slow
+  // consumer drains: max_depth must saturate at (and never exceed) the
+  // capacity, every producer's first blocked push must be counted, and the
+  // waited time must accumulate from all of them.
+  constexpr int kProducers = 4;
+  constexpr int kItemsEach = 50;
+  TypeParam q(2);
+  q.push(-1);
+  q.push(-2);  // full before any contender arrives
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kItemsEach; ++i) q.push(p * kItemsEach + i);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  int popped = 0;
+  while (q.pop()) {
+    if (++popped % 16 == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (popped == 2 + kProducers * kItemsEach) break;
+  }
+  for (std::thread& t : producers) t.join();
+  q.close();
+
+  EXPECT_EQ(popped, 2 + kProducers * kItemsEach);
+  const QueueStats s = q.stats();
+  EXPECT_EQ(s.max_depth, 2u);  // backpressure held: never above capacity
+  EXPECT_GE(s.stalled_pushes, kProducers);  // each contender stalled at least once
+  EXPECT_GT(s.stall_seconds, 0.0);
+}
+
+TYPED_TEST(QueueContract, ZeroCapacityClampedToOne) {
+  TypeParam q(0);
   EXPECT_EQ(q.capacity(), 1u);
   q.push(9);
   EXPECT_EQ(q.pop(), 9);
 }
 
-TEST(BoundedQueue, CloseUnblocksWaitingPush) {
+TYPED_TEST(QueueContract, CloseUnblocksWaitingPush) {
   // The fatal-error path relies on this: a producer blocked on a wedged
   // consumer's full inbox must unwind (push returns false) once the
   // supervisor closes every stream.
-  BoundedQueue<int> q(1);
+  TypeParam q(1);
   q.push(1);
   std::atomic<bool> unblocked{false};
   std::atomic<bool> accepted{true};
@@ -150,15 +207,15 @@ TEST(BoundedQueue, CloseUnblocksWaitingPush) {
   EXPECT_FALSE(accepted.load());
 }
 
-TEST(BoundedQueue, PushForEnqueuesWhenSpaceAvailable) {
-  BoundedQueue<int> q(2);
+TYPED_TEST(QueueContract, PushForEnqueuesWhenSpaceAvailable) {
+  TypeParam q(2);
   EXPECT_EQ(q.push_for(1, std::chrono::milliseconds(1)), PushOutcome::Ok);
   EXPECT_EQ(q.pop(), 1);
   EXPECT_EQ(q.stats().stalled_pushes, 0);
 }
 
-TEST(BoundedQueue, PushForTimesOutAgainstFullQueue) {
-  BoundedQueue<int> q(1);
+TYPED_TEST(QueueContract, PushForTimesOutAgainstFullQueue) {
+  TypeParam q(1);
   q.push(1);
   const auto t0 = std::chrono::steady_clock::now();
   EXPECT_EQ(q.push_for(2, std::chrono::milliseconds(30)), PushOutcome::Timeout);
@@ -167,13 +224,13 @@ TEST(BoundedQueue, PushForTimesOutAgainstFullQueue) {
   EXPECT_EQ(q.size(), 0u);
 }
 
-TEST(BoundedQueue, PushForReportsClosed) {
-  BoundedQueue<int> q(1);
+TYPED_TEST(QueueContract, PushForReportsClosed) {
+  TypeParam q(1);
   q.close();
   EXPECT_EQ(q.push_for(1, std::chrono::milliseconds(1)), PushOutcome::Closed);
 
   // Closing while a timed push waits also unblocks it with Closed.
-  BoundedQueue<int> full(1);
+  TypeParam full(1);
   full.push(1);
   std::thread closer([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -183,8 +240,8 @@ TEST(BoundedQueue, PushForReportsClosed) {
   closer.join();
 }
 
-TEST(BoundedQueue, PushForSucceedsWhenSlotFreesUp) {
-  BoundedQueue<int> q(1);
+TYPED_TEST(QueueContract, PushForSucceedsWhenSlotFreesUp) {
+  TypeParam q(1);
   q.push(1);
   std::thread consumer([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -195,8 +252,8 @@ TEST(BoundedQueue, PushForSucceedsWhenSlotFreesUp) {
   EXPECT_EQ(q.pop(), 2);
 }
 
-TEST(BoundedQueue, PushForStallAccountingIsOptional) {
-  BoundedQueue<int> q(1);
+TYPED_TEST(QueueContract, PushForStallAccountingIsOptional) {
+  TypeParam q(1);
   q.push(1);
   // A retry loop counts the stall once (first slice), not per slice: the
   // executor passes count_stall=false on follow-up slices.
@@ -208,8 +265,8 @@ TEST(BoundedQueue, PushForStallAccountingIsOptional) {
   EXPECT_GT(s.stall_seconds, 0.0);  // waited time is always accounted
 }
 
-TEST(BoundedQueue, TryPopIsNonBlockingAndFreesASlot) {
-  BoundedQueue<int> q(1);
+TYPED_TEST(QueueContract, TryPopIsNonBlockingAndFreesASlot) {
+  TypeParam q(1);
   EXPECT_EQ(q.try_pop(), std::nullopt);  // empty: returns immediately
   q.push(7);
   std::atomic<bool> unblocked{false};
@@ -226,6 +283,113 @@ TEST(BoundedQueue, TryPopIsNonBlockingAndFreesASlot) {
 
   q.close();
   EXPECT_EQ(q.try_pop(), std::nullopt);  // closed and drained
+}
+
+// --- factory / adapter ----------------------------------------------------
+
+TEST(MakeQueue, BuildsTheSelectedImplementation) {
+  auto locked = make_queue<int>(QueueImpl::Locked, 4);
+  auto mpmc = make_queue<int>(QueueImpl::Mpmc, 4);
+  EXPECT_EQ(locked->impl(), QueueImpl::Locked);
+  EXPECT_EQ(mpmc->impl(), QueueImpl::Mpmc);
+  for (QueueInterface<int>* q : {locked.get(), mpmc.get()}) {
+    EXPECT_EQ(q->capacity(), 4u);
+    EXPECT_TRUE(q->push(1));
+    EXPECT_EQ(q->push_for(2, std::chrono::milliseconds(1), true), PushOutcome::Ok);
+    EXPECT_EQ(q->pop(), 1);
+    EXPECT_EQ(q->try_pop(), 2);
+    q->close();
+    EXPECT_FALSE(q->push(3));
+    EXPECT_EQ(q->pop(), std::nullopt);
+  }
+}
+
+TEST(QueueImplNames, RoundTripAndErrors) {
+  EXPECT_EQ(queue_impl_name(QueueImpl::Locked), "locked");
+  EXPECT_EQ(queue_impl_name(QueueImpl::Mpmc), "mpmc");
+  EXPECT_EQ(queue_impl_from_name("locked"), QueueImpl::Locked);
+  EXPECT_EQ(queue_impl_from_name("mpmc"), QueueImpl::Mpmc);
+  EXPECT_THROW(queue_impl_from_name("lockfree"), std::runtime_error);
+}
+
+// --- trace equivalence property -------------------------------------------
+//
+// Both implementations must be observationally identical for any
+// single-threaded op trace: same PushOutcome sequence, same popped values,
+// same sizes, same stalled_pushes/max_depth accounting. (stall_seconds is
+// wall time and excluded.) Traces avoid ops that would block forever in one
+// thread: blocking push only when the queue has room or is closed, pop only
+// when non-empty or closed; timed pushes use a tiny timeout so a full queue
+// reports Timeout instead of hanging.
+
+enum class Op { Push, PushFor, PushForNoStall, TryPop, Pop, Close, Size };
+
+template <typename Q>
+std::string step(Q& q, Op op, int value) {
+  switch (op) {
+    case Op::Push:
+      return q.push(value) ? "push:ok" : "push:closed";
+    case Op::PushFor:
+    case Op::PushForNoStall: {
+      const PushOutcome r = q.push_for(value, std::chrono::microseconds(50),
+                                       op == Op::PushFor);
+      return r == PushOutcome::Ok       ? "push_for:ok"
+             : r == PushOutcome::Closed ? "push_for:closed"
+                                        : "push_for:timeout";
+    }
+    case Op::TryPop: {
+      auto v = q.try_pop();
+      return v ? "try_pop:" + std::to_string(*v) : "try_pop:none";
+    }
+    case Op::Pop: {
+      auto v = q.pop();
+      return v ? "pop:" + std::to_string(*v) : "pop:none";
+    }
+    case Op::Close:
+      q.close();
+      return "close";
+    case Op::Size:
+      return "size:" + std::to_string(q.size());
+  }
+  return "?";
+}
+
+TEST(QueueTraceEquivalence, RandomTracesMatchAcrossImplementations) {
+  for (unsigned seed = 1; seed <= 50; ++seed) {
+    std::mt19937 rng(seed * 48271u);
+    const std::size_t capacity = 1 + rng() % 6;
+    BoundedQueue<int> locked(capacity);
+    MpmcQueue<int> mpmc(capacity);
+    SCOPED_TRACE("seed " + std::to_string(seed) + " capacity " +
+                 std::to_string(capacity));
+
+    bool closed = false;
+    std::size_t depth = 0;  // tracked to keep blocking ops from hanging
+    int next_value = 0;
+    for (int i = 0; i < 200; ++i) {
+      Op op = static_cast<Op>(rng() % 7);
+      if (op == Op::Push && depth >= capacity && !closed) op = Op::PushFor;
+      if (op == Op::Pop && depth == 0 && !closed) op = Op::TryPop;
+      const int value = next_value++;
+
+      const std::string a = step(locked, op, value);
+      const std::string b = step(mpmc, op, value);
+      EXPECT_EQ(a, b) << "op " << i << " diverged";
+      if (a != b) return;
+
+      if (op == Op::Close) closed = true;
+      if ((op == Op::Push || op == Op::PushFor || op == Op::PushForNoStall) &&
+          a.ends_with(":ok")) {
+        depth++;
+      }
+      if ((op == Op::TryPop || op == Op::Pop) && !a.ends_with(":none")) depth--;
+    }
+
+    const QueueStats sa = locked.stats();
+    const QueueStats sb = mpmc.stats();
+    EXPECT_EQ(sa.max_depth, sb.max_depth);
+    EXPECT_EQ(sa.stalled_pushes, sb.stalled_pushes);
+  }
 }
 
 }  // namespace

@@ -1,9 +1,22 @@
 #!/usr/bin/env python3
-"""Perf-baseline guard for the kernel micro-benchmarks (no third-party deps).
+"""Perf-baseline guard for the committed micro-benchmarks (no third-party deps).
 
 Works on `h4d-bench-metrics-v1` documents whose runs carry flat
-`h4d-micro-v1` metrics, as emitted by `bench/micro_glcm --json` and
-`bench/micro_features --json` (see bench/micro_common.hpp).
+`h4d-micro-v1` metrics, as emitted by `bench/micro_glcm --json`,
+`bench/micro_features --json` and `bench/micro_queue --json`
+(see bench/micro_common.hpp). The document's `figure` names the baseline
+family and selects which invariants apply:
+
+  bench_kernel   (BENCH_kernel.json)
+      * kernel pair-update throughput >= 3x the reference on the paper
+        configuration;
+      * the fused end-to-end ROI path is not slower than the reference
+        sparse path.
+  bench_queue    (BENCH_queue.json)
+      * the lock-free MPMC inbox moves >= 2x the items/sec of the
+        mutex+condvar queue at 4 producers / 4 consumers.
+
+All gates run on the committed numbers, so they are deterministic in CI.
 
 Modes:
 
@@ -13,15 +26,11 @@ Modes:
 
   tools/check_bench.py BASELINE.json [--fresh FRESH.json ...]
                        [--regression-factor 2.0]
-      Check the committed baseline's invariants:
-        * kernel pair-update throughput >= 3x the reference on the paper
-          configuration (the PR's acceptance gate, from the committed
-          numbers — deterministic);
-        * the fused end-to-end ROI path is not slower than the reference
-          sparse path.
+      Check the committed baseline's figure-specific invariants.
       With --fresh, additionally compare a just-measured run against the
       baseline: any label present in both must not be slower than
-      baseline * regression-factor. The factor is deliberately generous
+      baseline * regression-factor (on ns_per_roi or ns_per_op, whichever
+      the baseline row carries). The factor is deliberately generous
       (default 2x) because CI machines are noisy; the point is to catch a
       real regression (kernel silently falling back to the slow path),
       not a 20% wobble.
@@ -40,6 +49,15 @@ FUSED_LABELS = (f"roi_reference_sparse/{PAPER_CONFIG}",
                 f"roi_kernel_fused/{PAPER_CONFIG}")
 MIN_SPEEDUP = 3.0
 
+# bench_queue: committed shape the MPMC-vs-locked gate applies to (the bench
+# also emits 1p1c/2p2c rows; those are informational).
+QUEUE_GATE_SHAPE = "4p4c"
+QUEUE_MIN_SPEEDUP = 2.0
+
+# Time-per-unit metrics (lower is better) eligible for --fresh regression
+# comparison, in preference order per label.
+REGRESSION_METRICS = ("ns_per_roi", "ns_per_op")
+
 ERRORS: list[str] = []
 
 
@@ -47,16 +65,20 @@ def err(msg: str) -> None:
     ERRORS.append(msg)
 
 
-def load_runs(path: str) -> dict[str, dict[str, float]]:
-    """label -> flat metrics dict, or {} on structural failure."""
+def load_runs(path: str) -> tuple[str, dict[str, dict[str, float]]]:
+    """(figure, label -> flat metrics dict); ("", {}) on structural failure."""
     try:
         doc = json.load(open(path, encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as e:
         err(f"{path}: unreadable or invalid JSON: {e}")
-        return {}
+        return "", {}
     if not isinstance(doc, dict) or doc.get("schema") != "h4d-bench-metrics-v1":
         err(f"{path}: not an h4d-bench-metrics-v1 document")
-        return {}
+        return "", {}
+    figure = doc.get("figure")
+    if not isinstance(figure, str):
+        err(f"{path}: missing figure name")
+        figure = ""
     out: dict[str, dict[str, float]] = {}
     for i, r in enumerate(doc.get("runs") or []):
         if not isinstance(r, dict) or not isinstance(r.get("label"), str):
@@ -73,14 +95,14 @@ def load_runs(path: str) -> dict[str, dict[str, float]]:
                       if isinstance(v, (int, float)) and k != "schema"}
     if not out:
         err(f"{path}: no usable runs")
-    return out
+    return figure, out
 
 
 def merge(out_path: str, in_paths: list[str]) -> int:
     runs: list[dict] = []
     seen: set[str] = set()
     for p in in_paths:
-        for label, metrics in load_runs(p).items():
+        for label, metrics in load_runs(p)[1].items():
             if label in seen:
                 err(f"{p}: label {label} already present in an earlier input")
                 continue
@@ -138,18 +160,53 @@ def check_baseline_invariants(runs: dict[str, dict[str, float]],
                     f"({f_ns:.0f} ns vs {r_ns:.0f} ns)")
 
 
+def check_queue_invariants(runs: dict[str, dict[str, float]],
+                           path: str) -> None:
+    """BENCH_queue.json: mpmc must move >= 2x locked's items/sec at 4p/4c.
+
+    Labels carry the committed capacity (queue_mpmc/4p4c_cap1024), so the
+    gate pair is located by shape prefix rather than a hardcoded capacity —
+    retuning the committed configuration does not require editing this file.
+    """
+    def gate_row(impl: str) -> tuple[str, dict[str, float]] | None:
+        prefix = f"queue_{impl}/{QUEUE_GATE_SHAPE}"
+        hits = [(lb, m) for lb, m in sorted(runs.items())
+                if lb.startswith(prefix)]
+        if len(hits) != 1:
+            err(f"{path}: expected exactly one {prefix}* row, got {len(hits)}")
+            return None
+        return hits[0]
+
+    locked = gate_row("locked")
+    mpmc = gate_row("mpmc")
+    if locked is None or mpmc is None:
+        return
+    locked_ops = locked[1].get("ops_per_sec", 0.0)
+    mpmc_ops = mpmc[1].get("ops_per_sec", 0.0)
+    if locked_ops <= 0 or mpmc_ops <= 0:
+        err(f"{path}: queue gate rows missing ops_per_sec")
+        return
+    speedup = mpmc_ops / locked_ops
+    print(f"  gate: {mpmc[0]} {mpmc_ops:.3e} vs {locked[0]} {locked_ops:.3e} "
+          f"items/s -> {speedup:.2f}x (need >= {QUEUE_MIN_SPEEDUP}x)")
+    if speedup < QUEUE_MIN_SPEEDUP:
+        err(f"{path}: mpmc speedup {speedup:.2f}x < {QUEUE_MIN_SPEEDUP}x "
+            f"at {QUEUE_GATE_SHAPE}")
+
+
 def check_regression(baseline: dict[str, dict[str, float]],
                      fresh: dict[str, dict[str, float]], fresh_path: str,
                      factor: float) -> None:
     compared = 0
     for label, base_m in sorted(baseline.items()):
-        base_ns = base_m.get("ns_per_roi")
+        metric = next((m for m in REGRESSION_METRICS if m in base_m), None)
         fresh_m = fresh.get(label)
-        if base_ns is None or fresh_m is None:
+        if metric is None or fresh_m is None:
             continue
-        fresh_ns = fresh_m.get("ns_per_roi")
+        base_ns = base_m[metric]
+        fresh_ns = fresh_m.get(metric)
         if fresh_ns is None:
-            err(f"{fresh_path}: {label}: baseline has ns_per_roi, fresh lost it")
+            err(f"{fresh_path}: {label}: baseline has {metric}, fresh lost it")
             continue
         compared += 1
         ratio = fresh_ns / base_ns
@@ -195,12 +252,17 @@ def main(argv: list[str]) -> int:
             print(f"error: unknown argument {argv[i]}", file=sys.stderr)
             return 2
 
-    baseline = load_runs(baseline_path)
+    figure, baseline = load_runs(baseline_path)
     if baseline:
-        print(f"baseline {baseline_path} ({len(baseline)} runs):")
-        check_baseline_invariants(baseline, baseline_path)
+        print(f"baseline {baseline_path} (figure {figure}, {len(baseline)} runs):")
+        if figure == "bench_queue":
+            check_queue_invariants(baseline, baseline_path)
+        elif figure == "bench_kernel":
+            check_baseline_invariants(baseline, baseline_path)
+        else:
+            err(f"{baseline_path}: no invariants known for figure {figure!r}")
         for fp in fresh_paths:
-            fresh = load_runs(fp)
+            fresh = load_runs(fp)[1]
             if fresh:
                 print(f"fresh {fp} vs baseline:")
                 check_regression(baseline, fresh, fp, factor)

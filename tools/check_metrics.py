@@ -175,6 +175,14 @@ def check_metrics_object(doc: object, path: str, where: str = "") -> None:
     if require(isinstance(ex, dict), path, f"{where}: missing execution object"):
         for k in EXECUTION_COUNTER_KEYS:
             require(isinstance(ex.get(k), int), path, f"{where}: execution.{k} missing")
+        # Hot-queue accounting (--queue flag; "none" for the simulated engine).
+        impl = ex.get("queue_impl")
+        require(impl in ("none", "locked", "mpmc"), path,
+                f"{where}: execution.queue_impl invalid ({impl!r})")
+        for k in ("queue_stalled_pushes", "queue_max_depth"):
+            require(isinstance(ex.get(k), int), path, f"{where}: execution.{k} missing")
+        require(isinstance(ex.get("queue_stall_seconds"), (int, float)), path,
+                f"{where}: execution.queue_stall_seconds missing")
         for k in ("quarantined", "incidents"):
             require(isinstance(ex.get(k), list), path,
                     f"{where}: execution.{k} is not an array")
