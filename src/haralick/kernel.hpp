@@ -48,6 +48,18 @@ namespace detail {
 struct Gathered;
 }  // namespace detail
 
+/// How the fused feature sweep evaluates its floating-point terms.
+///
+/// Strict replays the reference sparse path cell-for-cell: one interleaved
+/// scalar loop, libm log, true divisions — bit-identical to
+/// compute_features(SparseGlcm::from_dense(g)). Fast gathers the non-zero
+/// cells into SoA term arrays and reduces them with SIMD-annotated loops
+/// (see simd.hpp) using the fast_log polynomial for the entropy terms;
+/// results agree with Strict to ~1e-10 relative (property-tested). The
+/// engine runs Fast by default; Strict remains for verification and for
+/// callers that need exact reference bits.
+enum class SweepMode { Strict, Fast };
+
 /// Reusable per-thread working state of the kernel: the two-bank uint16
 /// co-occurrence tile, its 32-bit spill table, and the feature sweep's
 /// marginal buffers. One instance per worker thread / filter copy; reused
@@ -79,16 +91,19 @@ class KernelScratch {
   void finalize_add(Glcm& g);
 
   /// Fused feature pass: one sweep over the non-zero upper cells computing
-  /// every gathered quantity; bit-identical to
-  /// compute_features(SparseGlcm::from_dense(dense), set, wc) on the dense
-  /// matrix this tile folds to. Resets the tile for the next ROI.
+  /// every gathered quantity; in SweepMode::Strict (the default) it is
+  /// bit-identical to compute_features(SparseGlcm::from_dense(dense), set,
+  /// wc) on the dense matrix this tile folds to, while SweepMode::Fast runs
+  /// the SoA/SIMD reductions (ULP-bounded agreement; see SweepMode). Resets
+  /// the tile for the next ROI.
   ///
   /// `wc` is credited exactly as the reference sparse path would be
   /// (entries emitted, Ng^2 modeled compress cells, cells scanned/ops), so
   /// simulator calibration is unchanged. When `sparse_out` is non-null it
   /// receives the SparseGlcm built by the same sweep.
   FeatureVector features_fused(FeatureSet set, WorkCounters* wc = nullptr,
-                               SparseGlcm* sparse_out = nullptr);
+                               SparseGlcm* sparse_out = nullptr,
+                               SweepMode mode = SweepMode::Strict);
 
   /// Total pair observations currently in the tile (2 per pair, matching
   /// Glcm::total()).
@@ -116,6 +131,11 @@ class KernelScratch {
   // Feature-sweep buffers (owned here so workers reuse them across chunks).
   std::unique_ptr<detail::Gathered> gathered_;
   std::vector<SparseEntry> entries_;
+
+  // SoA cell-term arrays of the fast sweep: per non-zero upper cell its
+  // levels (as doubles for the reductions), probability, and symmetry
+  // weight. Sized to the sweep's nnz; reused across ROIs.
+  std::vector<double> soa_i_, soa_j_, soa_p_, soa_w_;
 };
 
 }  // namespace h4d::haralick

@@ -85,8 +85,9 @@ std::vector<FeatureBlock> analyze_chunk(Vol4View<const Level> chunk_view,
   // Per-ROI matrix + feature evaluation through the kernel: accumulate the
   // upper-triangle tile, then either fold to the dense table (Full) or run
   // the fused non-zero sweep which also stands in for the sparse conversion
-  // (Sparse). Results are bit-identical to features_of on a reference-built
-  // Glcm (property-tested in test_kernel).
+  // (Sparse). With cfg.sweep_mode == SweepMode::Strict results are
+  // bit-identical to features_of on a reference-built Glcm (property-tested
+  // in test_kernel); the Fast default agrees to ~1e-10 relative.
   Glcm dense_scratch(cfg.num_levels);
   const auto kernel_features_of_roi = [&](const Region4& roi,
                                           const std::vector<Vec4>& dv) {
@@ -96,7 +97,7 @@ std::vector<FeatureBlock> analyze_chunk(Vol4View<const Level> chunk_view,
       wc->matrices_built += 1;
     }
     if (cfg.representation == Representation::Sparse) {
-      return ks.features_fused(cfg.features, wc);
+      return ks.features_fused(cfg.features, wc, nullptr, cfg.sweep_mode);
     }
     dense_scratch.clear();
     ks.finalize_add(dense_scratch);
@@ -133,7 +134,10 @@ std::vector<FeatureBlock> analyze_chunk(Vol4View<const Level> chunk_view,
           wc->matrices_built += 1;
         }
         sliding_updates_before = sliding->updates_performed();
-        fv = features_of(sliding->glcm());
+        // Finalize from the incrementally maintained count-space
+        // accumulators — O(Ng) plus the entropy occupancy scan — instead
+        // of re-walking the matrix through features_of.
+        fv = sliding->features(cfg.features, wc, cfg.sweep_mode);
       } else {
         fv = kernel_features_of_roi(roi, dirs);
       }
@@ -158,11 +162,11 @@ std::vector<FeatureBlock> analyze_chunk(Vol4View<const Level> chunk_view,
         }
         first = false;
       }
-      const auto n = static_cast<double>(dirs.size());
+      const auto ndirs = static_cast<double>(dirs.size());
       for (int s = 0; s < kNumFeatures; ++s) {
         const auto idx = static_cast<std::size_t>(s);
         fv.value[idx] = cfg.direction_mode == DirectionMode::MeanOverDirections
-                            ? sum.value[idx] / n
+                            ? sum.value[idx] / ndirs
                             : hi.value[idx] - lo.value[idx];
       }
     }

@@ -12,6 +12,7 @@
 #include "haralick/features.hpp"
 #include "haralick/glcm.hpp"
 #include "haralick/glcm_sparse.hpp"
+#include "haralick/kernel.hpp"
 #include "nd/chunking.hpp"
 #include "nd/quantize.hpp"
 #include "nd/region.hpp"
@@ -49,6 +50,12 @@ struct EngineConfig {
   /// Per-direction aggregation. Non-pooled modes build one matrix per
   /// direction (|dirs| times the construction work).
   DirectionMode direction_mode = DirectionMode::Pooled;
+
+  /// Floating-point mode of the fused feature sweep (Sparse representation
+  /// only). Fast (default) uses the SoA/SIMD reductions and the fast_log
+  /// polynomial — agreement with Strict is ULP-bounded (~1e-10 relative);
+  /// Strict is bit-identical to the reference sparse feature pass.
+  SweepMode sweep_mode = SweepMode::Fast;
 
   /// Directions, with the default applied.
   std::vector<Vec4> effective_directions() const;

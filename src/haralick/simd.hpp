@@ -1,0 +1,19 @@
+// SIMD loop annotations for the feature-pass kernels.
+//
+// Built with -DH4D_SIMD=1 (CMake option H4D_SIMD, default ON) the macros
+// expand to `#pragma omp simd` forms, compiled with -fopenmp-simd — the
+// pragmas vectorize loops but pull in no OpenMP runtime. With the option OFF
+// they expand to nothing and every annotated loop runs scalar; CI builds and
+// tests both variants. The annotations are only placed on loops whose result
+// does not depend on evaluation order beyond what the strict-mode contract
+// already allows (see docs/KERNEL.md).
+#pragma once
+
+#if defined(H4D_SIMD) && H4D_SIMD
+#define H4D_PRAGMA_(x) _Pragma(#x)
+#define H4D_PRAGMA_SIMD _Pragma("omp simd")
+#define H4D_PRAGMA_SIMD_REDUCE(var) H4D_PRAGMA_(omp simd reduction(+ : var))
+#else
+#define H4D_PRAGMA_SIMD
+#define H4D_PRAGMA_SIMD_REDUCE(var)
+#endif

@@ -1,6 +1,11 @@
 #include "haralick/sliding.hpp"
 
+#include <cmath>
+#include <cstdlib>
 #include <stdexcept>
+
+#include "haralick/fast_log.hpp"
+#include "haralick/features_detail.hpp"
 
 namespace h4d::haralick {
 
@@ -33,8 +38,120 @@ void SlidingGlcm::reset(const Vec4& origin) {
   }
   glcm_.clear();
   updates_ += glcm_.accumulate(vol_, roi, dirs_, &scratch_);
+  rebuild_accumulators();
   origin_ = origin;
   positioned_ = true;
+}
+
+void SlidingGlcm::rebuild_accumulators() {
+  const int ng = glcm_.num_levels();
+  cx_.assign(static_cast<std::size_t>(ng), 0);
+  csum_.assign(static_cast<std::size_t>(2 * ng - 1), 0);
+  cdiff_.assign(static_cast<std::size_t>(ng), 0);
+  s2_ = 0;
+  sixj_ = 0;
+  const std::uint32_t* c = glcm_.counts();
+  for (int i = 0; i < ng; ++i) {
+    const std::uint32_t* row = c + static_cast<std::size_t>(i) * static_cast<std::size_t>(ng);
+    for (int j = 0; j < ng; ++j) {
+      const auto v = static_cast<std::int64_t>(row[j]);
+      if (v == 0) continue;
+      cx_[static_cast<std::size_t>(i)] += v;
+      csum_[static_cast<std::size_t>(i + j)] += v;
+      cdiff_[static_cast<std::size_t>(std::abs(i - j))] += v;
+      s2_ += v * v;
+      sixj_ += v * i * j;
+    }
+  }
+}
+
+void SlidingGlcm::bump(Level a, Level b, int sign) {
+  const auto s = static_cast<std::int64_t>(sign);
+  const auto c = static_cast<std::int64_t>(glcm_.adjust_pair_counted(a, b, sign));
+  const auto ia = static_cast<std::int64_t>(a);
+  const auto ib = static_cast<std::int64_t>(b);
+  if (a == b) {
+    cx_[static_cast<std::size_t>(a)] += 2 * s;
+    s2_ += 4 * s * (c + s);  // one cell moves by 2s: (c+2s)^2 - c^2
+  } else {
+    cx_[static_cast<std::size_t>(a)] += s;
+    cx_[static_cast<std::size_t>(b)] += s;
+    s2_ += 2 * s * (2 * c + s);  // two mirror cells each move by s
+  }
+  csum_[static_cast<std::size_t>(ia + ib)] += 2 * s;
+  cdiff_[static_cast<std::size_t>(ia > ib ? ia - ib : ib - ia)] += 2 * s;
+  sixj_ += 2 * s * ia * ib;
+  updates_ += 2;
+}
+
+FeatureVector SlidingGlcm::features(FeatureSet set, WorkCounters* wc, SweepMode mode) const {
+  if (!positioned_) throw std::logic_error("SlidingGlcm::features before reset");
+  const int ng = glcm_.num_levels();
+  const std::int64_t total = glcm_.total();
+  const detail::Needs needs = detail::analyse(set);
+
+  detail::Gathered g;
+  g.reset(ng);
+  if (total > 0) {
+    const double inv = 1.0 / static_cast<double>(total);
+    for (int i = 0; i < ng; ++i) {
+      g.px[static_cast<std::size_t>(i)] =
+          static_cast<double>(cx_[static_cast<std::size_t>(i)]) * inv;
+    }
+    if (needs.marg_sum) {
+      for (int k = 0; k < 2 * ng - 1; ++k) {
+        g.psum[static_cast<std::size_t>(k)] =
+            static_cast<double>(csum_[static_cast<std::size_t>(k)]) * inv;
+      }
+    }
+    if (needs.marg_diff) {
+      for (int k = 0; k < ng; ++k) {
+        g.pdiff[static_cast<std::size_t>(k)] =
+            static_cast<double>(cdiff_[static_cast<std::size_t>(k)]) * inv;
+      }
+    }
+    g.asm_sum = static_cast<double>(s2_) * inv * inv;
+    g.ixj = static_cast<double>(sixj_) * inv;
+    if (needs.cell_idm) {
+      double idm = 0.0;
+      for (int k = 0; k < ng; ++k) {
+        idm += static_cast<double>(cdiff_[static_cast<std::size_t>(k)]) /
+               (1.0 + static_cast<double>(k) * static_cast<double>(k));
+      }
+      g.idm = idm * inv;
+    }
+    if (needs.cell_entropy) {
+      // HXY in count space: -sum p log p = log T - (sum c log c) / T. The
+      // log of the integer counts is the only transcendental work, and
+      // cells with c <= 1 contribute log(1) = 0 exactly.
+      const std::uint32_t* cells = glcm_.counts();
+      const auto n = static_cast<std::size_t>(ng) * static_cast<std::size_t>(ng);
+      double clogc = 0.0;
+      std::int64_t nnz = 0;
+      if (mode == SweepMode::Fast) {
+        for (std::size_t k = 0; k < n; ++k) {
+          const double v = cells[k];
+          if (v == 0.0) continue;
+          ++nnz;
+          if (v > 1.0) clogc += v * fast_log(v);
+        }
+        g.entropy = fast_log(static_cast<double>(total)) - clogc * inv;
+      } else {
+        for (std::size_t k = 0; k < n; ++k) {
+          const double v = cells[k];
+          if (v == 0.0) continue;
+          ++nnz;
+          if (v > 1.0) clogc += v * std::log(v);
+        }
+        g.entropy = std::log(static_cast<double>(total)) - clogc * inv;
+      }
+      if (wc != nullptr) {
+        wc->feature_cells_scanned += static_cast<std::int64_t>(n);
+        wc->feature_cell_ops += nnz;
+      }
+    }
+  }
+  return detail::finalize(g, set, &glcm_, nullptr, wc);
 }
 
 void SlidingGlcm::slide(int axis) {
@@ -89,15 +206,22 @@ void SlidingGlcm::apply_plane(const Vec4& roi_origin, int axis, std::int64_t pla
           ahi[k] = alo[k];  // empty
         }
       }
-      Vec4 p;
-      for (p[3] = alo[3]; p[3] < ahi[3]; ++p[3]) {
-        for (p[2] = alo[2]; p[2] < ahi[2]; ++p[2]) {
-          for (p[1] = alo[1]; p[1] < ahi[1]; ++p[1]) {
-            for (p[0] = alo[0]; p[0] < ahi[0]; ++p[0]) {
-              const Level a = vol_.at(p);
-              const Level b = vol_.at(p + d);
-              glcm_.adjust_pair(a, b, sign);
-              updates_ += 2;
+      // Walk the anchor box with incremental pointers: the partner voxel
+      // sits at a constant stride offset, so the inner loops do no index
+      // arithmetic beyond pointer bumps.
+      const Vec4 st = vol_.strides();
+      const std::int64_t doff =
+          d[0] * st[0] + d[1] * st[1] + d[2] * st[2] + d[3] * st[3];
+      const Level* base = vol_.data() + alo[0] * st[0] + alo[1] * st[1] +
+                          alo[2] * st[2] + alo[3] * st[3];
+      for (std::int64_t t = alo[3]; t < ahi[3]; ++t, base += st[3]) {
+        const Level* pz = base;
+        for (std::int64_t z = alo[2]; z < ahi[2]; ++z, pz += st[2]) {
+          const Level* py = pz;
+          for (std::int64_t y = alo[1]; y < ahi[1]; ++y, py += st[1]) {
+            const Level* px = py;
+            for (std::int64_t x = alo[0]; x < ahi[0]; ++x, px += st[0]) {
+              bump(px[0], px[doff], sign);
             }
           }
         }

@@ -7,10 +7,29 @@
 // along x this is a ~7x reduction in pair updates. The engine can use this
 // via EngineConfig::sliding_window; results are bit-identical to the
 // from-scratch path (property-tested).
+//
+// Beyond the matrix itself, SlidingGlcm maintains the polynomial feature
+// sums in integer count space, so a one-voxel move also updates the feature
+// accumulators by boundary deltas and features() can finalize in O(Ng)
+// without re-walking the matrix (docs/KERNEL.md Sec. 5). For a symmetric
+// pair adjustment (a, b, s) — cells (a,b) and (b,a) both change by s — the
+// deltas are:
+//
+//   cx[a]    += s, cx[b] += s        (row marginal;           +2s if a == b)
+//   csum[a+b]  += 2s                 (p_{x+y} numerator)
+//   cdiff[|a-b|] += 2s               (p_{x-y} numerator)
+//   s2   += 2s(2c + s)               (sum c^2; 4s(c + s) if a == b)
+//   sixj += 2s*a*b                   (sum i*j*c)
+//
+// with c the pre-update count of cell (a,b). All accumulators are exact
+// int64 functions of the current counts — independent of the walk history —
+// so slide()d and reset() states finalize to identical doubles.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "haralick/features.hpp"
 #include "haralick/glcm.hpp"
 #include "haralick/kernel.hpp"
 
@@ -36,6 +55,20 @@ class SlidingGlcm {
   const Vec4& origin() const { return origin_; }
   bool positioned() const { return positioned_; }
 
+  /// Finalize the selected features from the incrementally maintained
+  /// accumulators: O(Ng) marginal loops plus one occupancy scan for the
+  /// entropy terms (only when an entropy-family feature is selected) and
+  /// the f14 eigensolve. Requires a positioned window.
+  ///
+  /// `mode` selects the log flavor of the entropy scan: Strict uses
+  /// std::log, Fast the fast_log polynomial (~1e-10 relative agreement).
+  /// Either way the result is a pure function of the current counts, so it
+  /// is EXACTLY equal — every bit — to calling features() on a freshly
+  /// reset() window at the same origin (property-tested in
+  /// test_sliding_incremental).
+  FeatureVector features(FeatureSet set, WorkCounters* wc = nullptr,
+                         SweepMode mode = SweepMode::Fast) const;
+
   /// Pair updates performed since construction (cost accounting; one update
   /// is one symmetric count adjustment, matching Glcm::accumulate's units).
   std::int64_t updates_performed() const { return updates_; }
@@ -46,7 +79,12 @@ class SlidingGlcm {
   /// at `roi_origin`.
   void apply_plane(const Vec4& roi_origin, int axis, std::int64_t plane_coord, int sign);
 
+  /// One symmetric pair adjustment: updates the matrix AND the count-space
+  /// feature accumulators by the deltas in the header comment.
   void bump(Level a, Level b, int sign);
+
+  /// Recompute the count-space accumulators from glcm_ (after reset()).
+  void rebuild_accumulators();
 
   Vol4View<const Level> vol_;
   Vec4 roi_dims_;
@@ -56,6 +94,15 @@ class SlidingGlcm {
   Vec4 origin_{};
   bool positioned_ = false;
   std::int64_t updates_ = 0;
+
+  // Count-space feature accumulators (see header comment). Exact integers;
+  // safe while total() stays below ~3e9, the same bound the uint32 cell
+  // counts already impose.
+  std::vector<std::int64_t> cx_;     // row marginals, size Ng
+  std::vector<std::int64_t> csum_;   // sum-histogram, size 2Ng-1
+  std::vector<std::int64_t> cdiff_;  // |difference|-histogram, size Ng
+  std::int64_t s2_ = 0;              // sum of squared cell counts
+  std::int64_t sixj_ = 0;            // sum of i*j*count
 };
 
 }  // namespace h4d::haralick

@@ -79,6 +79,99 @@ TEST(Eigen, SortedDescending) {
   for (std::size_t i = 1; i < e.size(); ++i) EXPECT_GE(e[i - 1], e[i]);
 }
 
+TEST(EigenFast, MatchesJacobiOracleOnRandomSymmetric) {
+  // The tridiagonal QL path must agree with the Jacobi oracle to tight
+  // absolute tolerance across sizes spanning the f14 support range.
+  std::mt19937_64 rng(2026);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  for (int n : {1, 2, 3, 5, 16, 32, 64}) {
+    std::vector<double> a(static_cast<std::size_t>(n) * n);
+    for (int i = 0; i < n; ++i)
+      for (int j = i; j < n; ++j) {
+        const double v = u(rng);
+        a[static_cast<std::size_t>(i) * n + j] = v;
+        a[static_cast<std::size_t>(j) * n + i] = v;
+      }
+    const auto slow = symmetric_eigenvalues(a, n);
+    const auto fast = symmetric_eigenvalues_fast(a, n);
+    ASSERT_EQ(slow.size(), fast.size()) << "n=" << n;
+    for (std::size_t i = 0; i < slow.size(); ++i) {
+      EXPECT_NEAR(fast[i], slow[i], 1e-9) << "n=" << n << " idx=" << i;
+    }
+  }
+}
+
+TEST(EigenFast, MatchesJacobiOnPsdGramMatrices) {
+  // f14 feeds S = A A^T (PSD, spectral radius 1). Cross-check on that shape.
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (int n : {4, 8, 32}) {
+    std::vector<double> b(static_cast<std::size_t>(n) * n);
+    for (double& v : b) v = u(rng);
+    std::vector<double> s(static_cast<std::size_t>(n) * n, 0.0);
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (int k = 0; k < n; ++k)
+          acc += b[static_cast<std::size_t>(i) * n + k] * b[static_cast<std::size_t>(j) * n + k];
+        s[static_cast<std::size_t>(i) * n + j] = acc;
+      }
+    const auto slow = symmetric_eigenvalues(s, n);
+    const auto fast = symmetric_eigenvalues_fast(s, n);
+    for (std::size_t i = 0; i < slow.size(); ++i) {
+      EXPECT_NEAR(fast[i], slow[i], 1e-8) << "n=" << n << " idx=" << i;
+    }
+  }
+}
+
+TEST(EigenFast, EdgeCasesAndErrors) {
+  EXPECT_TRUE(symmetric_eigenvalues_fast({}, 0).empty());
+  const auto one = symmetric_eigenvalues_fast({4.0}, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0], 4.0);
+  const auto diag = symmetric_eigenvalues_fast({3, 0, 0, 0, 1, 0, 0, 0, 2}, 3);
+  EXPECT_NEAR(diag[0], 3.0, 1e-12);
+  EXPECT_NEAR(diag[1], 2.0, 1e-12);
+  EXPECT_NEAR(diag[2], 1.0, 1e-12);
+  EXPECT_THROW(symmetric_eigenvalues_fast({1, 2, 3}, 2), std::invalid_argument);
+  EXPECT_THROW(symmetric_eigenvalues_fast({1}, -1), std::invalid_argument);
+}
+
+TEST(EigenLambda2, MatchesJacobiSecondEigenvalue) {
+  std::mt19937_64 rng(5150);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  for (int n : {2, 3, 8, 22, 32, 64}) {
+    std::vector<double> a(static_cast<std::size_t>(n) * n);
+    for (int i = 0; i < n; ++i)
+      for (int j = i; j < n; ++j) {
+        const double v = u(rng);
+        a[static_cast<std::size_t>(i) * n + j] = v;
+        a[static_cast<std::size_t>(j) * n + i] = v;
+      }
+    const auto slow = symmetric_eigenvalues(a, n);
+    const double l2 = symmetric_lambda2(a, n);
+    EXPECT_NEAR(l2, slow[1], 1e-10) << "n=" << n;
+  }
+}
+
+TEST(EigenLambda2, RepeatedTopEigenvalue) {
+  // Two identical decoupled blocks: lambda1 == lambda2. Bisection must land
+  // on the repeated value, not between clusters.
+  // diag blocks [[2,1],[1,2]] twice -> eigenvalues {3, 3, 1, 1}.
+  const std::vector<double> a{2, 1, 0, 0,  //
+                              1, 2, 0, 0,  //
+                              0, 0, 2, 1,  //
+                              0, 0, 1, 2};
+  EXPECT_NEAR(symmetric_lambda2(a, 4), 3.0, 1e-12);
+}
+
+TEST(EigenLambda2, EdgeCases) {
+  EXPECT_EQ(symmetric_lambda2({}, 0), 0.0);
+  EXPECT_EQ(symmetric_lambda2({7.0}, 1), 0.0);
+  EXPECT_NEAR(symmetric_lambda2({2, 1, 1, 2}, 2), 1.0, 1e-12);
+  EXPECT_THROW(symmetric_lambda2({1, 2, 3}, 2), std::invalid_argument);
+}
+
 TEST(Eigen, RankOneMatrix) {
   // v v^T with |v|^2 = 14 has eigenvalues {14, 0, 0}.
   const std::vector<double> v{1, 2, 3};

@@ -6,9 +6,37 @@
 #include <random>
 
 #include "haralick/directions.hpp"
+#include "haralick/fast_log.hpp"
 
 namespace h4d::haralick {
 namespace {
+
+TEST(FastLog, AccuracyContractAgainstLibm) {
+  // The documented bound: |fast_log(x) - log(x)| <= 1e-10 * max(1, |log x|)
+  // for normal positive doubles. Sweep the probability range the entropy
+  // terms actually see plus wide magnitude extremes.
+  std::mt19937_64 rng(123);
+  std::uniform_real_distribution<double> u01(1e-12, 1.0);
+  std::uniform_real_distribution<double> uexp(-300.0, 300.0);
+  auto check = [](double x) {
+    const double want = std::log(x);
+    const double got = fast_log(x);
+    EXPECT_NEAR(got, want, 1e-10 * std::max(1.0, std::abs(want))) << "x=" << x;
+  };
+  for (int k = 0; k < 20000; ++k) check(u01(rng));
+  for (int k = 0; k < 2000; ++k) check(std::exp2(uexp(rng)));
+  for (double x : {1.0, 2.0, 0.5, 1.0 / 3.0, 1e-300, 1e300,
+                   1.4142135623730951, 0.7071067811865476}) {
+    check(x);
+  }
+}
+
+TEST(FastLog, XlogxMatchesReferenceShape) {
+  EXPECT_EQ(fast_xlogx(0.0), 0.0);
+  EXPECT_EQ(fast_xlogx(-1.0), 0.0);
+  EXPECT_NEAR(fast_xlogx(0.25), 0.25 * std::log(0.25), 1e-12);
+  EXPECT_NEAR(fast_xlogx(1.0), 0.0, 1e-15);
+}
 
 Volume4<Level> random_volume(Vec4 dims, int ng, unsigned seed) {
   Volume4<Level> v(dims);

@@ -11,7 +11,14 @@ family and selects which invariants apply:
       * kernel pair-update throughput >= 3x the reference on the paper
         configuration;
       * the fused end-to-end ROI path is not slower than the reference
-        sparse path.
+        sparse path;
+      * the incremental sliding row (roi_sliding_incremental) is >= 5x
+        faster than the frozen pre-rework fused figure (PR4_FUSED_NS, the
+        roi_kernel_fused number committed before the SoA/SIMD sweep,
+        fast-log and boundary-delta feature accumulators landed). The
+        anchor is a constant here rather than a baseline row so that
+        regenerating BENCH_kernel.json with --merge cannot silently
+        erase it.
   bench_queue    (BENCH_queue.json)
       * the lock-free MPMC inbox moves >= 2x the items/sec of the
         mutex+condvar queue at 4 producers / 4 consumers.
@@ -48,6 +55,13 @@ GATE_LABELS = (f"glcm_reference/{PAPER_CONFIG}", f"glcm_kernel/{PAPER_CONFIG}")
 FUSED_LABELS = (f"roi_reference_sparse/{PAPER_CONFIG}",
                 f"roi_kernel_fused/{PAPER_CONFIG}")
 MIN_SPEEDUP = 3.0
+
+# roi_kernel figure: the committed end-to-end ns/ROI of the fused path
+# before the feature-pass rework (eigensolver, SoA/SIMD sweep, incremental
+# sliding finalize). The incremental row must beat it by >= 5x.
+PR4_FUSED_NS = 95597.8
+INCREMENTAL_LABEL = f"roi_sliding_incremental/{PAPER_CONFIG}"
+ROI_KERNEL_MIN_SPEEDUP = 5.0
 
 # bench_queue: committed shape the MPMC-vs-locked gate applies to (the bench
 # also emits 1p1c/2p2c rows; those are informational).
@@ -158,6 +172,21 @@ def check_baseline_invariants(runs: dict[str, dict[str, float]],
             if f_ns > r_ns:
                 err(f"{path}: fused end-to-end path slower than reference "
                     f"({f_ns:.0f} ns vs {r_ns:.0f} ns)")
+    inc = runs.get(INCREMENTAL_LABEL)
+    if inc is None:
+        err(f"{path}: missing roi_kernel gate row {INCREMENTAL_LABEL!r}")
+    else:
+        inc_ns = inc.get("ns_per_roi", 0.0)
+        if inc_ns <= 0:
+            err(f"{path}: {INCREMENTAL_LABEL} missing ns_per_roi")
+        else:
+            speedup = PR4_FUSED_NS / inc_ns
+            print(f"  roi_kernel: incremental {inc_ns:.0f} ns vs frozen PR 4 "
+                  f"fused {PR4_FUSED_NS:.0f} ns per ROI -> {speedup:.2f}x "
+                  f"(need >= {ROI_KERNEL_MIN_SPEEDUP}x)")
+            if speedup < ROI_KERNEL_MIN_SPEEDUP:
+                err(f"{path}: incremental roi_kernel speedup {speedup:.2f}x "
+                    f"< {ROI_KERNEL_MIN_SPEEDUP}x on {PAPER_CONFIG}")
 
 
 def check_queue_invariants(runs: dict[str, dict[str, float]],
