@@ -124,6 +124,12 @@ haralick::EngineConfig engine_from_args(const Args& args) {
     engine.directions = haralick::axis_directions(haralick::ActiveDims::all4());
   }
   engine.sliding_window = args.get("sliding", "off") == "on";
+  const std::string sweep = args.get("sweep", "fast");
+  if (sweep == "strict") {
+    engine.sweep_mode = haralick::SweepMode::Strict;
+  } else if (sweep != "fast") {
+    throw std::runtime_error("--sweep must be 'strict' or 'fast'");
+  }
   return engine;
 }
 
@@ -399,7 +405,7 @@ int usage(std::ostream& err) {
          "  analyze  DATASET_DIR [--out DIR] [--variant hmp|split] [--workers N]\n"
          "           [--roi X,Y,Z,T] [--levels N] [--features paper|all]\n"
          "           [--repr full|sparse] [--dirs all|axis] [--sliding on|off]\n"
-         "           [--chunk X,Y,Z,T] [--plan fixed|auto]\n"
+         "           [--sweep strict|fast] [--chunk X,Y,Z,T] [--plan fixed|auto]\n"
          "           [--faults SPEC] [--retry N] [--on-corrupt fail|retry|skip]\n"
          "           [--checksums on|off] [--fill V] [--dead-nodes N,M]\n"
          "           [--supervise fail|restart|quarantine] [--max-restarts N]\n"
@@ -466,6 +472,14 @@ int usage(std::ostream& err) {
          "                      comma-separated k=v among seed, crash, delay,\n"
          "                      max_restarts, poison, policy\n"
          "                      (e.g. seed=7,crash=0.05,policy=quarantine)\n"
+         "\n"
+         "kernel (see docs/KERNEL.md):\n"
+         "  --sweep MODE        floating-point mode of the fused feature\n"
+         "                      sweep: fast (default, SoA/SIMD reductions +\n"
+         "                      fast_log, ~1e-10 relative agreement) | strict\n"
+         "                      (bit-identical to the reference feature pass;\n"
+         "                      ~3% slower, for cross-checking reference\n"
+         "                      values bit-for-bit)\n"
          "\n"
          "runtime (see DESIGN.md sec. 13):\n"
          "  --queue MODE        inbox implementation between filter copies:\n"

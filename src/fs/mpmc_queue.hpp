@@ -14,9 +14,11 @@
 // condvar pair, which on Linux bottoms out in futex wait/wake. Wakes are
 // edge-triggered: a publish notifies consumers only when it is the
 // empty->non-empty transition (the claimed position equals the dequeue
-// cursor), and a pop notifies producers only when it is the full->not-full
-// transition (the enqueue cursor is exactly capacity ahead of the freed
-// position) — steady streaming issues no wakes at all. Each transition uses
+// cursor), and a pop notifies producers only when it may be the
+// full->not-full transition (the enqueue cursor is at least capacity ahead
+// of the freed position — covering racing claims and, on rings larger than
+// the logical capacity, the slot-recycle wait) — steady streaming issues
+// no wakes at all. Each transition uses
 // the Dekker handshake: a parker increments its waiter count, fences, and
 // rechecks the slot protocol before sleeping; a waker publishes, fences,
 // and only takes the park mutex when a waiter count is visible — so a
@@ -65,9 +67,17 @@ class MpmcQueue {
  public:
   static constexpr QueueImpl kImpl = QueueImpl::Mpmc;
 
+  // The ring never has fewer than two slots, even at capacity 1: with a
+  // single-slot ring the publish store (seq = pos+1) and the recycle store
+  // (seq = pos+ring_) write the same value, so the next lap's claim can be
+  // enabled by the *publish* while the consumer is still moving the item
+  // out of the slot (its only ordering would be the dequeue-cursor CAS,
+  // which is relaxed and precedes the read). With ring_ >= 2 the value a
+  // claim waits for is written only by the recycling pop, after its read,
+  // with release — pairing with the claimer's acquire seq load.
   explicit MpmcQueue(std::size_t capacity = 64)
       : capacity_(capacity ? capacity : 1),
-        ring_(next_pow2(capacity_)),
+        ring_(next_pow2(std::max<std::size_t>(capacity_, 2))),
         mask_(ring_ - 1),
         slots_(std::make_unique<Slot[]>(ring_)) {
     for (std::uint64_t i = 0; i < ring_; ++i) {
@@ -296,7 +306,12 @@ class MpmcQueue {
                                            std::memory_order_relaxed)) {
           ::new (static_cast<void*>(s.storage)) T(std::move(item));
           s.seq.store(pos + 1, std::memory_order_release);
-          note_depth(pos + 1 - deq_pos_.load(std::memory_order_relaxed));
+          // Racing consumers may already have popped past pos+1 by the
+          // time the dequeue cursor is read here, driving the difference
+          // negative — skip those (the queue got shallower, not deeper).
+          const auto depth =
+              static_cast<std::int64_t>(pos + 1 - deq_pos_.load(std::memory_order_relaxed));
+          if (depth > 0) note_depth(static_cast<std::uint64_t>(depth));
           out_pos = pos;
           return TrySlot::Done;
         }
@@ -383,14 +398,21 @@ class MpmcQueue {
     not_empty_cv_.notify_one();
   }
 
-  /// Edge-triggered producer wake after consuming position `pos`: only the
-  /// full->not-full transition (enqueue cursor exactly capacity ahead) can
-  /// have a producer parked with no slot to recheck. A stale enqueue read
-  /// can only miss the transition when a producer is mid-claim — and that
-  /// producer either succeeds or rechecks after the Dekker fence.
+  /// Edge-triggered producer wake after consuming position `pos`. A parked
+  /// producer is waiting either on backpressure (enqueue cursor `capacity_`
+  /// ahead of the dequeue cursor) or, when the ring is larger than the
+  /// logical capacity, on the slot recycle of `pos` itself (the dif<0 path:
+  /// the producer's claim target is `pos + ring_`, same slot). Both depend
+  /// on this pop, and a claim racing between our seq store and the enqueue
+  /// load can push the observed distance past `capacity_` — so treat any
+  /// pop that observed the queue at-or-beyond capacity (relative to the
+  /// freed position) as a potential full->not-full transition. Pops below
+  /// that bound cannot be the unparking edge: a producer parked after them
+  /// rechecks behind its own Dekker fence and sees the room they freed.
+  /// Steady streaming (enq - pos < capacity_) still skips the fence.
   void maybe_wake_push(std::uint64_t pos) {
     const std::uint64_t enq = enq_pos_.load(std::memory_order_acquire) & ~kSeal;
-    if (enq - pos != capacity_) return;
+    if (enq - pos < capacity_) return;
     std::atomic_thread_fence(std::memory_order_seq_cst);
     if (push_waiters_.load(std::memory_order_relaxed) == 0) return;
     std::lock_guard lk(park_mu_);

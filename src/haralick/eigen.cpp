@@ -124,8 +124,11 @@ void householder_tridiag(std::vector<double>& a, int n, std::vector<double>& d,
 }
 
 // Implicit-shift QL iteration on a tridiagonal matrix (d = diagonal,
-// e[1..n-1] = sub-diagonal). Eigenvalues land in d, unsorted.
-void tql_eigenvalues(std::vector<double>& d, std::vector<double>& e, int n) {
+// e[1..n-1] = sub-diagonal). Eigenvalues land in d, unsorted. Returns false
+// when any eigenvalue failed to isolate within the iteration cap — d then
+// holds the current (possibly unconverged) diagonal.
+bool tql_eigenvalues(std::vector<double>& d, std::vector<double>& e, int n) {
+  bool converged = true;
   for (int i = 1; i < n; ++i) e[static_cast<std::size_t>(i - 1)] = e[static_cast<std::size_t>(i)];
   e[static_cast<std::size_t>(n - 1)] = 0.0;
   for (int l = 0; l < n; ++l) {
@@ -141,7 +144,14 @@ void tql_eigenvalues(std::vector<double>& d, std::vector<double>& e, int n) {
         }
       }
       if (m != l) {
-        if (++iter == 50) break;  // accept current diagonal; PSD inputs converge long before
+        if (++iter == 50) {
+          // Iteration cap hit: give up on isolating d[l] and report it.
+          // Real symmetric tridiagonals converge in 2-3 iterations per
+          // eigenvalue; the cap only trips on pathological input (NaN/Inf
+          // entries), which the caller surfaces via the returned flag.
+          converged = false;
+          break;
+        }
         double g = (d[static_cast<std::size_t>(l + 1)] - d[static_cast<std::size_t>(l)]) /
                    (2.0 * e[static_cast<std::size_t>(l)]);
         double r = std::hypot(g, 1.0);
@@ -176,6 +186,7 @@ void tql_eigenvalues(std::vector<double>& d, std::vector<double>& e, int n) {
       }
     } while (m != l);
   }
+  return converged;
 }
 
 // Eigenvalues of the tridiagonal (d, e[1..n-1]) strictly below sigma, via the
@@ -240,21 +251,22 @@ double symmetric_lambda2(std::vector<double> a, int n) {
   return symmetric_lambda2(a, n, d, e);
 }
 
-void symmetric_eigenvalues_fast(std::vector<double>& a, int n, std::vector<double>& d,
+bool symmetric_eigenvalues_fast(std::vector<double>& a, int n, std::vector<double>& d,
                                 std::vector<double>& e) {
   if (n < 0 || a.size() != static_cast<std::size_t>(n) * static_cast<std::size_t>(n)) {
     throw std::invalid_argument("symmetric_eigenvalues_fast: size mismatch");
   }
   d.resize(static_cast<std::size_t>(n));
   e.resize(static_cast<std::size_t>(n));
-  if (n == 0) return;
+  if (n == 0) return true;
   if (n == 1) {
     d[0] = a[0];
-    return;
+    return true;
   }
   householder_tridiag(a, n, d, e);
-  tql_eigenvalues(d, e, n);
+  const bool converged = tql_eigenvalues(d, e, n);
   std::sort(d.begin(), d.end(), std::greater<>());
+  return converged;
 }
 
 std::vector<double> symmetric_eigenvalues_fast(std::vector<double> a, int n) {

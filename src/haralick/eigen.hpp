@@ -23,11 +23,19 @@ std::vector<double> symmetric_eigenvalues(std::vector<double> a, int n,
 /// Householder reduction to tridiagonal form followed by implicit-shift QL
 /// iteration (eigenvalues only, no eigenvector accumulation). ~25x faster
 /// than the Jacobi path on the 32x32 matrices f14 produces at Ng=32.
+///
+/// Convergence: the QL iteration is capped at 50 sweeps per eigenvalue —
+/// real symmetric input needs 2-3, so the cap only trips on pathological
+/// (NaN/Inf-contaminated) matrices. This overload assumes convergence and
+/// returns whatever the iteration reached; use the scratch-reusing overload
+/// when the caller (e.g. a test oracle comparison) must know.
 std::vector<double> symmetric_eigenvalues_fast(std::vector<double> a, int n);
 
 /// Scratch-reusing variant of symmetric_eigenvalues_fast for hot loops: `d`
-/// and `e` are resized to n and d holds the descending eigenvalues on return.
-void symmetric_eigenvalues_fast(std::vector<double>& a, int n, std::vector<double>& d,
+/// and `e` are resized to n and d holds the descending eigenvalues on
+/// return. Returns true when every eigenvalue converged within the QL
+/// iteration cap; false means d holds a best-effort (unconverged) spectrum.
+bool symmetric_eigenvalues_fast(std::vector<double>& a, int n, std::vector<double>& d,
                                 std::vector<double>& e);
 
 /// Second-largest eigenvalue only — the quantity f14 actually needs.

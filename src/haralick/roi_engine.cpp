@@ -85,9 +85,12 @@ std::vector<FeatureBlock> analyze_chunk(Vol4View<const Level> chunk_view,
   // Per-ROI matrix + feature evaluation through the kernel: accumulate the
   // upper-triangle tile, then either fold to the dense table (Full) or run
   // the fused non-zero sweep which also stands in for the sparse conversion
-  // (Sparse). With cfg.sweep_mode == SweepMode::Strict results are
+  // (Sparse). On this (non-sliding) kernel path, SweepMode::Strict is
   // bit-identical to features_of on a reference-built Glcm (property-tested
-  // in test_kernel); the Fast default agrees to ~1e-10 relative.
+  // in test_kernel); the Fast default agrees to ~1e-10 relative. The
+  // sliding branch below finalizes from count-space accumulators instead
+  // and matches the reference pass to ~1e-9 in either mode (see
+  // sliding.hpp).
   Glcm dense_scratch(cfg.num_levels);
   const auto kernel_features_of_roi = [&](const Region4& roi,
                                           const std::vector<Vec4>& dv) {

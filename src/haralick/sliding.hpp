@@ -5,8 +5,13 @@
 // only pairs with an endpoint in the departed or entered boundary slab
 // change — O(|face| * |dirs|) work. For the paper's 7x7x3x3 ROI sliding
 // along x this is a ~7x reduction in pair updates. The engine can use this
-// via EngineConfig::sliding_window; results are bit-identical to the
-// from-scratch path (property-tested).
+// via EngineConfig::sliding_window. The maintained *matrix* is bit-identical
+// to a from-scratch build, and the finalized features are walk-independent
+// (a slid window finalizes to exactly what reset() at the same origin
+// would) — both property-tested. The features themselves finalize from
+// count-space accumulators, so they match the kernel's reference feature
+// pass to ~1e-9 relative, not bit-for-bit, in either SweepMode (see
+// tests/test_sliding_incremental.cpp).
 //
 // Beyond the matrix itself, SlidingGlcm maintains the polynomial feature
 // sums in integer count space, so a one-voxel move also updates the feature

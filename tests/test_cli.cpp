@@ -126,6 +126,20 @@ TEST_F(CliTest, AnalyzeQueueFlagSelectsImplementation) {
   EXPECT_NE(stderr_text().find("unknown queue implementation"), std::string::npos);
 }
 
+TEST_F(CliTest, AnalyzeSweepFlagSelectsMode) {
+  const std::string ds = (dir_ / "ds").string();
+  ASSERT_EQ(invoke({"phantom", "--out", ds, "--dims", "14,14,6,4", "--nodes", "2"}), 0);
+  // Strict and fast both run the sparse fused sweep end to end.
+  EXPECT_EQ(invoke({"analyze", ds, "--roi", "5,5,3,3", "--repr", "sparse", "--dirs",
+                    "axis", "--chunk", "12,12,6,4", "--sweep", "strict"}),
+            0);
+  EXPECT_EQ(invoke({"analyze", ds, "--roi", "5,5,3,3", "--repr", "sparse", "--dirs",
+                    "axis", "--chunk", "12,12,6,4", "--sweep", "fast"}),
+            0);
+  EXPECT_EQ(invoke({"analyze", ds, "--roi", "5,5,3,3", "--sweep", "bogus"}), 1);
+  EXPECT_NE(stderr_text().find("--sweep"), std::string::npos);
+}
+
 TEST_F(CliTest, BadOptionValueReportsError) {
   EXPECT_EQ(invoke({"phantom", "--out", (dir_ / "x").string(), "--dims", "16,16"}), 1);
   EXPECT_NE(stderr_text().find("comma-separated"), std::string::npos);

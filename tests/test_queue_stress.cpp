@@ -126,6 +126,32 @@ TYPED_TEST(QueueStress, WatchdogDrainersRaceBlockingConsumers) {
   stress::check_all(out);
 }
 
+TYPED_TEST(QueueStress, NonPowerOfTwoCapacityBlockingPushes) {
+  // Non-power-of-two capacities leave the ring larger than the logical
+  // capacity, so a parked producer can be waiting on a slot recycle (the
+  // dif<0 path) rather than on backpressure: the pop that frees its slot
+  // observes enq - pos == ring_, not == capacity_. A wake gate that tests
+  // exact equality with capacity_ misses that edge (and the racing-claim
+  // capacity_+1 read) and leaves a blocking push() parked forever — this
+  // plan uses blocking pushes so a lost wakeup is a hang, not a flake.
+  // Jitter widens the consumer's deq-CAS -> seq-store window where the
+  // racing producer claim lands.
+  for (const std::size_t capacity : {3u, 5u, 6u, 7u}) {
+    stress::Plan plan;
+    plan.producers = 6;
+    plan.consumers = 2;
+    plan.items_per_producer = 1500;
+    plan.capacity = capacity;
+    plan.seed = 71 + static_cast<unsigned>(capacity);
+    plan.max_jitter = std::chrono::microseconds(100);
+    SCOPED_TRACE("capacity " + std::to_string(capacity));
+    TypeParam q(plan.capacity);
+    const stress::Outcome out = stress::run_plan(q, plan);
+    stress::check_all(out);
+    EXPECT_LE(q.stats().max_depth, plan.capacity);  // logical, not ring, bound
+  }
+}
+
 TYPED_TEST(QueueStress, RandomizedSchedules) {
   // Seeded sweep over plan shapes: producer/consumer counts, capacities,
   // jitter, timed vs blocking pushes, early and late closes. The point is
