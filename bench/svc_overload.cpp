@@ -1,0 +1,139 @@
+// Overload behavior of the multi-tenant JobManager (DESIGN.md sec. 14).
+//
+// Calibrates the sustainable job throughput of a small worker pool on this
+// machine, then drives the manager with the seeded closed-loop workload
+// generator at 1x and 4x that rate. The claim under test is *graceful*
+// degradation: at 1x essentially everything completes; at 4x the manager
+// sheds and rejects deterministically by priority instead of queueing
+// without bound, completed throughput stays near the calibrated capacity,
+// and the accounting identity (submitted = completed + rejected + shed +
+// failed) holds exactly. A final row drives the same flood through the
+// cluster simulator backend.
+#include <chrono>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "svc/job_manager.hpp"
+#include "svc/workload.hpp"
+
+using namespace h4d;
+
+namespace {
+
+struct LoadResult {
+  svc::ServiceCounters counters;
+  double wall_s = 0.0;
+};
+
+svc::JobSpec base_spec(const bench::Workload& w) {
+  svc::JobSpec spec;
+  spec.config.dataset_root = w.dataset_root;
+  spec.config.engine.roi_dims = {5, 5, 3, 3};
+  spec.config.engine.num_levels = 8;
+  spec.config.engine.features = haralick::FeatureSet::paper_eval();
+  spec.config.texture_chunk = w.texture_chunk;
+  spec.config.rfr_copies = w.storage_nodes;
+  spec.config.variant = core::Variant::HMP;
+  spec.config.hmp_copies = 2;
+  spec.keep_result = false;
+  return spec;
+}
+
+/// Submit the workload paced by its arrival offsets; drain; count.
+LoadResult drive(const bench::Workload& w, int jobs, double arrival_ms,
+                 bool simulate) {
+  svc::JobManager::Options opt;
+  opt.workers = 4;
+  opt.max_pending = 16;
+  opt.degrade_watermark = 12;
+  svc::JobManager mgr(opt);
+
+  svc::WorkloadConfig wcfg;
+  wcfg.jobs = jobs;
+  wcfg.tenants = 4;
+  wcfg.seed = 42;
+  wcfg.arrival_ms = arrival_ms;
+  wcfg.simulate = simulate;
+  wcfg.base = base_spec(w);
+  if (simulate) {
+    wcfg.base.sim.cluster = sim::make_piii_cluster(8);
+    wcfg.base.config.rfr_nodes = {0, 1, 2, 3};
+    wcfg.base.config.iic_nodes = {4};
+    wcfg.base.config.uso_nodes = {5};
+    wcfg.base.config.hmp_nodes = {6, 7};
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const svc::WorkloadJob& wj : svc::make_workload(wcfg)) {
+    std::this_thread::sleep_until(
+        t0 + std::chrono::duration<double>(wj.arrival_s));
+    mgr.submit(wj.spec);
+  }
+  mgr.drain();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  mgr.shutdown();
+  return {mgr.snapshot().counters, wall};
+}
+
+bool identity_holds(const svc::ServiceCounters& c) {
+  return c.submitted ==
+         c.completed + c.rejected + c.shed + c.failed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Workload w = bench::setup_workload(argc, argv);
+  bench::Report report(
+      "svc_overload", "JobManager throughput and shedding at 1x vs 4x load",
+      {"load", "jobs", "completed", "rejected", "shed", "failed",
+       "jobs_per_s"});
+
+  // Calibrate: flood a small batch through the pool, wall time bounds the
+  // sustainable rate (generator mix: mostly 8-level jobs, a heavy tail).
+  const int kCalib = 24;
+  const LoadResult calib = drive(w, kCalib, /*arrival_ms=*/0.0, false);
+  const double cap_jobs_s =
+      static_cast<double>(calib.counters.completed) / calib.wall_s;
+
+  const int kJobs = w.full_scale ? 1000 : 200;
+  struct Case {
+    const char* label;
+    double mult;
+    bool simulate;
+  };
+  const Case cases[] = {{"threaded 1x", 1.0, false},
+                        {"threaded 4x", 4.0, false},
+                        {"sim 4x", 4.0, true}};
+
+  bool all_identities = true;
+  std::int64_t overload_displaced = 0;
+  double rate_1x = 0.0, rate_4x = 0.0;
+  for (const Case& c : cases) {
+    const double arrival_ms = 1000.0 / (cap_jobs_s * c.mult);
+    const LoadResult r = drive(w, kJobs, arrival_ms, c.simulate);
+    const double rate = static_cast<double>(r.counters.completed) / r.wall_s;
+    all_identities = all_identities && identity_holds(r.counters);
+    if (!c.simulate && c.mult == 1.0) rate_1x = rate;
+    if (!c.simulate && c.mult == 4.0) {
+      rate_4x = rate;
+      overload_displaced = r.counters.shed + r.counters.rejected;
+    }
+    char rate_str[32];
+    std::snprintf(rate_str, sizeof rate_str, "%.1f", rate);
+    report.row({c.label, std::to_string(r.counters.submitted),
+                std::to_string(r.counters.completed),
+                std::to_string(r.counters.rejected),
+                std::to_string(r.counters.shed),
+                std::to_string(r.counters.failed), rate_str});
+  }
+
+  report.check("accounting identity holds at every load", all_identities);
+  report.check("4x overload sheds/rejects instead of queueing unboundedly",
+               overload_displaced > 0);
+  report.check("completed throughput does not collapse under 4x overload",
+               rate_4x > 0.3 * rate_1x);
+  return report.finish();
+}

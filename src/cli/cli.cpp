@@ -1,10 +1,12 @@
 #include "cli/cli.hpp"
 
 #include <charconv>
+#include <chrono>
 #include <map>
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <algorithm>
@@ -20,6 +22,9 @@
 #include "io/mhd.hpp"
 #include "io/phantom.hpp"
 #include "io/scrub.hpp"
+#include "svc/job_manager.hpp"
+#include "svc/jobs_metrics.hpp"
+#include "svc/workload.hpp"
 
 namespace h4d::cli {
 
@@ -316,17 +321,10 @@ int cmd_analyze(const Args& args, std::ostream& out) {
   return 0;
 }
 
-int cmd_simulate(const Args& args, std::ostream& out) {
-  if (args.positional().empty()) {
-    throw std::runtime_error("simulate: need a dataset directory");
-  }
-  const std::string dataset = args.positional()[0];
-  const int workers = args.get_int("workers", 8);
-
-  core::PipelineConfig cfg = pipeline_from_args(args, dataset);
-  // Paper layout: RFR on nodes 0..k, IIC on the next, USO after, texture
-  // filters on dedicated nodes.
-  const io::DatasetMeta meta = io::DatasetMeta::load(dataset);
+/// Paper layout for simulated runs: RFR on nodes 0..k, IIC on the next, USO
+/// after, texture filters on dedicated nodes. Returns the first texture node
+/// id (for sizing the modeled cluster).
+int place_for_simulation(core::PipelineConfig& cfg, const io::DatasetMeta& meta) {
   for (int i = 0; i < meta.storage_nodes; ++i) cfg.rfr_nodes.push_back(i);
   const int iic_node = meta.storage_nodes;
   cfg.iic_nodes = {iic_node};
@@ -340,6 +338,19 @@ int cmd_simulate(const Args& args, std::ostream& out) {
       cfg.hpc_nodes.push_back(first_texture + cfg.hcc_copies + i);
     }
   }
+  return first_texture;
+}
+
+int cmd_simulate(const Args& args, std::ostream& out) {
+  if (args.positional().empty()) {
+    throw std::runtime_error("simulate: need a dataset directory");
+  }
+  const std::string dataset = args.positional()[0];
+  const int workers = args.get_int("workers", 8);
+
+  core::PipelineConfig cfg = pipeline_from_args(args, dataset);
+  const io::DatasetMeta meta = io::DatasetMeta::load(dataset);
+  const int first_texture = place_for_simulation(cfg, meta);
 
   sim::SimOptions sopt;
   sopt.cluster = sim::make_piii_cluster(first_texture + workers + 2);
@@ -394,6 +405,200 @@ int cmd_repair(const Args& args, std::ostream& out) {
   return report.complete() ? 0 : 1;
 }
 
+/// Shared JobManager knobs of the serve and jobs verbs.
+svc::JobManager::Options manager_options_from_args(const Args& args) {
+  svc::JobManager::Options mopt;
+  mopt.workers = args.get_int("job-workers", 2);
+  mopt.max_pending = static_cast<std::size_t>(args.get_int("admit-cap", 32));
+  mopt.tenant_max_pending = static_cast<std::size_t>(args.get_int("tenant-pending", 0));
+  mopt.tenant_max_running = static_cast<std::size_t>(args.get_int("tenant-running", 0));
+  mopt.degrade_watermark = static_cast<std::size_t>(args.get_int("degrade-watermark", 0));
+  mopt.checkpoint_dir = args.get("ckpt-dir", "");
+  return mopt;
+}
+
+/// End-of-run service accounting: the counters, the per-tenant table, the
+/// accounting identity, and the optional --jobs-metrics export. Returns 0
+/// when every job is terminal and the identity holds.
+int finish_service(const Args& args, const svc::ServiceStats& stats, std::ostream& out) {
+  const svc::ServiceCounters& c = stats.counters;
+  out << "jobs: " << c.submitted << " submitted = " << c.completed << " completed + "
+      << c.rejected << " rejected + " << c.shed << " shed + " << c.failed
+      << " failed\n"
+      << "      rejected: " << c.rejected_queue_full << " queue_full, "
+      << c.rejected_quota << " quota, " << c.rejected_deadline
+      << " deadline_infeasible\n"
+      << "      " << c.retried << " retried, " << c.deadline_missed
+      << " deadline_missed, " << c.cancelled << " cancelled, " << c.degraded
+      << " degraded\n";
+  for (const auto& t : stats.tenants) {
+    out << "  tenant " << t.tenant << " (w=" << t.weight << "): " << t.submitted
+        << " submitted, " << t.completed << " completed, " << t.rejected
+        << " rejected, " << t.shed << " shed, " << t.failed << " failed, "
+        << t.busy_seconds << "s busy\n";
+  }
+  if (args.has("jobs-metrics")) {
+    const std::string path = args.get("jobs-metrics", "");
+    svc::write_jobs_metrics_file(path, stats);
+    out << "jobs-metrics: wrote " << path << "\n";
+  }
+  bool terminal = true;
+  for (const auto& j : stats.jobs) terminal = terminal && svc::state_terminal(j.state);
+  const bool identity =
+      c.submitted == c.completed + c.rejected + c.shed + c.failed &&
+      c.rejected == c.rejected_queue_full + c.rejected_quota + c.rejected_deadline;
+  if (!terminal) out << "ERROR: non-terminal jobs remain after drain\n";
+  if (!identity) out << "ERROR: accounting identity violated\n";
+  return terminal && identity ? 0 : 1;
+}
+
+int cmd_serve(const Args& args, std::ostream& out) {
+  if (args.positional().empty()) throw std::runtime_error("serve: need a dataset directory");
+  const std::string dataset = args.positional()[0];
+
+  svc::WorkloadConfig wl;
+  wl.jobs = args.get_int("jobs", 200);
+  wl.tenants = args.get_int("tenants", 4);
+  wl.seed = static_cast<std::uint64_t>(args.get_int("seed", 2004));
+  wl.arrival_ms = args.get_int("arrival-ms", 0);
+  wl.deadline_fraction = args.get_int("deadline-pct", 0) / 100.0;
+  wl.deadline_s = args.get_int("deadline-ms", 500) / 1000.0;
+  wl.max_retries = args.get_int("job-retries", 0);
+  wl.est_scale = args.get_int("est-ms", 0) / 1000.0;
+  wl.simulate = args.get("mode", "threaded") == "sim";
+  wl.base.config = pipeline_from_args(args, dataset);
+  wl.base.threaded.queue = fs::queue_impl_from_name(args.get("queue", "locked"));
+  wl.base.threaded.supervise = supervisor_from_args(args);
+  if (wl.simulate) {
+    const io::DatasetMeta meta = io::DatasetMeta::load(dataset);
+    const int first_texture = place_for_simulation(wl.base.config, meta);
+    const int workers = args.get_int("workers", 4);
+    wl.base.sim.cluster = sim::make_piii_cluster(first_texture + workers + 2);
+    wl.base.sim.failures = sim::FailureModel::parse(args.get("sim-failures", ""));
+  }
+
+  const std::vector<svc::WorkloadJob> workload = svc::make_workload(wl);
+  svc::JobManager manager(manager_options_from_args(args));
+
+  // Closed loop: submit on the workload's seeded arrival schedule (flood
+  // when --arrival-ms is 0), then drain to quiescence.
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& wj : workload) {
+    const auto due = start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                 std::chrono::duration<double>(wj.arrival_s));
+    std::this_thread::sleep_until(due);
+    manager.submit(wj.spec);
+  }
+  manager.drain();
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start).count();
+  manager.shutdown();
+
+  const svc::ServiceStats stats = manager.snapshot();
+  out << "served " << workload.size() << " jobs in " << wall << "s ("
+      << (wl.simulate ? "simulator" : "threaded") << " executor)\n";
+  return finish_service(args, stats, out);
+}
+
+/// Parse one `h4d jobs` job line: whitespace-separated key=value tokens
+/// among tenant, priority, deadline_ms, est_ms, retries, levels, features,
+/// roi (X,Y,Z,T), sim (on|off). Unknown keys fail loudly.
+svc::JobSpec parse_job_line(const std::string& line, const svc::JobSpec& base) {
+  svc::JobSpec spec = base;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("jobs: expected key=value, got '" + token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "tenant") {
+      spec.tenant = value;
+    } else if (key == "priority") {
+      spec.priority = svc::priority_from_name(value);
+    } else if (key == "deadline_ms") {
+      spec.deadline_s = std::stod(value) / 1000.0;
+    } else if (key == "est_ms") {
+      spec.est_seconds = std::stod(value) / 1000.0;
+    } else if (key == "retries") {
+      spec.max_retries = std::stoi(value);
+    } else if (key == "levels") {
+      spec.config.engine.num_levels = std::stoi(value);
+    } else if (key == "features") {
+      spec.config.engine.features = value == "all" ? haralick::FeatureSet::all()
+                                                   : haralick::FeatureSet::paper_eval();
+    } else if (key == "roi") {
+      std::istringstream rs(value);
+      std::string part;
+      for (int d = 0; d < kDims; ++d) {
+        if (!std::getline(rs, part, ',')) {
+          throw std::runtime_error("jobs: roi needs 4 comma-separated values");
+        }
+        spec.config.engine.roi_dims[d] = std::stoll(part);
+      }
+    } else if (key == "sim") {
+      spec.simulate = value == "on";
+    } else {
+      throw std::runtime_error("jobs: unknown key '" + key + "' in job line");
+    }
+  }
+  return spec;
+}
+
+int cmd_jobs(const Args& args, std::ostream& out) {
+  if (args.positional().empty()) throw std::runtime_error("jobs: need a dataset directory");
+  const std::string dataset = args.positional()[0];
+  const std::string file = args.require("file");
+
+  svc::JobSpec base;
+  base.config = pipeline_from_args(args, dataset);
+  base.threaded.queue = fs::queue_impl_from_name(args.get("queue", "locked"));
+  base.threaded.supervise = supervisor_from_args(args);
+  const bool any_sim = args.get("mode", "threaded") == "sim";
+  if (any_sim) {
+    const io::DatasetMeta meta = io::DatasetMeta::load(dataset);
+    const int first_texture = place_for_simulation(base.config, meta);
+    base.sim.cluster = sim::make_piii_cluster(first_texture + args.get_int("workers", 4) + 2);
+    base.simulate = true;
+  }
+
+  std::ifstream in(file);
+  if (!in) throw std::runtime_error("jobs: cannot read " + file);
+  std::vector<svc::JobSpec> specs;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    specs.push_back(parse_job_line(line, base));
+  }
+  if (specs.empty()) throw std::runtime_error("jobs: no job lines in " + file);
+
+  svc::JobManager manager(manager_options_from_args(args));
+  std::vector<std::int64_t> ids;
+  ids.reserve(specs.size());
+  for (auto& spec : specs) ids.push_back(manager.submit(std::move(spec)).id);
+  manager.drain();
+  manager.shutdown();
+
+  const svc::ServiceStats stats = manager.snapshot();
+  for (const std::int64_t id : ids) {
+    const svc::JobRecord r = manager.job(id);
+    out << "job " << r.id << " [" << r.tenant << "/" << svc::priority_name(r.priority)
+        << "] " << svc::state_name(r.state);
+    if (r.state == svc::JobState::Rejected) {
+      out << " (" << svc::reject_reason_name(r.reject_reason) << ")";
+    }
+    if (r.attempts > 0) out << " attempts=" << r.attempts;
+    if (r.degraded) out << " degraded";
+    if (r.deadline_missed) out << " deadline_missed";
+    if (!r.error.empty()) out << " error=\"" << r.error << "\"";
+    out << "\n";
+  }
+  return finish_service(args, stats, out);
+}
+
 int usage(std::ostream& err) {
   err << "usage: h4d <command> [options]\n"
          "\n"
@@ -414,6 +619,17 @@ int usage(std::ostream& err) {
          "           [--queue locked|mpmc]\n"
          "           [--trace FILE] [--metrics FILE]\n"
          "  simulate DATASET_DIR [same options as analyze] [--sim-failures SPEC]\n"
+         "  serve    DATASET_DIR [--jobs N] [--tenants N] [--seed S]\n"
+         "           [--arrival-ms N] [--deadline-pct P] [--deadline-ms N]\n"
+         "           [--job-retries N] [--est-ms N] [--mode threaded|sim]\n"
+         "           [--job-workers N] [--admit-cap N] [--tenant-pending N]\n"
+         "           [--tenant-running N] [--degrade-watermark N]\n"
+         "           [--ckpt-dir DIR] [--jobs-metrics FILE]\n"
+         "           [plus analyze pipeline options]\n"
+         "  jobs     DATASET_DIR --file JOBS.txt [--mode threaded|sim]\n"
+         "           [--job-workers N] [--admit-cap N] [--tenant-pending N]\n"
+         "           [--tenant-running N] [--degrade-watermark N]\n"
+         "           [--ckpt-dir DIR] [--jobs-metrics FILE]\n"
          "  scrub    DATASET_DIR [--json FILE]\n"
          "  repair   DATASET_DIR [--add-checksums on|off]\n"
          "\n"
@@ -488,7 +704,42 @@ int usage(std::ostream& err) {
          "                      numbers and a parking layer); identical\n"
          "                      semantics and byte-identical maps, the chosen\n"
          "                      impl and stall counters land in the metrics\n"
-         "                      \"execution\" section\n";
+         "                      \"execution\" section\n"
+         "\n"
+         "multi-tenant service (see DESIGN.md sec. 14):\n"
+         "  serve               closed-loop seeded workload against the\n"
+         "                      JobManager: --jobs jobs from --tenants tenants\n"
+         "                      with heavy-tailed sizes, submitted on a seeded\n"
+         "                      exponential arrival schedule (--arrival-ms\n"
+         "                      mean gap; 0 = flood), then drained\n"
+         "  jobs                explicit job list from --file (one job per\n"
+         "                      line: key=value tokens among tenant, priority,\n"
+         "                      deadline_ms, est_ms, retries, levels,\n"
+         "                      features, roi, sim; # starts a comment)\n"
+         "  --mode threaded|sim run jobs on this machine's threads or on the\n"
+         "                      modeled PIII cluster (virtual time)\n"
+         "  --job-workers N     concurrent jobs (each job still runs its own\n"
+         "                      pipeline with its own filter copies)\n"
+         "  --admit-cap N       bounded admission queue; a full queue sheds\n"
+         "                      the lowest-priority pending job (if the\n"
+         "                      newcomer outranks it) or rejects (queue_full)\n"
+         "  --tenant-pending N  per-tenant pending quota (quota_exceeded)\n"
+         "  --tenant-running N  per-tenant running cap (jobs wait, not fail)\n"
+         "  --deadline-pct P    percent of generated jobs given --deadline-ms\n"
+         "                      wall deadlines; pending jobs past deadline\n"
+         "                      fail, running ones cancel cooperatively\n"
+         "  --est-ms N          cost-estimate scale per workload cost unit;\n"
+         "                      estimates above the deadline are rejected as\n"
+         "                      deadline_infeasible\n"
+         "  --job-retries N     retry failed attempts with exponential\n"
+         "                      backoff, fault seeds re-salted per attempt\n"
+         "  --degrade-watermark N  backlog size past which low-priority jobs\n"
+         "                      are admitted with coarsened quantization\n"
+         "  --ckpt-dir DIR      per-job checkpoint manifests (job_<id>.ckpt,\n"
+         "                      ownership-stamped) land here\n"
+         "  --jobs-metrics FILE export the \"jobs\" section (schema\n"
+         "                      h4d-jobs-v1): counters, per-tenant table,\n"
+         "                      per-job rows; validated by check_metrics.py\n";
   return 2;
 }
 
@@ -504,6 +755,8 @@ int run(int argc, const char* const* argv, std::ostream& out, std::ostream& err)
     if (cmd == "info") return cmd_info(args, out);
     if (cmd == "analyze") return cmd_analyze(args, out);
     if (cmd == "simulate") return cmd_simulate(args, out);
+    if (cmd == "serve") return cmd_serve(args, out);
+    if (cmd == "jobs") return cmd_jobs(args, out);
     if (cmd == "scrub") return cmd_scrub(args, out);
     if (cmd == "repair") return cmd_repair(args, out);
     err << "unknown command: " << cmd << "\n";

@@ -37,6 +37,7 @@ filters::ParamsPtr make_params(const PipelineConfig& config) {
   p.faults = config.faults;
   p.checkpoint_path = config.checkpoint_path;
   p.resume = config.resume;
+  p.job_tag = config.job_tag;
   return filters::PipelineParams::make(std::move(p));
 }
 

@@ -74,6 +74,13 @@ struct PipelineConfig {
   /// the work list before the run starts.
   std::filesystem::path checkpoint_path;
   bool resume = false;
+  /// Identity of the job this run belongs to, folded into the checkpoint
+  /// manifest's ownership token (with the dataset and the chunk-grid
+  /// parameters). Concurrent jobs (src/svc) namespace their manifests by job
+  /// id AND stamp this tag, so --resume refuses a manifest written by a
+  /// different job or configuration instead of pruning the wrong chunks.
+  /// Empty: ownership covers only dataset + configuration.
+  std::string job_tag;
 };
 
 /// Build the filter graph for a configuration. When `collected` is non-null

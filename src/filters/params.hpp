@@ -4,6 +4,9 @@
 #include <algorithm>
 #include <filesystem>
 #include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <unordered_set>
@@ -56,6 +59,10 @@ struct PipelineParams {
   /// pruned from the work list before the run starts.
   std::filesystem::path checkpoint_path;
   bool resume = false;
+  /// Job identity folded into the manifest's ownership token (src/svc
+  /// namespaces manifests per job and stamps the job id here). Empty for
+  /// solo runs: the token then covers only dataset + chunk-grid identity.
+  std::string job_tag;
 
   /// The overlapping chunk partition (derived; computed once via make()).
   /// With resume, completed chunks are already pruned from this list; their
@@ -85,13 +92,27 @@ struct PipelineParams {
     p.io_chunk[3] = 1;
     p.chunks = partition_overlapping(p.meta.dims, p.texture_chunk, p.engine.roi_dims);
     if (!p.checkpoint_path.empty()) {
+      const std::string owner = p.checkpoint_owner_token();
       std::unordered_set<std::int64_t> done;
       if (p.resume) {
+        // Progress recorded for a different job or chunk grid must never
+        // prune this run's work list: chunk ids are grid-relative, so a
+        // stale manifest would silently skip the wrong chunks. Manifests
+        // without a header (legacy, or damaged header) are accepted as
+        // before — their CRC-tagged id lines still guard each record.
+        const std::string found = io::ChunkManifest::load_owner(p.checkpoint_path);
+        if (!found.empty() && found != owner) {
+          throw std::runtime_error(
+              "checkpoint manifest " + p.checkpoint_path.string() +
+              " belongs to a different job/configuration (owner " + found +
+              ", this run is " + owner +
+              "); pass a fresh --checkpoint path or drop --resume");
+        }
         for (std::int64_t id : io::ChunkManifest::load(p.checkpoint_path)) done.insert(id);
       }
       // The tracker needs the full grid; build it before pruning. A fresh
       // (non-resume) run truncates any stale manifest.
-      p.manifest = std::make_shared<io::ChunkManifest>(p.checkpoint_path, !p.resume);
+      p.manifest = std::make_shared<io::ChunkManifest>(p.checkpoint_path, !p.resume, owner);
       p.completion = std::make_shared<io::ChunkCompletionTracker>(
           p.chunks, p.meta.dims, p.texture_chunk, p.engine.roi_dims,
           p.engine.features.count(), p.manifest, done);
@@ -133,6 +154,23 @@ struct PipelineParams {
       }
     }
     return std::make_shared<const PipelineParams>(std::move(p));
+  }
+
+  /// Ownership token for the checkpoint manifest: CRC-32 over everything
+  /// that determines chunk-id meaning (dataset, chunk grid, feature set)
+  /// plus the job tag. Two runs share a manifest iff their tokens match.
+  std::string checkpoint_owner_token() const {
+    std::ostringstream s;
+    s << dataset_root.string();
+    for (int d = 0; d < kDims; ++d) s << '/' << meta.dims[d];
+    for (int d = 0; d < kDims; ++d) s << '/' << engine.roi_dims[d];
+    for (int d = 0; d < kDims; ++d) s << '/' << texture_chunk[d];
+    s << '/' << engine.num_levels << '/' << engine.features.mask();
+    if (!job_tag.empty()) s << '/' << job_tag;
+    const std::string canon = s.str();
+    std::ostringstream hex;
+    hex << std::hex << io::crc32(canon.data(), canon.size());
+    return hex.str();
   }
 
   /// IIC copy that owns a texture chunk (explicit distribution of chunks

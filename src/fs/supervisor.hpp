@@ -29,13 +29,26 @@
 // io::FaultReport (DESIGN §9).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "nd/region.hpp"
 
 namespace h4d::fs {
+
+/// Thrown by an executor whose run was cancelled from outside (a cancel
+/// token, or the simulator's virtual-time deadline). Distinct from a filter
+/// error: every stream was closed, all copies unwound cooperatively, and any
+/// checkpoint manifest holds exactly the chunks completed before the cut —
+/// the run is resumable, not damaged.
+struct CancelledError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 /// What the supervisor does with a filter-copy exception.
 enum class SupervisePolicy {
@@ -120,6 +133,58 @@ struct ExecutionReport {
            nodes_evicted == 0 && incidents.empty();
   }
   std::string summary() const;
+
+  /// The additive counters as one tuple of references, listed exactly once —
+  /// operator+= folds over this list (the WorkMeter pattern, DESIGN §10), so
+  /// a new job-level counter only needs an entry here; the sizeof pin below
+  /// fires if a member is added without deciding how it merges.
+  template <typename Self>
+  static constexpr auto tied_counters(Self& r) {
+    return std::tie(r.copy_restarts, r.chunks_quarantined, r.watchdog_kills,
+                    r.buffers_lost, r.chunks_resumed, r.replica_failovers,
+                    r.nodes_evicted, r.queue_stalled_pushes);
+  }
+
+  /// Member-wise accumulation of another run's (or job's) report: counters
+  /// add, stall time adds, max depth maxes, inventories concatenate, and
+  /// queue_impl keeps the common value (or degrades to "mixed" when reports
+  /// from differently-configured runs are folded together).
+  ExecutionReport& operator+=(const ExecutionReport& o) {
+    std::apply(
+        [&](auto&... a) {
+          std::apply([&](const auto&... b) { ((a += b), ...); }, tied_counters(o));
+        },
+        tied_counters(*this));
+    queue_stall_seconds += o.queue_stall_seconds;
+    queue_max_depth = std::max(queue_max_depth, o.queue_max_depth);
+    if (queue_impl != o.queue_impl) {
+      if (queue_impl == "none") {
+        queue_impl = o.queue_impl;
+      } else if (o.queue_impl != "none") {
+        queue_impl = "mixed";
+      }
+    }
+    quarantined.insert(quarantined.end(), o.quarantined.begin(), o.quarantined.end());
+    incidents.insert(incidents.end(), o.incidents.begin(), o.incidents.end());
+    return *this;
+  }
 };
+
+namespace detail {
+inline constexpr std::size_t kExecCounterFields = std::tuple_size_v<
+    decltype(ExecutionReport::tied_counters(std::declval<ExecutionReport&>()))>;
+}
+// Every member of ExecutionReport must either appear in tied_counters() or be
+// merged explicitly in operator+= (queue_stall_seconds, queue_max_depth,
+// queue_impl, quarantined, incidents). This pin recomputes sizeof from that
+// exact member list; if it fires, a field was added without extending the
+// merge — which would silently drop it from aggregated (multi-job) reports.
+static_assert(sizeof(ExecutionReport) ==
+                  (detail::kExecCounterFields + 1) * sizeof(std::int64_t) +
+                      sizeof(double) + sizeof(std::string) +
+                      sizeof(std::vector<QuarantinedBuffer>) +
+                      sizeof(std::vector<CopyIncident>),
+              "ExecutionReport field added without extending "
+              "tied_counters()/operator+=");
 
 }  // namespace h4d::fs

@@ -23,7 +23,8 @@ std::uint32_t line_crc(const std::string& id_text) {
 
 }  // namespace
 
-ChunkManifest::ChunkManifest(std::filesystem::path path, bool fresh)
+ChunkManifest::ChunkManifest(std::filesystem::path path, bool fresh,
+                             const std::string& owner)
     : path_(std::move(path)) {
   if (path_.has_parent_path()) std::filesystem::create_directories(path_.parent_path());
   int flags = O_WRONLY | O_CREAT | O_APPEND;
@@ -32,6 +33,24 @@ ChunkManifest::ChunkManifest(std::filesystem::path path, bool fresh)
   if (fd_ < 0) {
     throw std::runtime_error("manifest: cannot open " + path_.string() + ": " +
                              std::strerror(errno));
+  }
+  if (!owner.empty()) {
+    // Stamp the ownership header onto an empty file (a truncated fresh run,
+    // or the first open ever). A resumed file keeps its existing header.
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path_, ec);
+    if (fresh || (!ec && size == 0)) {
+      const std::string payload = "owner " + owner;
+      std::ostringstream line;
+      line << payload << ' ' << std::hex << crc32(payload.data(), payload.size())
+           << '\n';
+      const std::string s = line.str();
+      if (::write(fd_, s.data(), s.size()) != static_cast<ssize_t>(s.size()) ||
+          ::fsync(fd_) != 0) {
+        throw std::runtime_error("manifest: cannot write ownership header of " +
+                                 path_.string());
+      }
+    }
   }
   if (!fresh) {
     // A crash can tear the final line before its newline. Appending straight
@@ -100,6 +119,25 @@ std::vector<std::int64_t> ChunkManifest::load(const std::filesystem::path& path)
     ids.push_back(id);
   }
   return ids;
+}
+
+std::string ChunkManifest::load_owner(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::string line;
+  if (!std::getline(in, line)) return {};
+  std::istringstream fields(line);
+  std::string tag, token, crc_text;
+  if (!(fields >> tag >> token >> crc_text) || tag != "owner") return {};
+  std::uint32_t crc = 0;
+  try {
+    crc = static_cast<std::uint32_t>(std::stoul(crc_text, nullptr, 16));
+  } catch (...) {
+    return {};
+  }
+  const std::string payload = "owner " + token;
+  if (crc != crc32(payload.data(), payload.size())) return {};
+  return token;
 }
 
 ChunkCompletionTracker::ChunkCompletionTracker(

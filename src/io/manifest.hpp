@@ -25,11 +25,22 @@ namespace h4d::io {
 /// Append-only manifest of completed chunk ids, one CRC-tagged line per
 /// chunk: "<id> <crc32-hex>\n" with the checksum over the id's decimal text.
 /// record() is thread-safe and durable (write + fsync) before it returns.
+///
+/// The first line may be a CRC-tagged ownership header
+/// ("owner <token> <crc32-hex>\n") naming the job/configuration that wrote
+/// the file. Concurrent jobs namespace their manifests by job id (src/svc),
+/// and --resume refuses a manifest whose owner token names a different
+/// job/configuration — progress recorded for one chunk grid must never prune
+/// another job's work list. load() skips the header (and legacy manifests
+/// have none), so old files stay readable.
 class ChunkManifest {
  public:
   /// Opens (creating if needed) for append. With `fresh`, existing contents
   /// are discarded first — a non-resume run must not inherit stale progress.
-  explicit ChunkManifest(std::filesystem::path path, bool fresh = false);
+  /// A non-empty `owner` token is written as the ownership header whenever
+  /// the file starts out empty (fresh or first use).
+  explicit ChunkManifest(std::filesystem::path path, bool fresh = false,
+                         const std::string& owner = {});
   ~ChunkManifest();
 
   ChunkManifest(const ChunkManifest&) = delete;
@@ -45,6 +56,12 @@ class ChunkManifest {
   /// skipped — a damaged record means the chunk is recomputed, nothing more.
   /// A missing file is an empty manifest.
   static std::vector<std::int64_t> load(const std::filesystem::path& path);
+
+  /// Owner token recorded in `path`'s ownership header, or "" when the file
+  /// is missing, legacy (no header), or the header's CRC tag mismatches (a
+  /// damaged header degrades to "unowned" — the ids are then only trusted if
+  /// the caller accepts legacy manifests).
+  static std::string load_owner(const std::filesystem::path& path);
 
  private:
   std::filesystem::path path_;

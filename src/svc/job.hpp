@@ -1,0 +1,125 @@
+// Job types of the multi-tenant service layer.
+//
+// A *job* is one complete analysis run — its own dataset, ROI, feature set,
+// executor choice and supervision policy — submitted to the JobManager
+// (svc/job_manager.hpp) instead of run solo. The manager admits, queues,
+// schedules, retries and cancels jobs; these are the plain-data types that
+// cross that boundary. Every job ends in exactly one of four terminal
+// states: Completed, Rejected (refused at admission), Shed (dropped under
+// overload after admission), or Failed (ran and did not finish — including
+// deadline cancellations and exhausted retries). The accounting identity
+//   submitted == completed + rejected + shed + failed
+// holds over any quiescent manager and is exported (svc/jobs_metrics.hpp)
+// and validated (tools/check_metrics.py).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "core/analysis.hpp"
+
+namespace h4d::svc {
+
+/// Scheduling class. Admission shedding is strictly by priority: under
+/// overload the lowest-priority pending job is dropped first, and a new job
+/// can only displace pending work of *lower* priority than its own.
+enum class JobPriority { Low = 0, Normal = 1, High = 2 };
+
+std::string_view priority_name(JobPriority p);
+JobPriority priority_from_name(const std::string& name);
+
+/// Why admission refused a job (None for admitted jobs).
+enum class RejectReason {
+  None,
+  QueueFull,            ///< admission queue at capacity, nothing displaceable
+  QuotaExceeded,        ///< tenant over its pending or running quota
+  DeadlineInfeasible,   ///< estimated cost alone exceeds the deadline
+};
+
+std::string_view reject_reason_name(RejectReason r);
+
+/// Lifecycle of a job. Terminal states are exactly
+/// {Completed, Rejected, Shed, Failed}.
+enum class JobState {
+  Pending,    ///< admitted, waiting for a worker
+  Running,    ///< executing on a worker
+  Completed,  ///< terminal: finished, output verified durable/collected
+  Rejected,   ///< terminal: refused at admission (see RejectReason)
+  Shed,       ///< terminal: admitted but dropped under overload / cancelled
+              ///  while still pending
+  Failed,     ///< terminal: ran and did not finish (error, deadline, cancel)
+};
+
+std::string_view state_name(JobState s);
+bool state_terminal(JobState s);
+
+/// Everything the caller specifies about one job.
+struct JobSpec {
+  std::string tenant = "default";
+  JobPriority priority = JobPriority::Normal;
+
+  /// Wall-clock budget from admission to completion; 0 => none. A pending
+  /// job past its deadline fails without running; a running job is cancelled
+  /// cooperatively through the executor's cancel token (fs::CancelledError)
+  /// — streams closed, buffers drained, checkpoint manifest left resumable.
+  double deadline_s = 0.0;
+  /// Caller's cost estimate in (wall or virtual) seconds. Used for the
+  /// DeadlineInfeasible check (est_seconds > deadline_s) and as the job's
+  /// WFQ cost; 0 => unknown (treated as cost 1 for fair queueing, never
+  /// deadline-infeasible).
+  double est_seconds = 0.0;
+
+  /// Re-runs after a *failed* attempt (not after deadline cancellation).
+  /// Attempt k waits retry_backoff_s * 2^(k-1) before requeueing, and a
+  /// fault-injection seed is re-salted per attempt so the retry is
+  /// deterministic without being doomed to the identical fault schedule.
+  int max_retries = 0;
+  double retry_backoff_s = 0.05;
+
+  /// The run itself. config.checkpoint_path/job_tag are overridden by the
+  /// manager when it namespaces checkpoints per job (JobManager::Options).
+  core::PipelineConfig config;
+  bool simulate = false;        ///< modeled cluster instead of threads
+  fs::ThreadedOptions threaded; ///< cancel token is overridden per job
+  sim::SimOptions sim;          ///< cancel token is overridden per job
+
+  /// Keep the feature maps in the job record (memory-heavy). The maps'
+  /// checksum is always recorded, so byte-identity against a solo run can be
+  /// verified without retaining them.
+  bool keep_result = false;
+};
+
+/// Snapshot of one job, terminal or not (JobManager::snapshot/job).
+struct JobRecord {
+  std::int64_t id = -1;
+  std::string tenant;
+  JobPriority priority = JobPriority::Normal;
+  JobState state = JobState::Pending;
+  RejectReason reject_reason = RejectReason::None;
+  int attempts = 0;            ///< runs started (>= 1 once scheduled)
+  /// Position in the manager's dispatch sequence (-1 = never dispatched).
+  /// Makes the scheduling order — priority first, then WFQ virtual finish
+  /// time — observable and testable.
+  std::int64_t dispatch_order = -1;
+  bool degraded = false;       ///< admitted with coarsened quantization
+  bool deadline_missed = false;
+  bool cancelled = false;      ///< cancel token fired while running
+  double queued_seconds = 0.0; ///< admission -> first dispatch
+  double run_seconds = 0.0;    ///< sum of attempt wall times
+  std::string error;           ///< last failure message
+  fs::WorkMeter meter;         ///< summed over copies, last attempt
+  /// CRC-32 over the collected feature maps (raster order, raw float bytes,
+  /// per-feature in Feature order). 0 until Completed. Two runs of the same
+  /// configuration must agree here — the byte-identity oracle.
+  std::uint32_t result_crc = 0;
+  /// Retained maps (only when JobSpec::keep_result).
+  std::map<haralick::Feature, Volume4<float>> maps;
+};
+
+/// Checksum of an analysis result's maps (the JobRecord::result_crc oracle;
+/// exposed so tests can fingerprint solo runs the same way).
+std::uint32_t result_checksum(const core::AnalysisResult& result);
+
+}  // namespace h4d::svc

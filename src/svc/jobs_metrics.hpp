@@ -1,0 +1,26 @@
+// Machine-readable service metrics: the "jobs" section.
+//
+// Serializes a JobManager snapshot as one JSON document (schema
+// "h4d-jobs-v1"): service counters, per-tenant slices, the aggregated
+// WorkMeter and merged ExecutionReport over every attempt, and one row per
+// job. tools/check_metrics.py validates the schema, the accounting identity
+// (submitted == completed + rejected + shed + failed), and that the per-job
+// rows agree with the counters. Field reference: docs/OBSERVABILITY.md.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "svc/job_manager.hpp"
+
+namespace h4d::svc {
+
+/// One self-contained JSON object (no trailing newline).
+void write_jobs_metrics_object(std::ostream& os, const ServiceStats& stats);
+
+/// Writes the JSON document to `path` (newline-terminated).
+/// Throws std::runtime_error when the file cannot be written.
+void write_jobs_metrics_file(const std::filesystem::path& path,
+                             const ServiceStats& stats);
+
+}  // namespace h4d::svc

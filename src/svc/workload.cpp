@@ -1,0 +1,85 @@
+#include "svc/workload.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace h4d::svc {
+
+namespace {
+
+/// splitmix64: tiny, seedable, high-quality enough for workload shaping.
+std::uint64_t next_u64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double next_unit(std::uint64_t& state) {
+  return static_cast<double>(next_u64(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::vector<WorkloadJob> make_workload(const WorkloadConfig& config) {
+  std::vector<WorkloadJob> out;
+  out.reserve(static_cast<std::size_t>(std::max(config.jobs, 0)));
+  std::uint64_t state = config.seed;
+  const int tenants = std::max(config.tenants, 1);
+  double clock_s = 0.0;
+
+  for (int i = 0; i < config.jobs; ++i) {
+    WorkloadJob wj;
+    wj.spec = config.base;
+    std::string tenant_name = "t";
+    tenant_name += std::to_string(
+        static_cast<int>(next_u64(state) % static_cast<std::uint64_t>(tenants)));
+    wj.spec.tenant = std::move(tenant_name);
+
+    // Priority mix: 20% high, 60% normal, 20% low.
+    const double pr = next_unit(state);
+    wj.spec.priority = pr < 0.2   ? JobPriority::High
+                       : pr < 0.8 ? JobPriority::Normal
+                                  : JobPriority::Low;
+
+    // Heavy-tailed size: GLCM work scales with num_levels^2, so the level
+    // ladder {8, 16, 32} spans a 16x cost range; the expensive rung is rare.
+    // A rare few jobs also compute the full feature set instead of the
+    // paper's four.
+    const double size = next_unit(state);
+    int levels = 8;
+    if (size > 0.85) {
+      levels = 32;
+    } else if (size > 0.5) {
+      levels = 16;
+    }
+    wj.spec.config.engine.num_levels = levels;
+    if (next_unit(state) > 0.9) {
+      wj.spec.config.engine.features = haralick::FeatureSet::all();
+    }
+
+    // Relative cost units (what WFQ and the deadline check see): levels^2
+    // scaled by the feature count, normalized so the cheapest job is ~1.
+    const double cost_units = (static_cast<double>(levels) * levels / 64.0) *
+                              (wj.spec.config.engine.features.count() / 4.0);
+    if (config.est_scale > 0.0) wj.spec.est_seconds = config.est_scale * cost_units;
+
+    if (config.deadline_fraction > 0.0 && next_unit(state) < config.deadline_fraction) {
+      wj.spec.deadline_s = config.deadline_s;
+    }
+    wj.spec.max_retries = config.max_retries;
+    wj.spec.simulate = config.simulate;
+
+    // Seeded exponential inter-arrival gaps (closed-loop pacing).
+    if (config.arrival_ms > 0.0) {
+      const double u = next_unit(state);
+      clock_s += -(config.arrival_ms / 1000.0) * std::log(1.0 - u);
+    }
+    wj.arrival_s = clock_s;
+    out.push_back(std::move(wj));
+  }
+  return out;
+}
+
+}  // namespace h4d::svc

@@ -1,0 +1,45 @@
+// Seeded closed-loop workload generator for the JobManager.
+//
+// Produces a deterministic stream of jobs — heavy-tailed sizes (most jobs
+// cheap, a rare few an order of magnitude heavier), a tenant mix, a priority
+// mix, seeded exponential inter-arrival gaps — so overload experiments are
+// reproducible: the same seed yields the same submission sequence, hence
+// (with start_paused or a single submitter) the same deterministic
+// admission/shed/reject decisions. Used by the `serve` CLI verb, the
+// overload soak in CI, and bench/svc_overload.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "svc/job.hpp"
+
+namespace h4d::svc {
+
+struct WorkloadConfig {
+  int jobs = 100;
+  int tenants = 4;            ///< tenant names "t0".."t{n-1}"
+  std::uint64_t seed = 1;
+  /// Mean inter-arrival gap (exponential); 0 => flood (all arrive at once).
+  double arrival_ms = 0.0;
+  /// Fraction of jobs carrying a wall deadline of deadline_s.
+  double deadline_fraction = 0.0;
+  double deadline_s = 0.5;
+  int max_retries = 0;
+  /// est_seconds = est_scale * relative cost units (0 => unknown estimate).
+  double est_scale = 0.0;
+  bool simulate = false;      ///< run jobs on the simulator
+  /// Template for every job: dataset, ROI, executor/supervision knobs.
+  /// The generator varies engine.num_levels and engine.features per job.
+  JobSpec base;
+};
+
+struct WorkloadJob {
+  double arrival_s = 0.0;  ///< submission time offset from workload start
+  JobSpec spec;
+};
+
+/// The full workload, in submission order. Pure function of the config.
+std::vector<WorkloadJob> make_workload(const WorkloadConfig& config);
+
+}  // namespace h4d::svc

@@ -214,9 +214,10 @@ TEST_F(CheckpointFixture, ResumedRunIsByteIdenticalAndPlansStrictlyFewerChunks) 
   const auto ref = assemble(cfg.output_dir, origins);
   ASSERT_EQ(ref.size(), 4u);  // one map per paper-eval feature
 
-  // Emulate a crash after K chunks completed: the manifest holds K valid
-  // records plus a torn tail, and the output dir holds exactly the samples
-  // of those K chunks (what their durable writes left on disk).
+  // Emulate a crash after K chunks completed: the manifest holds its
+  // ownership header, K valid records, and a torn tail; the output dir holds
+  // exactly the samples of those K chunks (what their durable writes left on
+  // disk).
   const std::size_t K = total_chunks / 2;
   std::unordered_set<std::int64_t> completed(all_ids.begin(), all_ids.begin() + K);
   const fsys::path ckB = root_ / "ckB.txt";
@@ -224,7 +225,11 @@ TEST_F(CheckpointFixture, ResumedRunIsByteIdenticalAndPlansStrictlyFewerChunks) 
     std::ifstream in(cfg.checkpoint_path);
     std::ofstream out(ckB);
     std::string line;
-    for (std::size_t i = 0; i < K && std::getline(in, line); ++i) out << line << "\n";
+    std::size_t copied = 0;
+    while (copied < K && std::getline(in, line)) {
+      out << line << "\n";
+      if (line.rfind("owner ", 0) != 0) ++copied;  // header doesn't count
+    }
     out << "17";  // torn tail from the crash mid-append
   }
   const fsys::path outB = root_ / "outB";

@@ -10,9 +10,15 @@ Event Format subset the runtime emits. Accepted metrics schemas:
                         or h4d-micro-v1>}]}
   h4d-micro-v1          flat {schema, <name>: <number>, ...} rows emitted by
                         the micro-benchmarks (bench/micro_common.hpp)
+  h4d-jobs-v1           multi-tenant service export (`h4d serve/jobs
+                        --jobs-metrics`): the "jobs" counter section,
+                        per-tenant rows, merged meter/exec, per-job rows
 
-Checks structure, types, and the internal invariant that per-filter meter
-aggregates equal the sum over that filter's copies.
+Checks structure, types, and the internal invariants: per-filter meter
+aggregates equal the sum over that filter's copies, and for jobs exports the
+accounting identity submitted = completed + rejected + shed + failed (with
+rejected = rejected_queue_full + rejected_quota + rejected_deadline) plus
+per-job rows consistent with the counters.
 
 Usage: tools/check_metrics.py METRICS.json [...] [--trace TRACE.json ...]
 Exit status: 0 when every file validates, 1 otherwise.
@@ -196,6 +202,106 @@ def check_metrics_object(doc: object, path: str, where: str = "") -> None:
                 path, f"{where}: chunks_quarantined != len(quarantined)")
 
 
+# The "jobs" counter section of an h4d-jobs-v1 export (svc/job_manager.hpp
+# ServiceCounters). Missing keys mean the C++ export drifted.
+JOBS_COUNTER_KEYS = (
+    "submitted",
+    "admitted",
+    "completed",
+    "rejected",
+    "rejected_queue_full",
+    "rejected_quota",
+    "rejected_deadline",
+    "shed",
+    "failed",
+    "retried",
+    "deadline_missed",
+    "cancelled",
+    "degraded",
+)
+
+JOB_TERMINAL_STATES = ("completed", "rejected", "shed", "failed")
+JOB_STATES = ("pending", "running") + JOB_TERMINAL_STATES
+JOB_REJECT_REASONS = ("none", "queue_full", "quota_exceeded",
+                      "deadline_infeasible")
+
+
+def check_jobs_object(doc: dict, path: str) -> None:
+    """h4d-jobs-v1: the multi-tenant service export."""
+    c = doc.get("jobs")
+    if not require(isinstance(c, dict), path, "jobs: missing counter object"):
+        return
+    for k in JOBS_COUNTER_KEYS:
+        require(isinstance(c.get(k), int), path, f"jobs.{k} missing or not int")
+    if all(isinstance(c.get(k), int) for k in JOBS_COUNTER_KEYS):
+        # The accounting identity: every submitted job terminated in exactly
+        # one of the four terminal states (only true at quiescence, which is
+        # when the CLI exports).
+        terminal = c["completed"] + c["rejected"] + c["shed"] + c["failed"]
+        require(c["submitted"] == terminal, path,
+                f"jobs: accounting identity violated (submitted {c['submitted']} "
+                f"!= completed+rejected+shed+failed {terminal})")
+        typed = (c["rejected_queue_full"] + c["rejected_quota"] +
+                 c["rejected_deadline"])
+        require(c["rejected"] == typed, path,
+                f"jobs: rejected ({c['rejected']}) != sum of typed rejections "
+                f"({typed})")
+        require(c["admitted"] == c["submitted"] - c["rejected"], path,
+                "jobs: admitted != submitted - rejected")
+
+    tenants = doc.get("tenants")
+    if require(isinstance(tenants, list), path, "tenants: not an array"):
+        tenant_submitted = 0
+        for i, t in enumerate(tenants):
+            w = f"tenants[{i}]"
+            if not require(isinstance(t, dict), path, f"{w}: not an object"):
+                continue
+            require(isinstance(t.get("tenant"), str), path, f"{w}: missing tenant")
+            for k in ("submitted", "completed", "rejected", "shed", "failed"):
+                require(isinstance(t.get(k), int), path, f"{w}: missing {k}")
+            require(isinstance(t.get("weight"), (int, float)), path,
+                    f"{w}: missing weight")
+            tenant_submitted += t.get("submitted", 0) or 0
+        if isinstance(c.get("submitted"), int):
+            require(tenant_submitted == c["submitted"], path,
+                    f"tenants: submitted sums to {tenant_submitted}, "
+                    f"counters say {c['submitted']}")
+
+    check_meter(doc.get("meter"), path, "meter")
+    ex = doc.get("exec")
+    if require(isinstance(ex, dict), path, "exec: missing object"):
+        for k in EXECUTION_COUNTER_KEYS:
+            require(isinstance(ex.get(k), int), path, f"exec.{k} missing")
+        require(ex.get("queue_impl") in ("none", "locked", "mpmc"), path,
+                f"exec.queue_impl invalid ({ex.get('queue_impl')!r})")
+
+    per_job = doc.get("per_job")
+    if not require(isinstance(per_job, list), path, "per_job: not an array"):
+        return
+    state_counts = {s: 0 for s in JOB_STATES}
+    for i, j in enumerate(per_job):
+        w = f"per_job[{i}]"
+        if not require(isinstance(j, dict), path, f"{w}: not an object"):
+            continue
+        require(isinstance(j.get("id"), int), path, f"{w}: missing id")
+        require(isinstance(j.get("tenant"), str), path, f"{w}: missing tenant")
+        state = j.get("state")
+        if require(state in JOB_STATES, path, f"{w}: invalid state {state!r}"):
+            require(state in JOB_TERMINAL_STATES, path,
+                    f"{w}: non-terminal state {state!r} in a quiescent export")
+            state_counts[state] += 1
+        require(j.get("reject_reason") in JOB_REJECT_REASONS, path,
+                f"{w}: invalid reject_reason {j.get('reject_reason')!r}")
+        require(isinstance(j.get("attempts"), int), path, f"{w}: missing attempts")
+    if isinstance(c, dict):
+        for state in JOB_TERMINAL_STATES:
+            want = c.get(state)
+            if isinstance(want, int):
+                require(state_counts[state] == want, path,
+                        f"per_job: {state_counts[state]} rows in state {state}, "
+                        f"counters say {want}")
+
+
 def check_metrics_file(path: str) -> None:
     try:
         doc = json.load(open(path, encoding="utf-8"))
@@ -217,6 +323,8 @@ def check_metrics_file(path: str) -> None:
                         check_metrics_object(m, path, f"runs[{i}].")
     elif schema == "h4d-metrics-v1":
         check_metrics_object(doc, path)
+    elif schema == "h4d-jobs-v1":
+        check_jobs_object(doc, path)
     else:
         err(path, f"unknown schema {schema!r}")
 
