@@ -22,6 +22,7 @@
 #include "io/mhd.hpp"
 #include "io/phantom.hpp"
 #include "io/scrub.hpp"
+#include "io/tile_cache.hpp"
 #include "svc/job_manager.hpp"
 #include "svc/jobs_metrics.hpp"
 #include "svc/workload.hpp"
@@ -190,6 +191,27 @@ int cmd_info(const Args& args, std::ostream& out) {
   return 0;
 }
 
+/// Tile-cache knobs shared by analyze/simulate/serve/jobs: --tile-cache-mb
+/// sets the budget (0 = off), --tile-shape W,H the tile extents,
+/// --prefetch-depth how many slices the raster-order prefetcher may run
+/// ahead, --cache-policy the eviction policy.
+io::TileCacheConfig cache_config_from_args(const Args& args) {
+  io::TileCacheConfig cache;
+  cache.budget_bytes =
+      static_cast<std::size_t>(args.get_int("tile-cache-mb", 0)) * 1024 * 1024;
+  const std::vector<int> shape = args.get_int_list("tile-shape");
+  if (!shape.empty()) {
+    if (shape.size() != 2) {
+      throw std::runtime_error("--tile-shape needs exactly W,H (two values)");
+    }
+    cache.tile_w = shape[0];
+    cache.tile_h = shape[1];
+  }
+  cache.prefetch_depth = args.get_int("prefetch-depth", cache.prefetch_depth);
+  cache.policy = io::cache_policy_from_name(args.get("cache-policy", "lru"));
+  return cache;
+}
+
 core::PipelineConfig pipeline_from_args(const Args& args, const std::string& dataset) {
   core::PipelineConfig cfg;
   cfg.dataset_root = dataset;
@@ -226,6 +248,9 @@ core::PipelineConfig pipeline_from_args(const Args& args, const std::string& dat
   if (cfg.resume && cfg.checkpoint_path.empty()) {
     throw std::runtime_error("--resume on requires --checkpoint FILE");
   }
+
+  // Out-of-core tile cache between the RFR readers and the slice files.
+  cfg.cache = cache_config_from_args(args);
 
   const int workers = args.get_int("workers", 4);
   if (cfg.variant == core::Variant::HMP) {
@@ -277,6 +302,18 @@ void finish_observability(const Args& args, const fs::RunStats& stats,
                           const fs::TraceRecorder& trace, const fs::MetricsExtra& extra,
                           std::ostream& out) {
   print_exec_report(stats.exec, out);
+  if (stats.cache.present) {
+    const fs::CacheReport& c = stats.cache;
+    const double rate = c.lookups > 0
+                            ? static_cast<double>(c.hits) / static_cast<double>(c.lookups)
+                            : 0.0;
+    out << "cache: " << c.policy << ", " << c.budget_bytes / (1024 * 1024) << " MiB, "
+        << c.hits << "/" << c.lookups << " hits (" << static_cast<int>(rate * 100)
+        << "%), " << c.bytes_served_cache / 1024 << " KiB served, "
+        << c.bytes_read_disk / 1024 << " KiB from disk, prefetch "
+        << c.prefetch_useful << "/" << c.prefetch_issued << " useful, "
+        << c.evictions << " evictions\n";
+  }
   const fs::BottleneckReport report = fs::analyze_bottleneck(stats);
   fs::print_bottleneck_report(out, report);
   if (args.has("trace")) {
@@ -414,6 +451,10 @@ svc::JobManager::Options manager_options_from_args(const Args& args) {
   mopt.tenant_max_running = static_cast<std::size_t>(args.get_int("tenant-running", 0));
   mopt.degrade_watermark = static_cast<std::size_t>(args.get_int("degrade-watermark", 0));
   mopt.checkpoint_dir = args.get("ckpt-dir", "");
+  // One process-wide tile cache shared by every job (per-tenant accounting);
+  // absent or zero --tile-cache-mb leaves jobs cache-less.
+  const io::TileCacheConfig cache = cache_config_from_args(args);
+  if (cache.enabled()) mopt.tile_cache = std::make_shared<io::TileCache>(cache);
   return mopt;
 }
 
@@ -435,7 +476,19 @@ int finish_service(const Args& args, const svc::ServiceStats& stats, std::ostrea
     out << "  tenant " << t.tenant << " (w=" << t.weight << "): " << t.submitted
         << " submitted, " << t.completed << " completed, " << t.rejected
         << " rejected, " << t.shed << " shed, " << t.failed << " failed, "
-        << t.busy_seconds << "s busy\n";
+        << t.busy_seconds << "s busy";
+    if (stats.cache.present) {
+      out << ", cache " << t.cache_hits << "/" << (t.cache_hits + t.cache_misses)
+          << " hits, " << t.cache_resident_bytes / 1024 << " KiB resident";
+    }
+    out << "\n";
+  }
+  if (stats.cache.present) {
+    const fs::CacheReport& cr = stats.cache;
+    out << "cache: " << cr.policy << ", " << cr.budget_bytes / (1024 * 1024) << " MiB, "
+        << cr.hits << "/" << cr.lookups << " hits, " << cr.bytes_served_cache / 1024
+        << " KiB served, " << cr.evictions << " evictions, "
+        << cr.resident_bytes / 1024 << " KiB resident\n";
   }
   if (args.has("jobs-metrics")) {
     const std::string path = args.get("jobs-metrics", "");
@@ -617,6 +670,8 @@ int usage(std::ostream& err) {
          "           [--poison N] [--watchdog-ms N]\n"
          "           [--checkpoint FILE] [--resume on|off]\n"
          "           [--queue locked|mpmc]\n"
+         "           [--tile-cache-mb N] [--tile-shape W,H]\n"
+         "           [--prefetch-depth N] [--cache-policy lru|clock|cost]\n"
          "           [--trace FILE] [--metrics FILE]\n"
          "  simulate DATASET_DIR [same options as analyze] [--sim-failures SPEC]\n"
          "  serve    DATASET_DIR [--jobs N] [--tenants N] [--seed S]\n"
@@ -705,6 +760,22 @@ int usage(std::ostream& err) {
          "                      semantics and byte-identical maps, the chosen\n"
          "                      impl and stall counters land in the metrics\n"
          "                      \"execution\" section\n"
+         "\n"
+         "tile cache (see docs/CACHE.md):\n"
+         "  --tile-cache-mb N   memory budget of the shared out-of-core tile\n"
+         "                      cache between the readers and the slice files\n"
+         "                      (0 = off, the default); repeated / overlapping\n"
+         "                      reads are served from memory, byte-identical\n"
+         "                      to cache-off. Counters land in the metrics\n"
+         "                      \"cache\" section\n"
+         "  --tile-shape W,H    cached tile extents within a slice\n"
+         "                      (default 64,64)\n"
+         "  --prefetch-depth N  slices the raster-order prefetcher may run\n"
+         "                      ahead of the demand loop (0 = no prefetch;\n"
+         "                      default 2; off under --faults)\n"
+         "  --cache-policy P    eviction policy: lru (default) | clock |\n"
+         "                      cost (weighs refetch cost: failover /\n"
+         "                      degraded-replica tiles are kept longer)\n"
          "\n"
          "multi-tenant service (see DESIGN.md sec. 14):\n"
          "  serve               closed-loop seeded workload against the\n"

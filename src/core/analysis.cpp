@@ -22,6 +22,31 @@ AnalysisResult finish(std::shared_ptr<filters::CollectedResults> collected,
   return r;
 }
 
+/// Fill RunStats.cache from the run's summed copy meters plus the cache
+/// instance itself (configuration echo and end-of-run occupancy).
+void fill_cache_report(fs::RunStats& stats, const filters::ParamsPtr& params) {
+  if (!params->tile_cache) return;
+  fs::CacheReport& c = stats.cache;
+  c.present = true;
+  const io::TileCacheConfig& cfg = params->cache;
+  c.policy = std::string(io::cache_policy_name(cfg.policy));
+  c.budget_bytes = static_cast<std::int64_t>(cfg.budget_bytes);
+  c.tile_w = cfg.tile_w;
+  c.tile_h = cfg.tile_h;
+  c.prefetch_depth = cfg.prefetch_depth;
+  for (const fs::CopyStats& copy : stats.copies) {
+    c.hits += copy.meter.cache_hits;
+    c.misses += copy.meter.cache_misses;
+    c.bytes_read_disk += copy.meter.disk_bytes_read;
+    c.bytes_served_cache += copy.meter.cache_bytes_served;
+    c.prefetch_issued += copy.meter.prefetch_issued;
+    c.prefetch_useful += copy.meter.prefetch_useful;
+    c.evictions += copy.meter.cache_evictions;
+  }
+  c.lookups = c.hits + c.misses;
+  c.resident_bytes = params->tile_cache->resident_bytes();
+}
+
 }  // namespace
 
 AnalysisResult analyze_in_memory(const Volume4<std::uint16_t>& volume,
@@ -57,6 +82,7 @@ AnalysisResult analyze_threaded(PipelineConfig config,
   r.stats.exec.chunks_resumed = params->chunks_resumed;
   r.stats.exec.replica_failovers = r.faults.replica_failovers;
   r.stats.exec.nodes_evicted = r.faults.nodes_evicted;
+  fill_cache_report(r.stats, params);
   return r;
 }
 
@@ -72,6 +98,7 @@ AnalysisResult analyze_simulated(PipelineConfig config, const sim::SimOptions& s
   r.stats.exec.chunks_resumed = params->chunks_resumed;
   r.stats.exec.replica_failovers = r.faults.replica_failovers;
   r.stats.exec.nodes_evicted = r.faults.nodes_evicted;
+  fill_cache_report(r.stats, params);
   return r;
 }
 

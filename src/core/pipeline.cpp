@@ -38,6 +38,9 @@ filters::ParamsPtr make_params(const PipelineConfig& config) {
   p.checkpoint_path = config.checkpoint_path;
   p.resume = config.resume;
   p.job_tag = config.job_tag;
+  p.cache = config.cache;
+  p.tile_cache = config.tile_cache;
+  p.cache_tenant = config.cache_tenant;
   return filters::PipelineParams::make(std::move(p));
 }
 

@@ -81,6 +81,17 @@ struct PipelineConfig {
   /// different job or configuration instead of pruning the wrong chunks.
   /// Empty: ownership covers only dataset + configuration.
   std::string job_tag;
+
+  /// Shared out-of-core tile cache between the RFR readers and the slice
+  /// files (--tile-cache-mb/--tile-shape/--prefetch-depth/--cache-policy).
+  /// A zero budget disables it. When `tile_cache` is set (service layer /
+  /// bench harnesses), that process-wide instance is used instead of a
+  /// private one — except under fault injection, where the run always gets
+  /// a private cache so deterministic drills stay byte-identical.
+  io::TileCacheConfig cache;
+  std::shared_ptr<io::TileCache> tile_cache;
+  /// Tenant the cached bytes are accounted to (svc: the job's tenant).
+  std::string cache_tenant;
 };
 
 /// Build the filter graph for a configuration. When `collected` is non-null

@@ -17,6 +17,7 @@
 #include "io/manifest.hpp"
 #include "io/replica_set.hpp"
 #include "io/resilient_reader.hpp"
+#include "io/tile_cache.hpp"
 #include "nd/chunking.hpp"
 
 namespace h4d::filters {
@@ -85,6 +86,25 @@ struct PipelineParams {
   std::shared_ptr<io::ChunkManifest> manifest;
   std::shared_ptr<io::ChunkCompletionTracker> completion;
 
+  /// Tile-cache knobs (--tile-cache-mb/--tile-shape/--prefetch-depth/
+  /// --cache-policy). Disabled (budget 0) => no cache.
+  io::TileCacheConfig cache;
+  /// The cache instance the RFR readers go through. The service layer hands
+  /// every job the process-wide shared instance; make() builds a private one
+  /// for solo runs when `cache` is enabled. Fault-injected runs always get a
+  /// private instance (or none): a deterministic drill must not be perturbed
+  /// by tiles another run cached.
+  std::shared_ptr<io::TileCache> tile_cache;
+  /// Tenant the cached bytes are accounted to (svc sets the job's tenant;
+  /// empty => "local").
+  std::string cache_tenant;
+  /// Cache key of this dataset (derived by make()).
+  std::uint64_t cache_dataset = 0;
+  /// Planner prefetch hints: distinct slices in first-need order over the
+  /// raster-scan chunk sequence (core::plan_prefetch_sequence). Empty when
+  /// the cache or prefetch is off.
+  std::vector<SliceCoord> prefetch_slices;
+
   static std::shared_ptr<const PipelineParams> make(PipelineParams p) {
     if (p.io_chunk[0] <= 0) p.io_chunk[0] = p.meta.dims[0];
     if (p.io_chunk[1] <= 0) p.io_chunk[1] = p.meta.dims[1];
@@ -124,6 +144,23 @@ struct PipelineParams {
     }
     if (p.faults.enabled()) p.fault_injector = std::make_shared<io::FaultInjector>(p.faults);
     p.fault_sink = std::make_shared<io::FaultReportSink>();
+
+    // Tile cache: solo runs build a private instance; the service layer (or
+    // a bench harness) passes a shared one in. A fault-injected run never
+    // shares: cached tiles from another run would let a read that the
+    // injected schedule dooms succeed, changing the degraded output.
+    if (p.fault_injector) {
+      p.tile_cache = p.cache.enabled() ? std::make_shared<io::TileCache>(p.cache) : nullptr;
+    } else if (!p.tile_cache && p.cache.enabled()) {
+      p.tile_cache = std::make_shared<io::TileCache>(p.cache);
+    }
+    if (p.tile_cache) {
+      p.cache = p.tile_cache->config();
+      p.cache_dataset = io::TileCache::dataset_key(p.dataset_root.string(), p.meta);
+      if (p.cache.prefetch_depth > 0 && !p.fault_injector) {
+        p.prefetch_slices = raster_slice_order(p.chunks);
+      }
+    }
 
     // Static dead list: operator-declared nodes plus node directories found
     // missing right now. The run plans around these; a slice none of whose

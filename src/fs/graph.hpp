@@ -106,6 +106,29 @@ struct CopyStats {
   std::int64_t stalled_pushes = 0;  ///< pushes into this inbox that stalled
 };
 
+/// Tile-cache summary of one run: configuration echo plus the counters the
+/// "cache" metrics section exports. `present` is false when the run had no
+/// cache attached (the section is then omitted). Counter identities the
+/// validator (tools/check_metrics.py) holds us to: hits + misses == lookups,
+/// prefetch_useful <= prefetch_issued.
+struct CacheReport {
+  bool present = false;
+  std::string policy;               ///< "lru" / "clock" / "cost"
+  std::int64_t budget_bytes = 0;
+  std::int64_t tile_w = 0;
+  std::int64_t tile_h = 0;
+  std::int64_t prefetch_depth = 0;
+  std::int64_t lookups = 0;         ///< tile probes (hits + misses)
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t bytes_read_disk = 0;    ///< run's total disk read traffic
+  std::int64_t bytes_served_cache = 0;  ///< bytes served without touching disk
+  std::int64_t prefetch_issued = 0;
+  std::int64_t prefetch_useful = 0;
+  std::int64_t evictions = 0;
+  std::int64_t resident_bytes = 0;  ///< cache occupancy at end of run
+};
+
 /// Result of executing a graph.
 struct RunStats {
   double total_seconds = 0.0;  ///< end-to-end makespan (virtual or wall)
@@ -113,6 +136,8 @@ struct RunStats {
   /// Execution-layer damage inventory: restarts, quarantined buffers,
   /// watchdog kills (empty when the run was clean / unsupervised).
   ExecutionReport exec;
+  /// Tile-cache summary (present only when the run read through a cache).
+  CacheReport cache;
 
   /// Sum of busy time over every copy of the named filter group.
   double filter_busy_seconds(std::string_view filter) const;

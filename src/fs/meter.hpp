@@ -35,6 +35,12 @@ struct WorkMeter {
   std::int64_t chunks_quarantined = 0;  ///< supervisor: poison buffers dropped here
   std::int64_t watchdog_kills = 0;     ///< supervisor: 1 when declared dead hung
   std::int64_t chunks_resumed = 0;     ///< checkpoint: chunks pruned by resume
+  std::int64_t cache_hits = 0;          ///< tile cache: tile probes served
+  std::int64_t cache_misses = 0;        ///< tile cache: tile probes missed
+  std::int64_t cache_bytes_served = 0;  ///< tile cache: bytes served without disk
+  std::int64_t cache_evictions = 0;     ///< tile cache: tiles evicted (drained)
+  std::int64_t prefetch_issued = 0;     ///< tile cache: tiles inserted by prefetch
+  std::int64_t prefetch_useful = 0;     ///< tile cache: prefetched tiles demand-hit
   std::int64_t buffers_in = 0;
   std::int64_t buffers_out = 0;
   std::int64_t bytes_in = 0;
@@ -54,11 +60,13 @@ struct WorkMeter {
                     m.read_retries, m.slices_skipped, m.checksum_failures,
                     m.replica_failovers, m.nodes_evicted, m.copy_restarts,
                     m.chunks_quarantined, m.watchdog_kills, m.chunks_resumed,
+                    m.cache_hits, m.cache_misses, m.cache_bytes_served,
+                    m.cache_evictions, m.prefetch_issued, m.prefetch_useful,
                     m.buffers_in, m.buffers_out, m.bytes_in, m.bytes_out);
   }
 
   /// Export names of the counters, parallel to tied() (same order).
-  static constexpr std::array<std::string_view, 25> kFieldNames = {
+  static constexpr std::array<std::string_view, 31> kFieldNames = {
       "glcm_pair_updates", "feature_cells_scanned", "feature_cell_ops",
       "matrices_built",    "sparse_entries_emitted", "sparse_compress_cells",
       "bytes_memcpy",      "stitch_elements",       "elements_quantized",
@@ -66,6 +74,8 @@ struct WorkMeter {
       "read_retries",      "slices_skipped",        "checksum_failures",
       "replica_failovers", "nodes_evicted",         "copy_restarts",
       "chunks_quarantined", "watchdog_kills",       "chunks_resumed",
+      "cache_hits",        "cache_misses",          "cache_bytes_served",
+      "cache_evictions",   "prefetch_issued",       "prefetch_useful",
       "buffers_in",        "buffers_out",           "bytes_in",
       "bytes_out"};
 

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "io/replica_set.hpp"
+#include "io/tile_cache.hpp"
 
 namespace h4d::io {
 
@@ -84,8 +85,19 @@ std::string FaultReport::summary() const {
 ResilientReader::ResilientReader(StorageNodeReader reader, ResilienceConfig config,
                                  FaultInjector* injector, FaultReportSink* sink,
                                  ReplicaSet* replicas)
-    : reader_(std::move(reader)), cfg_(config), sink_(sink), replicas_(replicas) {
+    : reader_(std::move(reader)),
+      cfg_(config),
+      injector_(injector),
+      sink_(sink),
+      replicas_(replicas) {
   reader_.set_fault_injector(injector);
+}
+
+void ResilientReader::attach_cache(TileCache* cache, std::uint64_t dataset_key,
+                                   int tenant) {
+  cache_ = cache;
+  cache_dataset_ = dataset_key;
+  cache_tenant_ = tenant;
 }
 
 ResilientReader::~ResilientReader() {
@@ -98,10 +110,17 @@ std::int64_t ResilientReader::seeks_performed() const {
   return seeks;
 }
 
-std::int64_t ResilientReader::bytes_read() const {
+std::int64_t ResilientReader::attempted_bytes_read() const {
   std::int64_t bytes = reader_.bytes_read();
   for (const auto& [node, fallback] : fallbacks_) bytes += fallback.bytes_read();
   return bytes;
+}
+
+double ResilientReader::replica_cost(int node) const {
+  double cost = 1.0;
+  if (node != reader_.node_id()) cost += 1.0;
+  if (replicas_ && replicas_->node_evicted(node)) cost += 2.0;
+  return cost;
 }
 
 const StorageNodeReader* ResilientReader::reader_for(int node, std::string& error) {
@@ -141,24 +160,39 @@ void ResilientReader::extract_rect(const std::uint8_t* slice_bytes, std::int64_t
 
 void ResilientReader::attempt_read(const StorageNodeReader& reader, const SliceRef& slice,
                                    std::int64_t x0, std::int64_t y0, std::int64_t w,
-                                   std::int64_t h, std::uint16_t* out) {
-  if (!(cfg_.verify_checksums && slice.has_crc)) {
+                                   std::int64_t h, std::uint16_t* out, double cost) {
+  const bool verified = cfg_.verify_checksums && slice.has_crc;
+  // Whole-slice fetches serve the verified path (the checksum unit) and any
+  // cache-eligible read (the cache's fill unit). An unverified read under a
+  // fault injector must stay a rectangle read: injected corruption depends
+  // on the read length, so switching it to a whole-slice fetch would change
+  // the delivered bytes vs. a cache-off run.
+  if (!verified && !cache_eligible(slice)) {
     reader.read_slice_region(slice, x0, y0, w, h, out);
+    delivered_bytes_ += w * h * static_cast<std::int64_t>(dtype_size(reader.meta().dtype));
     return;
   }
-  // Verified path: fetch + check the whole slice file (the checksum unit),
-  // then serve the rectangle from the cached bytes.
   if (cached_slice_ != slice_key(slice)) {
     const std::size_t nbytes = static_cast<std::size_t>(reader.meta().slice_bytes());
     std::vector<std::uint8_t> bytes(nbytes);
     reader.read_slice_bytes(slice, bytes.data());
-    const std::uint32_t actual = crc32(bytes.data(), bytes.size());
-    if (actual != slice.crc) {
-      ++report_.checksum_failures;
-      throw ChecksumError(slice.filename, slice.t, slice.z, slice.crc, actual);
+    if (verified) {
+      const std::uint32_t actual = crc32(bytes.data(), bytes.size());
+      if (actual != slice.crc) {
+        ++report_.checksum_failures;
+        throw ChecksumError(slice.filename, slice.t, slice.z, slice.crc, actual);
+      }
     }
+    delivered_bytes_ += static_cast<std::int64_t>(nbytes);
     cached_bytes_ = std::move(bytes);
     cached_slice_ = slice_key(slice);
+    // Only verified-or-injector-free bytes reach this point, so the insert
+    // upholds the corrupt-tiles-never-cached contract.
+    if (cache_eligible(slice)) {
+      cache_->insert_slice(cache_dataset_, reader_.meta(), slice.t, slice.z,
+                           cached_bytes_.data(), cost, /*prefetched=*/false,
+                           cache_tenant_);
+    }
   }
   extract_rect(cached_bytes_.data(), x0, y0, w, h, out);
 }
@@ -176,6 +210,20 @@ bool ResilientReader::read_slice_region(const SliceRef& slice, std::int64_t x0,
       failed_slices_.end()) {
     fill(w, h, out);
     return false;
+  }
+
+  // Cache-aside: serve the rectangle from the shared tile cache when every
+  // covering tile is resident (possibly filled by another copy, another job,
+  // or the prefetcher). A partial hit falls through to the disk path, whose
+  // whole-slice fill re-populates the missing tiles.
+  if (cache_eligible(slice)) {
+    TileRectStats cs;
+    const bool full_hit = cache_->read_rect(cache_dataset_, reader_.meta(), slice.t,
+                                            slice.z, x0, y0, w, h, out, cache_tenant_, cs);
+    cache_hits_ += cs.hits;
+    cache_misses_ += cs.misses;
+    cache_bytes_served_ += cs.bytes_served;
+    if (full_hit) return true;
   }
 
   // Candidate nodes in failover order: the wrapped node alone without a
@@ -202,7 +250,8 @@ bool ResilientReader::read_slice_region(const SliceRef& slice, std::int64_t x0,
           }
         }
         try {
-          attempt_read(*node_reader, slice, x0, y0, w, h, out);
+          attempt_read(*node_reader, slice, x0, y0, w, h, out,
+                       replica_cost(node) + (attempt > 0 ? 1.0 : 0.0));
           if (attempt > 0) ++report_.slices_recovered;
           if (replicas_) replicas_->note_success(node);
           return true;
@@ -238,6 +287,40 @@ bool ResilientReader::read_slice_region(const SliceRef& slice, std::int64_t x0,
   ++report_.slices_skipped;
   report_.skipped.push_back({slice.t, slice.z, last_error});
   fill(w, h, out);
+  return false;
+}
+
+bool ResilientReader::prefetch_slice(const SliceRef& slice) {
+  // Prefetch never runs under a fault injector: a deterministic drill must
+  // see the exact per-attempt fault schedule a cache-off run would, and
+  // prefetch reads would consume attempt numbers ahead of the demand path.
+  if (cache_ == nullptr || injector_ != nullptr) return false;
+  if (cache_->slice_fully_cached(cache_dataset_, reader_.meta(), slice.t, slice.z)) {
+    return false;
+  }
+  const std::vector<int> order =
+      replicas_ ? replicas_->replica_order(slice.z, slice.t, reader_.node_id())
+                : std::vector<int>{reader_.node_id()};
+  for (const int node : order) {
+    std::string error;
+    const StorageNodeReader* node_reader = reader_for(node, error);
+    if (node_reader == nullptr) continue;
+    try {
+      const std::size_t nbytes = static_cast<std::size_t>(reader_.meta().slice_bytes());
+      std::vector<std::uint8_t> bytes(nbytes);
+      node_reader->read_slice_bytes(slice, bytes.data());
+      if (cfg_.verify_checksums && slice.has_crc &&
+          crc32(bytes.data(), bytes.size()) != slice.crc) {
+        continue;  // corrupt on this replica; never cached
+      }
+      delivered_bytes_ += static_cast<std::int64_t>(nbytes);
+      cache_->insert_slice(cache_dataset_, reader_.meta(), slice.t, slice.z, bytes.data(),
+                           replica_cost(node), /*prefetched=*/true, cache_tenant_);
+      return true;
+    } catch (const std::exception&) {
+      // Swallowed: the demand path retries with full resilience accounting.
+    }
+  }
   return false;
 }
 

@@ -31,6 +31,7 @@
 namespace h4d::io {
 
 class ReplicaSet;  // io/replica_set.hpp
+class TileCache;   // io/tile_cache.hpp
 
 /// A slice whose recorded CRC-32 did not match the bytes read back.
 class ChecksumError : public std::runtime_error {
@@ -149,20 +150,60 @@ class ResilientReader {
   bool read_slice_region(const SliceRef& slice, std::int64_t x0, std::int64_t y0,
                          std::int64_t w, std::int64_t h, std::uint16_t* out);
 
+  /// Attach a shared tile cache (non-owning): cache-aside on the read path.
+  /// Rectangles whose tiles are all resident are served without touching
+  /// disk; whole-slice fills are inserted only after checksum verification
+  /// succeeds (or when no fault injector is attached), so a corrupt slice
+  /// is never cached and cached bytes are identical to a cache-off read.
+  void attach_cache(TileCache* cache, std::uint64_t dataset_key, int tenant);
+
+  /// Pull one whole slice into the attached cache ahead of demand. Never
+  /// touches replica health, the fault report, or the skip list; errors are
+  /// swallowed (the demand path will handle them with full resilience).
+  /// Only active without a fault injector (deterministic fault drills must
+  /// see the exact cache-off read schedule). Returns true when a disk read
+  /// was issued and inserted.
+  bool prefetch_slice(const SliceRef& slice);
+
   /// Resilience accounting local to this reader (monotonic; the RFR filter
   /// meters deltas between calls).
   const FaultReport& report() const { return report_; }
 
-  /// I/O accounting summed over the primary and every fallback reader used.
+  /// I/O accounting. seeks_performed() sums the primary and every fallback
+  /// reader; bytes_read() counts only bytes that reached the caller — a
+  /// successful rectangle read counts its rectangle, a successful verified
+  /// whole-slice fetch counts the slice once, and bytes moved by retried or
+  /// failed-over attempts that ultimately failed count nothing (the raw
+  /// attempt traffic is attempted_bytes_read()). Cache hits touch no disk
+  /// and count nothing here (they land in cache_bytes_served()).
   std::int64_t seeks_performed() const;
-  std::int64_t bytes_read() const;
+  std::int64_t bytes_read() const { return delivered_bytes_; }
+  std::int64_t attempted_bytes_read() const;
+
+  /// Tile-cache accounting local to this reader (monotonic, tile-granular;
+  /// metered as deltas like report()).
+  std::int64_t cache_hits() const { return cache_hits_; }
+  std::int64_t cache_misses() const { return cache_misses_; }
+  std::int64_t cache_bytes_served() const { return cache_bytes_served_; }
 
  private:
   /// One verified or plain read attempt through `reader`; throws on failure.
+  /// `cost` is the refetch cost a cache insert records (Cost policy).
   void attempt_read(const StorageNodeReader& reader, const SliceRef& slice,
                     std::int64_t x0, std::int64_t y0, std::int64_t w, std::int64_t h,
-                    std::uint16_t* out);
+                    std::uint16_t* out, double cost);
   void fill(std::int64_t w, std::int64_t h, std::uint16_t* out) const;
+  /// Cache participation rule for one slice: whole-slice fills must be
+  /// attempt-independent bytes, which holds when they are CRC-verified or
+  /// when no fault injector can perturb them. (Injected corruption depends
+  /// on the read length, so unverified injected reads bypass the cache.)
+  bool cache_eligible(const SliceRef& slice) const {
+    return cache_ != nullptr &&
+           ((cfg_.verify_checksums && slice.has_crc) || injector_ == nullptr);
+  }
+  /// Refetch cost of a read served by `node` (Cost eviction policy input):
+  /// failover and probation-probed replicas are more expensive to re-ask.
+  double replica_cost(int node) const;
   void extract_rect(const std::uint8_t* slice_bytes, std::int64_t x0, std::int64_t y0,
                     std::int64_t w, std::int64_t h, std::uint16_t* out) const;
   /// Reader for one replica node (the wrapped one, or a lazily-built
@@ -172,10 +213,19 @@ class ResilientReader {
 
   StorageNodeReader reader_;
   ResilienceConfig cfg_;
+  FaultInjector* injector_;
   FaultReportSink* sink_;
   ReplicaSet* replicas_;
   std::map<int, StorageNodeReader> fallbacks_;  ///< other replica nodes, lazy
   FaultReport report_;
+
+  TileCache* cache_ = nullptr;  ///< shared tile cache (non-owning, optional)
+  std::uint64_t cache_dataset_ = 0;
+  int cache_tenant_ = 0;
+  std::int64_t cache_hits_ = 0;
+  std::int64_t cache_misses_ = 0;
+  std::int64_t cache_bytes_served_ = 0;
+  std::int64_t delivered_bytes_ = 0;  ///< bytes that reached the caller
 
   // Whole-slice cache for the verified path (one slice: the RFR tile loop
   // visits tiles of a slice consecutively).

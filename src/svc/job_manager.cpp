@@ -329,6 +329,14 @@ void JobManager::run_job(const std::shared_ptr<Job>& j) {
   // executor runs it, and salt fault seeds so a retried attempt faces a
   // fresh (but deterministic) fault schedule.
   core::PipelineConfig config = j->spec.config;
+  // The manager's shared tile cache, accounted to this job's tenant. Under
+  // fault injection PipelineParams::make swaps in a private instance — a
+  // deterministic drill must not be perturbed by tiles other jobs cached.
+  if (opt_.tile_cache) {
+    config.tile_cache = opt_.tile_cache;
+    config.cache = opt_.tile_cache->config();
+    config.cache_tenant = j->rec.tenant;
+  }
   fs::ThreadedOptions topts = j->spec.threaded;
   sim::SimOptions sopts = j->spec.sim;
   topts.cancel = &j->cancel;
@@ -512,6 +520,36 @@ ServiceStats JobManager::snapshot() const {
   for (const auto& [name, t] : tenants_) s.tenants.push_back(t.stats);
   s.jobs.reserve(jobs_.size());
   for (const auto& j : jobs_) s.jobs.push_back(j->rec);
+  if (opt_.tile_cache) {
+    const io::TileCacheConfig& cfg = opt_.tile_cache->config();
+    const io::TileCacheStats cs = opt_.tile_cache->stats();
+    s.cache.present = true;
+    s.cache.policy = std::string(io::cache_policy_name(cfg.policy));
+    s.cache.budget_bytes = static_cast<std::int64_t>(cfg.budget_bytes);
+    s.cache.tile_w = cfg.tile_w;
+    s.cache.tile_h = cfg.tile_h;
+    s.cache.prefetch_depth = cfg.prefetch_depth;
+    s.cache.lookups = cs.lookups;
+    s.cache.hits = cs.hits;
+    s.cache.misses = cs.misses;
+    s.cache.bytes_read_disk = total_meter_.disk_bytes_read;
+    s.cache.bytes_served_cache = cs.bytes_served;
+    s.cache.prefetch_issued = cs.prefetch_issued;
+    s.cache.prefetch_useful = cs.prefetch_useful;
+    s.cache.evictions = cs.evictions;
+    s.cache.resident_bytes = cs.resident_bytes;
+    // Fold each tenant's cache slice into its TenantStats row (tenants the
+    // cache saw but the manager never admitted a job for are skipped).
+    for (const io::TenantCacheStats& tc : opt_.tile_cache->tenant_stats()) {
+      for (TenantStats& row : s.tenants) {
+        if (row.tenant != tc.tenant) continue;
+        row.cache_hits = tc.hits;
+        row.cache_misses = tc.misses;
+        row.cache_bytes_served = tc.bytes_served;
+        row.cache_resident_bytes = tc.resident_bytes;
+      }
+    }
+  }
   return s;
 }
 

@@ -43,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "io/tile_cache.hpp"
 #include "svc/job.hpp"
 
 namespace h4d::svc {
@@ -77,6 +78,13 @@ struct TenantStats {
   std::int64_t shed = 0;
   std::int64_t failed = 0;
   double busy_seconds = 0.0;  ///< wall time of this tenant's attempts
+  /// Shared tile-cache slice of this tenant (zero without a shared cache):
+  /// demand hits/misses/bytes served, and the bytes currently resident that
+  /// this tenant's reads filled (the per-tenant budget accounting).
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t cache_bytes_served = 0;
+  std::int64_t cache_resident_bytes = 0;
 };
 
 /// Aggregated view of everything the service has done (svc/jobs_metrics.hpp
@@ -87,6 +95,8 @@ struct ServiceStats {
   fs::WorkMeter meter;                     ///< summed over all attempts
   fs::ExecutionReport exec;                ///< merged damage inventory
   std::vector<JobRecord> jobs;             ///< every job, submission order
+  /// Shared tile-cache summary (present only when the manager owns one).
+  fs::CacheReport cache;
 };
 
 class JobManager {
@@ -114,6 +124,11 @@ class JobManager {
     bool start_paused = false;
     /// Deadline watcher scan period.
     double deadline_poll_ms = 2.0;
+    /// Process-wide tile cache shared by every job this manager runs (null
+    /// => jobs run cache-less, or with whatever their config carries). Each
+    /// job's reads are accounted to its tenant. Fault-injected jobs ignore
+    /// it (they always get a private cache; see PipelineParams::make).
+    std::shared_ptr<io::TileCache> tile_cache;
   };
 
   explicit JobManager(Options options);

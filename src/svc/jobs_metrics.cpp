@@ -90,12 +90,29 @@ void write_jobs_metrics_object(std::ostream& os, const ServiceStats& stats) {
        << ", \"rejected\": " << t.rejected << ", \"shed\": " << t.shed
        << ", \"failed\": " << t.failed << ", \"busy_seconds\": ";
     jnum(os, t.busy_seconds);
-    os << '}';
+    os << ", \"cache_hits\": " << t.cache_hits
+       << ", \"cache_misses\": " << t.cache_misses
+       << ", \"cache_bytes_served\": " << t.cache_bytes_served
+       << ", \"cache_resident_bytes\": " << t.cache_resident_bytes << '}';
   }
   os << "],\n  \"meter\": ";
   write_meter(os, stats.meter);
   os << ",\n  \"exec\": ";
   write_exec(os, stats.exec);
+  if (stats.cache.present) {
+    const fs::CacheReport& c = stats.cache;
+    os << ",\n  \"cache\": {\"policy\": ";
+    jstr(os, c.policy);
+    os << ", \"budget_bytes\": " << c.budget_bytes << ", \"tile_w\": " << c.tile_w
+       << ", \"tile_h\": " << c.tile_h << ", \"prefetch_depth\": " << c.prefetch_depth
+       << ", \"lookups\": " << c.lookups << ", \"hits\": " << c.hits
+       << ", \"misses\": " << c.misses << ", \"bytes_read_disk\": " << c.bytes_read_disk
+       << ", \"bytes_served_cache\": " << c.bytes_served_cache
+       << ", \"prefetch_issued\": " << c.prefetch_issued
+       << ", \"prefetch_useful\": " << c.prefetch_useful
+       << ", \"evictions\": " << c.evictions
+       << ", \"resident_bytes\": " << c.resident_bytes << "}";
+  }
   os << ",\n  \"per_job\": [";
   for (std::size_t i = 0; i < stats.jobs.size(); ++i) {
     const JobRecord& j = stats.jobs[i];

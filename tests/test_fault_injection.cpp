@@ -203,6 +203,63 @@ class ResilientReadTest : public ::testing::Test {
   Volume4<std::uint16_t> vol_{Vec4{1, 1, 1, 1}};
 };
 
+// bytes_read() counts only bytes that reached the caller: retried attempts
+// and irrecoverable slices contribute nothing (the raw attempt traffic is
+// attempted_bytes_read()). Pins the delivered-bytes semantics under faults.
+TEST_F(ResilientReadTest, BytesReadCountsOnlyDeliveredBytes) {
+  const DiskDataset ds = DiskDataset::create(root_, vol_, 1);
+  const std::int64_t slice_bytes = 6 * 5 * 2;  // full-slice rects below
+
+  {  // Healthy: delivered == attempted == one slice per read.
+    ResilientReader reader(ds.node_reader(0), fast_retry(DegradePolicy::Retry));
+    std::vector<std::uint16_t> out(6 * 5);
+    for (const SliceRef& s : reader.slices()) {
+      EXPECT_TRUE(reader.read_slice_region(s, 0, 0, 6, 5, out.data()));
+    }
+    const auto n = static_cast<std::int64_t>(reader.slices().size());
+    EXPECT_EQ(reader.bytes_read(), n * slice_bytes);
+    EXPECT_EQ(reader.attempted_bytes_read(), n * slice_bytes);
+  }
+  {  // Transient short reads: the failed attempts' bytes never reach the
+     // caller, so delivered stays exactly one slice per slice while the raw
+     // attempt traffic runs ahead. (This is the double-count regression pin:
+     // retried slices must not count twice.)
+    FaultConfig fc;
+    fc.seed = 3;
+    fc.p_short_read = 1.0;
+    fc.max_transient_per_slice = 1;
+    fc.really_sleep = false;
+    FaultInjector inj(fc);
+    ResilientReader reader(ds.node_reader(0), fast_retry(DegradePolicy::Retry), &inj);
+    std::vector<std::uint16_t> out(6 * 5);
+    for (const SliceRef& s : reader.slices()) {
+      EXPECT_TRUE(reader.read_slice_region(s, 0, 0, 6, 5, out.data()));
+    }
+    const auto n = static_cast<std::int64_t>(reader.slices().size());
+    EXPECT_GT(reader.report().read_retries, 0);
+    EXPECT_EQ(reader.bytes_read(), n * slice_bytes);
+    EXPECT_GE(reader.attempted_bytes_read(), n * slice_bytes);
+  }
+  {  // Irrecoverable (sticky corruption, no replica to fail over to): the
+     // fill_value output delivers nothing; the wasted traffic still shows
+     // in attempted_bytes_read().
+    FaultConfig fc;
+    fc.seed = 5;
+    fc.p_corrupt = 1.0;
+    fc.really_sleep = false;
+    FaultInjector inj(fc);
+    ResilienceConfig rc = fast_retry(DegradePolicy::SkipAndFill, 2);
+    rc.fill_value = 99;
+    ResilientReader reader(ds.node_reader(0), rc, &inj);
+    std::vector<std::uint16_t> out(6 * 5);
+    for (const SliceRef& s : reader.slices()) {
+      EXPECT_FALSE(reader.read_slice_region(s, 0, 0, 6, 5, out.data()));
+    }
+    EXPECT_EQ(reader.bytes_read(), 0);
+    EXPECT_GT(reader.attempted_bytes_read(), 0);
+  }
+}
+
 TEST_F(ResilientReadTest, RetriesUntilSuccessAndReportsRecovery) {
   const DiskDataset ds = DiskDataset::create(root_, vol_, 1);
 

@@ -22,6 +22,10 @@ family and selects which invariants apply:
   bench_queue    (BENCH_queue.json)
       * the lock-free MPMC inbox moves >= 2x the items/sec of the
         mutex+condvar queue at 4 producers / 4 consumers.
+  bench_cache    (BENCH_cache.json)
+      * a warm re-analysis through the shared tile cache reads at most
+        0.5x the disk bytes of the cold run;
+      * the warm run's demand hit rate is >= 60%.
 
 All gates run on the committed numbers, so they are deterministic in CI.
 
@@ -67,6 +71,14 @@ ROI_KERNEL_MIN_SPEEDUP = 5.0
 # also emits 1p1c/2p2c rows; those are informational).
 QUEUE_GATE_SHAPE = "4p4c"
 QUEUE_MIN_SPEEDUP = 2.0
+
+# bench_cache: warm-over-cold gates for the shared tile cache
+# (bench/micro_tile_cache). Disk traffic must at least halve and the demand
+# hit rate must clear 60% when the same analysis re-runs through the cache.
+CACHE_COLD_LABEL = "reanalysis_cold"
+CACHE_WARM_LABEL = "reanalysis_warm"
+CACHE_MAX_DISK_RATIO = 0.5
+CACHE_MIN_HIT_RATE = 0.6
 
 # Time-per-unit metrics (lower is better) eligible for --fresh regression
 # comparison, in preference order per label.
@@ -223,6 +235,38 @@ def check_queue_invariants(runs: dict[str, dict[str, float]],
             f"at {QUEUE_GATE_SHAPE}")
 
 
+def check_cache_invariants(runs: dict[str, dict[str, float]],
+                           path: str) -> None:
+    """BENCH_cache.json: warm disk bytes <= 0.5x cold; warm hit rate >= 60%."""
+    cold = runs.get(CACHE_COLD_LABEL)
+    warm = runs.get(CACHE_WARM_LABEL)
+    if cold is None or warm is None:
+        err(f"{path}: missing gate rows {CACHE_COLD_LABEL!r} / "
+            f"{CACHE_WARM_LABEL!r}")
+        return
+    cold_disk = cold.get("bytes_read_disk", 0.0)
+    warm_disk = warm.get("bytes_read_disk")
+    if cold_disk <= 0 or warm_disk is None:
+        err(f"{path}: cache gate rows missing bytes_read_disk")
+    else:
+        ratio = warm_disk / cold_disk
+        print(f"  gate: warm {warm_disk:.0f} vs cold {cold_disk:.0f} disk "
+              f"bytes -> {ratio:.2f}x (need <= {CACHE_MAX_DISK_RATIO}x)")
+        if ratio > CACHE_MAX_DISK_RATIO:
+            err(f"{path}: warm run reads {ratio:.2f}x the cold run's disk "
+                f"bytes (limit {CACHE_MAX_DISK_RATIO}x)")
+    hits = warm.get("cache_hits", 0.0)
+    lookups = hits + warm.get("cache_misses", 0.0)
+    if lookups <= 0:
+        err(f"{path}: {CACHE_WARM_LABEL} has no cache lookups")
+    else:
+        rate = hits / lookups
+        print(f"  gate: warm hit rate {hits:.0f}/{lookups:.0f} = {rate:.0%} "
+              f"(need >= {CACHE_MIN_HIT_RATE:.0%})")
+        if rate < CACHE_MIN_HIT_RATE:
+            err(f"{path}: warm hit rate {rate:.0%} < {CACHE_MIN_HIT_RATE:.0%}")
+
+
 def check_regression(baseline: dict[str, dict[str, float]],
                      fresh: dict[str, dict[str, float]], fresh_path: str,
                      factor: float) -> None:
@@ -286,6 +330,8 @@ def main(argv: list[str]) -> int:
         print(f"baseline {baseline_path} (figure {figure}, {len(baseline)} runs):")
         if figure == "bench_queue":
             check_queue_invariants(baseline, baseline_path)
+        elif figure == "bench_cache":
+            check_cache_invariants(baseline, baseline_path)
         elif figure == "bench_kernel":
             check_baseline_invariants(baseline, baseline_path)
         else:

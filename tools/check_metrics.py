@@ -74,6 +74,12 @@ REQUIRED_METER_KEYS = (
     "chunks_quarantined",
     "watchdog_kills",
     "chunks_resumed",
+    "cache_hits",
+    "cache_misses",
+    "cache_bytes_served",
+    "cache_evictions",
+    "prefetch_issued",
+    "prefetch_useful",
     "buffers_in",
     "buffers_out",
     "bytes_in",
@@ -98,6 +104,46 @@ def check_meter(meter: object, path: str, where: str) -> None:
         require(isinstance(v, (int, float)), path, f"{where}: meter.{k} is not a number")
     for k in REQUIRED_METER_KEYS:
         require(k in meter, path, f"{where}: meter missing required counter {k}")
+
+
+# The optional "cache" section (fs/graph.hpp CacheReport): emitted by both
+# h4d-metrics-v1 and h4d-jobs-v1 exports when a tile cache was configured.
+CACHE_INT_KEYS = (
+    "budget_bytes",
+    "tile_w",
+    "tile_h",
+    "prefetch_depth",
+    "lookups",
+    "hits",
+    "misses",
+    "bytes_read_disk",
+    "bytes_served_cache",
+    "prefetch_issued",
+    "prefetch_useful",
+    "evictions",
+    "resident_bytes",
+)
+
+CACHE_POLICIES = ("lru", "clock", "cost")
+
+
+def check_cache_object(cache: object, path: str, where: str) -> None:
+    """Tile-cache section: key presence, types, and counter conservation."""
+    if not require(isinstance(cache, dict), path, f"{where}: not an object"):
+        return
+    require(cache.get("policy") in CACHE_POLICIES, path,
+            f"{where}: policy invalid ({cache.get('policy')!r})")
+    for k in CACHE_INT_KEYS:
+        require(isinstance(cache.get(k), int), path, f"{where}: missing {k}")
+    if all(isinstance(cache.get(k), int) for k in CACHE_INT_KEYS):
+        require(cache["lookups"] == cache["hits"] + cache["misses"], path,
+                f"{where}: lookups ({cache['lookups']}) != hits + misses "
+                f"({cache['hits']} + {cache['misses']})")
+        require(cache["prefetch_useful"] <= cache["prefetch_issued"], path,
+                f"{where}: prefetch_useful ({cache['prefetch_useful']}) > "
+                f"prefetch_issued ({cache['prefetch_issued']})")
+        for k in CACHE_INT_KEYS:
+            require(cache[k] >= 0, path, f"{where}: {k} is negative")
 
 
 def check_micro_object(doc: object, path: str, where: str) -> None:
@@ -201,6 +247,9 @@ def check_metrics_object(doc: object, path: str, where: str = "") -> None:
         require(ex.get("chunks_quarantined") == len(ex.get("quarantined") or []),
                 path, f"{where}: chunks_quarantined != len(quarantined)")
 
+    if "cache" in doc:
+        check_cache_object(doc.get("cache"), path, f"{where}cache")
+
 
 # The "jobs" counter section of an h4d-jobs-v1 export (svc/job_manager.hpp
 # ServiceCounters). Missing keys mean the C++ export drifted.
@@ -261,6 +310,9 @@ def check_jobs_object(doc: dict, path: str) -> None:
                 require(isinstance(t.get(k), int), path, f"{w}: missing {k}")
             require(isinstance(t.get("weight"), (int, float)), path,
                     f"{w}: missing weight")
+            for k in ("cache_hits", "cache_misses", "cache_bytes_served",
+                      "cache_resident_bytes"):
+                require(isinstance(t.get(k), int), path, f"{w}: missing {k}")
             tenant_submitted += t.get("submitted", 0) or 0
         if isinstance(c.get("submitted"), int):
             require(tenant_submitted == c["submitted"], path,
@@ -274,6 +326,23 @@ def check_jobs_object(doc: dict, path: str) -> None:
             require(isinstance(ex.get(k), int), path, f"exec.{k} missing")
         require(ex.get("queue_impl") in ("none", "locked", "mpmc"), path,
                 f"exec.queue_impl invalid ({ex.get('queue_impl')!r})")
+
+    if "cache" in doc:
+        check_cache_object(doc.get("cache"), path, "cache")
+        # The shared cache serves every tenant: the per-tenant demand rows
+        # must sum to (at most) the global counters — "at most" because
+        # jobs that ran with a private cache (fault drills) are folded into
+        # the global meter but not the shared cache's tenant rows.
+        cache = doc.get("cache")
+        if isinstance(cache, dict) and isinstance(tenants, list):
+            for key, tkey in (("hits", "cache_hits"), ("misses", "cache_misses"),
+                              ("bytes_served_cache", "cache_bytes_served")):
+                total = sum(t.get(tkey, 0) for t in tenants
+                            if isinstance(t, dict) and isinstance(t.get(tkey), int))
+                if isinstance(cache.get(key), int):
+                    require(total <= cache[key], path,
+                            f"cache: tenant {tkey} sums to {total}, exceeds "
+                            f"global {key} {cache[key]}")
 
     per_job = doc.get("per_job")
     if not require(isinstance(per_job, list), path, "per_job: not an array"):
