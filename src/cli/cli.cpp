@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <chrono>
+#include <cmath>
 #include <map>
 #include <ostream>
 #include <sstream>
@@ -212,6 +213,43 @@ io::TileCacheConfig cache_config_from_args(const Args& args) {
   return cache;
 }
 
+/// Tail-tolerance knobs shared by analyze/simulate/serve/jobs (docs/TAIL.md):
+/// --read-deadline-ms arms per-read deadlines (auto = clamp(k x node p99,
+/// floor, ceiling); a number pins a fixed deadline), --hedge-pct P arms
+/// hedged replica reads at the P-th percentile of the primary node's own
+/// latency history (0 = off), --hedge-max-inflight caps concurrently
+/// outstanding hedges.
+io::TailConfig tail_config_from_args(const Args& args) {
+  io::TailConfig tail;
+  const std::string deadline = args.get("read-deadline-ms", "");
+  if (!deadline.empty() && deadline != "off") {
+    tail.deadline_enabled = true;
+    if (deadline != "auto") {
+      bool ok = true;
+      try {
+        tail.deadline_ms = std::stod(deadline);
+      } catch (const std::exception&) {
+        ok = false;
+      }
+      if (!ok || std::isnan(tail.deadline_ms) || tail.deadline_ms <= 0.0) {
+        throw std::runtime_error(
+            "--read-deadline-ms wants auto or a positive ms value, got " + deadline);
+      }
+    }
+  }
+  const int hedge_pct = args.get_int("hedge-pct", 0);
+  if (hedge_pct < 0 || hedge_pct > 100) {
+    throw std::runtime_error("--hedge-pct wants a percentile in [1,100] (0 = off)");
+  }
+  if (hedge_pct > 0) {
+    tail.hedge_enabled = true;
+    tail.hedge_pct = hedge_pct;
+  }
+  tail.hedge_max_inflight =
+      std::max(1, args.get_int("hedge-max-inflight", tail.hedge_max_inflight));
+  return tail;
+}
+
 core::PipelineConfig pipeline_from_args(const Args& args, const std::string& dataset) {
   core::PipelineConfig cfg;
   cfg.dataset_root = dataset;
@@ -251,6 +289,9 @@ core::PipelineConfig pipeline_from_args(const Args& args, const std::string& dat
 
   // Out-of-core tile cache between the RFR readers and the slice files.
   cfg.cache = cache_config_from_args(args);
+
+  // Tail-tolerant I/O: adaptive deadlines, hedged reads, slow-node eviction.
+  cfg.tail = tail_config_from_args(args);
 
   const int workers = args.get_int("workers", 4);
   if (cfg.variant == core::Variant::HMP) {
@@ -313,6 +354,18 @@ void finish_observability(const Args& args, const fs::RunStats& stats,
         << c.bytes_read_disk / 1024 << " KiB from disk, prefetch "
         << c.prefetch_useful << "/" << c.prefetch_issued << " useful, "
         << c.evictions << " evictions\n";
+  }
+  if (stats.tail.present) {
+    const fs::TailReport& t = stats.tail;
+    out << "io tail: deadline " << t.deadline_mode << ", " << t.reads
+        << " pooled reads, hedges " << t.hedges_won << "/" << t.hedges_issued
+        << " won, " << t.reads_abandoned << " abandoned, " << t.breaches
+        << " breaches, " << t.evictions_slow << " slow evictions\n";
+    for (const fs::TailNodeRow& n : t.nodes) {
+      if (n.reads == 0 && n.breaches == 0) continue;
+      out << "  node_" << n.node << ": " << n.reads << " reads, p50 " << n.p50_ms
+          << " ms, p99 " << n.p99_ms << " ms, " << n.breaches << " breaches\n";
+    }
   }
   const fs::BottleneckReport report = fs::analyze_bottleneck(stats);
   fs::print_bottleneck_report(out, report);
@@ -455,6 +508,9 @@ svc::JobManager::Options manager_options_from_args(const Args& args) {
   // absent or zero --tile-cache-mb leaves jobs cache-less.
   const io::TileCacheConfig cache = cache_config_from_args(args);
   if (cache.enabled()) mopt.tile_cache = std::make_shared<io::TileCache>(cache);
+  // One process-wide tail layer (latency tracker + helper pool) shared the
+  // same way; the manager builds the shared instances when enabled.
+  mopt.tail = tail_config_from_args(args);
   return mopt;
 }
 
@@ -672,6 +728,8 @@ int usage(std::ostream& err) {
          "           [--queue locked|mpmc]\n"
          "           [--tile-cache-mb N] [--tile-shape W,H]\n"
          "           [--prefetch-depth N] [--cache-policy lru|clock|cost]\n"
+         "           [--read-deadline-ms auto|N] [--hedge-pct P]\n"
+         "           [--hedge-max-inflight N]\n"
          "           [--trace FILE] [--metrics FILE]\n"
          "  simulate DATASET_DIR [same options as analyze] [--sim-failures SPEC]\n"
          "  serve    DATASET_DIR [--jobs N] [--tenants N] [--seed S]\n"
@@ -776,6 +834,23 @@ int usage(std::ostream& err) {
          "  --cache-policy P    eviction policy: lru (default) | clock |\n"
          "                      cost (weighs refetch cost: failover /\n"
          "                      degraded-replica tiles are kept longer)\n"
+         "\n"
+         "tail-tolerant I/O (see docs/TAIL.md):\n"
+         "  --read-deadline-ms D  per-read deadline on verified slice reads:\n"
+         "                      auto = clamp(3 x node p99, 5 ms, 500 ms),\n"
+         "                      adapting to each storage node's measured\n"
+         "                      latency; a number pins a fixed deadline; a\n"
+         "                      read that blows it is abandoned in-flight\n"
+         "                      and retried synchronously (default: off)\n"
+         "  --hedge-pct P       hedge a read to the next replica once the\n"
+         "                      primary exceeds the P-th percentile of its\n"
+         "                      own latency; first CRC-verified result wins,\n"
+         "                      byte-identical either way (0 = off, the\n"
+         "                      default; needs replicas >= 2); sustained\n"
+         "                      breaches evict the slow node (reason slow)\n"
+         "                      with the usual probation / probe re-admission\n"
+         "  --hedge-max-inflight N  cap on concurrently outstanding hedge\n"
+         "                      reads across the run (default 4)\n"
          "\n"
          "multi-tenant service (see DESIGN.md sec. 14):\n"
          "  serve               closed-loop seeded workload against the\n"

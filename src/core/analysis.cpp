@@ -47,6 +47,40 @@ void fill_cache_report(fs::RunStats& stats, const filters::ParamsPtr& params) {
   c.resident_bytes = params->tile_cache->resident_bytes();
 }
 
+/// Fill RunStats.tail from the shared LatencyTracker (exact run totals),
+/// the configuration echo, and the replica set's eviction events.
+void fill_tail_report(fs::RunStats& stats, const filters::ParamsPtr& params) {
+  if (!params->latency || !params->tail.enabled()) return;
+  const io::TailConfig& cfg = params->tail;
+  const io::LatencyTracker& lt = *params->latency;
+  fs::TailReport& t = stats.tail;
+  t.present = true;
+  t.deadline_mode =
+      !cfg.deadline_enabled ? "off" : (cfg.deadline_ms > 0.0 ? "fixed" : "auto");
+  t.deadline_ms = cfg.deadline_ms;
+  t.deadline_k = cfg.deadline_k;
+  t.deadline_floor_ms = cfg.deadline_floor_ms;
+  t.deadline_ceiling_ms = cfg.deadline_ceiling_ms;
+  t.hedge_enabled = cfg.hedge_enabled;
+  t.hedge_pct = cfg.hedge_pct;
+  t.hedge_max_inflight = cfg.hedge_max_inflight;
+  t.hedges_issued = lt.hedges_issued.load();
+  t.hedges_won = lt.hedges_won.load();
+  t.hedges_abandoned = lt.hedges_abandoned.load();
+  t.reads_abandoned = lt.reads_abandoned.load();
+  t.breaches = lt.breaches.load();
+  t.evictions_slow = lt.evictions_slow.load();
+  for (const io::NodeLatencyStats& n : lt.snapshot()) {
+    t.reads += n.reads;
+    t.nodes.push_back({n.node, n.reads, n.ewma_ms, n.p50_ms, n.p99_ms, n.breaches});
+  }
+  if (params->replica_set) {
+    for (const io::EvictionEvent& e : params->replica_set->eviction_events()) {
+      t.evictions.push_back({e.node, std::string(io::evict_reason_name(e.reason))});
+    }
+  }
+}
+
 }  // namespace
 
 AnalysisResult analyze_in_memory(const Volume4<std::uint16_t>& volume,
@@ -83,6 +117,7 @@ AnalysisResult analyze_threaded(PipelineConfig config,
   r.stats.exec.replica_failovers = r.faults.replica_failovers;
   r.stats.exec.nodes_evicted = r.faults.nodes_evicted;
   fill_cache_report(r.stats, params);
+  fill_tail_report(r.stats, params);
   return r;
 }
 
@@ -99,6 +134,7 @@ AnalysisResult analyze_simulated(PipelineConfig config, const sim::SimOptions& s
   r.stats.exec.replica_failovers = r.faults.replica_failovers;
   r.stats.exec.nodes_evicted = r.faults.nodes_evicted;
   fill_cache_report(r.stats, params);
+  fill_tail_report(r.stats, params);
   return r;
 }
 

@@ -92,6 +92,16 @@ struct PipelineConfig {
   std::shared_ptr<io::TileCache> tile_cache;
   /// Tenant the cached bytes are accounted to (svc: the job's tenant).
   std::string cache_tenant;
+
+  /// Tail-tolerant I/O on the RFR read path (--read-deadline-ms,
+  /// --hedge-pct, --hedge-max-inflight): adaptive per-read deadlines,
+  /// hedged replica reads, slow-node eviction. Default-constructed = off.
+  /// When `latency` / `io_pool` are set (service layer), those shared
+  /// instances are used — node latency reputation then spans jobs;
+  /// make_params builds private ones otherwise.
+  io::TailConfig tail;
+  std::shared_ptr<io::LatencyTracker> latency;
+  std::shared_ptr<io::SliceFetchPool> io_pool;
 };
 
 /// Build the filter graph for a configuration. When `collected` is non-null

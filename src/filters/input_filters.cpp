@@ -109,6 +109,11 @@ void RawFileReader::run_source(fs::FilterContext& ctx) {
     cache_tenant = p_->tile_cache->tenant_id(p_->cache_tenant);
     reader.attach_cache(p_->tile_cache.get(), p_->cache_dataset, cache_tenant);
   }
+  // Tail layer on the demand reader only: the prefetcher's reads are already
+  // off the critical path, so hedging them would just burn replica bandwidth.
+  if (p_->latency && p_->io_pool && p_->tail.enabled()) {
+    reader.attach_tail(p_->tail, p_->latency.get(), p_->io_pool.get());
+  }
   const Quantizer quant = p_->quantizer();
 
   // x/y tiling of a slice into RFR->IIC pieces.
@@ -123,6 +128,12 @@ void RawFileReader::run_source(fs::FilterContext& ctx) {
   std::int64_t cache_misses_before = 0;
   std::int64_t cache_served_before = 0;
   io::FaultReport report_before;
+  std::int64_t hedges_issued_before = 0;
+  std::int64_t hedges_won_before = 0;
+  std::int64_t hedges_abandoned_before = 0;
+  std::int64_t reads_abandoned_before = 0;
+  std::int64_t tail_breaches_before = 0;
+  std::int64_t slow_evictions_before = 0;
 
   // Raster-order prefetch: pull this node's upcoming slices into the shared
   // cache while the demand loop (and everything downstream) computes. Off
@@ -195,6 +206,20 @@ void RawFileReader::run_source(fs::FilterContext& ctx) {
         report_before.checksum_failures = rep.checksum_failures;
         report_before.replica_failovers = rep.replica_failovers;
         report_before.nodes_evicted = rep.nodes_evicted;
+        ctx.meter().hedges_issued += reader.tail_hedges_issued() - hedges_issued_before;
+        ctx.meter().hedges_won += reader.tail_hedges_won() - hedges_won_before;
+        ctx.meter().hedges_abandoned +=
+            reader.tail_hedges_abandoned() - hedges_abandoned_before;
+        ctx.meter().reads_abandoned +=
+            reader.tail_reads_abandoned() - reads_abandoned_before;
+        ctx.meter().tail_breaches += reader.tail_breaches() - tail_breaches_before;
+        ctx.meter().slow_evictions += reader.tail_slow_evictions() - slow_evictions_before;
+        hedges_issued_before = reader.tail_hedges_issued();
+        hedges_won_before = reader.tail_hedges_won();
+        hedges_abandoned_before = reader.tail_hedges_abandoned();
+        reads_abandoned_before = reader.tail_reads_abandoned();
+        tail_breaches_before = reader.tail_breaches();
+        slow_evictions_before = reader.tail_slow_evictions();
 
         // Global region of this piece.
         const Region4 piece{{tile.origin[0], tile.origin[1], slice.z, slice.t},

@@ -17,6 +17,7 @@
 #include "io/manifest.hpp"
 #include "io/replica_set.hpp"
 #include "io/resilient_reader.hpp"
+#include "io/tail.hpp"
 #include "io/tile_cache.hpp"
 #include "nd/chunking.hpp"
 
@@ -105,6 +106,18 @@ struct PipelineParams {
   /// the cache or prefetch is off.
   std::vector<SliceCoord> prefetch_slices;
 
+  /// Tail-tolerance knobs (--read-deadline-ms/--hedge-pct/
+  /// --hedge-max-inflight); disabled => RFR reads stay fully synchronous.
+  io::TailConfig tail;
+  /// Per-node read-latency statistics feeding deadlines/hedging (derived by
+  /// make() when tail is on; svc passes its process-wide instance so a
+  /// node's latency reputation spans jobs).
+  std::shared_ptr<io::LatencyTracker> latency;
+  /// I/O helper pool performing abandonable whole-slice fetches. Declared
+  /// after fault_injector: queued requests hold a raw injector pointer, so
+  /// the pool (and its worker threads) must be destroyed first.
+  std::shared_ptr<io::SliceFetchPool> io_pool;
+
   static std::shared_ptr<const PipelineParams> make(PipelineParams p) {
     if (p.io_chunk[0] <= 0) p.io_chunk[0] = p.meta.dims[0];
     if (p.io_chunk[1] <= 0) p.io_chunk[1] = p.meta.dims[1];
@@ -144,6 +157,21 @@ struct PipelineParams {
     }
     if (p.faults.enabled()) p.fault_injector = std::make_shared<io::FaultInjector>(p.faults);
     p.fault_sink = std::make_shared<io::FaultReportSink>();
+
+    // Tail layer: solo runs build private instances; the service layer
+    // passes shared ones in (cross-job node reputation, one helper pool).
+    if (p.tail.enabled()) {
+      if (!p.latency) {
+        p.latency = std::make_shared<io::LatencyTracker>(p.meta.storage_nodes);
+      }
+      if (!p.io_pool) {
+        p.io_pool =
+            std::make_shared<io::SliceFetchPool>(std::max(1, p.tail.helper_threads));
+      }
+    } else {
+      p.latency = nullptr;
+      p.io_pool = nullptr;
+    }
 
     // Tile cache: solo runs build a private instance; the service layer (or
     // a bench harness) passes a shared one in. A fault-injected run never

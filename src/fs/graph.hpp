@@ -129,6 +129,49 @@ struct CacheReport {
   std::int64_t resident_bytes = 0;  ///< cache occupancy at end of run
 };
 
+/// One storage node's row in the io_tail metrics section.
+struct TailNodeRow {
+  int node = 0;
+  std::int64_t reads = 0;
+  double ewma_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::int64_t breaches = 0;
+};
+
+/// One node-eviction event (io_tail.evictions): reason is "failure" or
+/// "slow" (io::evict_reason_name).
+struct TailEvictionRow {
+  int node = 0;
+  std::string reason;
+};
+
+/// Tail-tolerance summary of one run: configuration echo plus the counters
+/// the "io_tail" metrics section exports. `present` is false when the run
+/// had no tail layer attached (the section is then omitted). Identities the
+/// validator (tools/check_metrics.py) holds us to: hedges_won <=
+/// hedges_issued, and the per-node reads/breaches sum to the globals.
+struct TailReport {
+  bool present = false;
+  std::string deadline_mode;  ///< "off" / "auto" / "fixed"
+  double deadline_ms = 0.0;   ///< fixed deadline (deadline_mode == "fixed")
+  double deadline_k = 0.0;
+  double deadline_floor_ms = 0.0;
+  double deadline_ceiling_ms = 0.0;
+  bool hedge_enabled = false;
+  double hedge_pct = 0.0;
+  std::int64_t hedge_max_inflight = 0;
+  std::int64_t reads = 0;           ///< completed pooled reads observed
+  std::int64_t hedges_issued = 0;
+  std::int64_t hedges_won = 0;
+  std::int64_t hedges_abandoned = 0;
+  std::int64_t reads_abandoned = 0;
+  std::int64_t breaches = 0;
+  std::int64_t evictions_slow = 0;
+  std::vector<TailNodeRow> nodes;
+  std::vector<TailEvictionRow> evictions;
+};
+
 /// Result of executing a graph.
 struct RunStats {
   double total_seconds = 0.0;  ///< end-to-end makespan (virtual or wall)
@@ -138,6 +181,8 @@ struct RunStats {
   ExecutionReport exec;
   /// Tile-cache summary (present only when the run read through a cache).
   CacheReport cache;
+  /// Tail-tolerance summary (present only when the tail layer was active).
+  TailReport tail;
 
   /// Sum of busy time over every copy of the named filter group.
   double filter_busy_seconds(std::string_view filter) const;

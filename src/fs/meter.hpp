@@ -41,6 +41,12 @@ struct WorkMeter {
   std::int64_t cache_evictions = 0;     ///< tile cache: tiles evicted (drained)
   std::int64_t prefetch_issued = 0;     ///< tile cache: tiles inserted by prefetch
   std::int64_t prefetch_useful = 0;     ///< tile cache: prefetched tiles demand-hit
+  std::int64_t hedges_issued = 0;       ///< tail: hedge reads sent to a 2nd replica
+  std::int64_t hedges_won = 0;          ///< tail: hedges that finished first
+  std::int64_t hedges_abandoned = 0;    ///< tail: race losers cancelled/drained
+  std::int64_t reads_abandoned = 0;     ///< tail: reads dropped at deadline expiry
+  std::int64_t tail_breaches = 0;       ///< tail: deadline expiries + lost hedges
+  std::int64_t slow_evictions = 0;      ///< tail: nodes evicted as slow (gray)
   std::int64_t buffers_in = 0;
   std::int64_t buffers_out = 0;
   std::int64_t bytes_in = 0;
@@ -62,11 +68,13 @@ struct WorkMeter {
                     m.chunks_quarantined, m.watchdog_kills, m.chunks_resumed,
                     m.cache_hits, m.cache_misses, m.cache_bytes_served,
                     m.cache_evictions, m.prefetch_issued, m.prefetch_useful,
+                    m.hedges_issued, m.hedges_won, m.hedges_abandoned,
+                    m.reads_abandoned, m.tail_breaches, m.slow_evictions,
                     m.buffers_in, m.buffers_out, m.bytes_in, m.bytes_out);
   }
 
   /// Export names of the counters, parallel to tied() (same order).
-  static constexpr std::array<std::string_view, 31> kFieldNames = {
+  static constexpr std::array<std::string_view, 37> kFieldNames = {
       "glcm_pair_updates", "feature_cells_scanned", "feature_cell_ops",
       "matrices_built",    "sparse_entries_emitted", "sparse_compress_cells",
       "bytes_memcpy",      "stitch_elements",       "elements_quantized",
@@ -76,6 +84,8 @@ struct WorkMeter {
       "chunks_quarantined", "watchdog_kills",       "chunks_resumed",
       "cache_hits",        "cache_misses",          "cache_bytes_served",
       "cache_evictions",   "prefetch_issued",       "prefetch_useful",
+      "hedges_issued",     "hedges_won",            "hedges_abandoned",
+      "reads_abandoned",   "tail_breaches",         "slow_evictions",
       "buffers_in",        "buffers_out",           "bytes_in",
       "bytes_out"};
 

@@ -247,6 +247,48 @@ void write_metrics_object(std::ostream& os, const RunStats& stats,
        << ", \"evictions\": " << c.evictions
        << ", \"resident_bytes\": " << c.resident_bytes << "}";
   }
+  if (stats.tail.present) {
+    const TailReport& t = stats.tail;
+    os << ",\n \"io_tail\": {\"deadline_mode\": ";
+    jstr(os, t.deadline_mode);
+    os << ", \"deadline_ms\": ";
+    jnum(os, t.deadline_ms);
+    os << ", \"deadline_k\": ";
+    jnum(os, t.deadline_k);
+    os << ", \"deadline_floor_ms\": ";
+    jnum(os, t.deadline_floor_ms);
+    os << ", \"deadline_ceiling_ms\": ";
+    jnum(os, t.deadline_ceiling_ms);
+    os << ", \"hedge_enabled\": " << (t.hedge_enabled ? "true" : "false")
+       << ", \"hedge_pct\": ";
+    jnum(os, t.hedge_pct);
+    os << ", \"hedge_max_inflight\": " << t.hedge_max_inflight
+       << ", \"reads\": " << t.reads << ", \"hedges_issued\": " << t.hedges_issued
+       << ", \"hedges_won\": " << t.hedges_won
+       << ", \"hedges_abandoned\": " << t.hedges_abandoned
+       << ", \"reads_abandoned\": " << t.reads_abandoned
+       << ", \"breaches\": " << t.breaches
+       << ", \"evictions_slow\": " << t.evictions_slow << ", \"nodes\": [";
+    for (std::size_t i = 0; i < t.nodes.size(); ++i) {
+      const TailNodeRow& n = t.nodes[i];
+      os << (i ? ", " : "") << "{\"node\": " << n.node << ", \"reads\": " << n.reads
+         << ", \"ewma_ms\": ";
+      jnum(os, n.ewma_ms);
+      os << ", \"p50_ms\": ";
+      jnum(os, n.p50_ms);
+      os << ", \"p99_ms\": ";
+      jnum(os, n.p99_ms);
+      os << ", \"breaches\": " << n.breaches << "}";
+    }
+    os << "], \"evictions\": [";
+    for (std::size_t i = 0; i < t.evictions.size(); ++i) {
+      os << (i ? ", " : "") << "{\"node\": " << t.evictions[i].node
+         << ", \"reason\": ";
+      jstr(os, t.evictions[i].reason);
+      os << "}";
+    }
+    os << "]}";
+  }
   if (!extra.empty()) {
     os << ",\n \"extra\": {";
     for (std::size_t i = 0; i < extra.size(); ++i) {

@@ -149,7 +149,7 @@ void StorageNodeReader::read_slice_region(const SliceRef& slice, std::int64_t x0
     throw std::invalid_argument("read_slice_region: rectangle out of bounds");
   }
   AttemptPlan plan;
-  if (injector_) plan = injector_->plan_attempt(slice.t, slice.z);
+  if (injector_) plan = injector_->plan_attempt(slice.t, slice.z, node_id_);
   const std::string path = (dir_ / slice.filename).string();
   std::ifstream f(dir_ / slice.filename, std::ios::binary);
   if (plan.fail_open || !f) {
@@ -196,7 +196,7 @@ void StorageNodeReader::read_slice_bytes(const SliceRef& slice, std::uint8_t* ou
                                 std::to_string(node_id_));
   }
   AttemptPlan plan;
-  if (injector_) plan = injector_->plan_attempt(slice.t, slice.z);
+  if (injector_) plan = injector_->plan_attempt(slice.t, slice.z, node_id_);
   const std::string path = (dir_ / slice.filename).string();
   std::ifstream f(dir_ / slice.filename, std::ios::binary);
   if (plan.fail_open || !f) {

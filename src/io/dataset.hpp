@@ -127,6 +127,7 @@ class StorageNodeReader {
   StorageNodeReader(std::filesystem::path node_dir, DatasetMeta meta, int node_id);
 
   int node_id() const { return node_id_; }
+  const std::filesystem::path& node_dir() const { return dir_; }
   const DatasetMeta& meta() const { return meta_; }
   const std::vector<SliceRef>& slices() const { return slices_; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -42,6 +43,7 @@ constexpr std::uint64_t kSaltOpen = 0xA11C0DE5;
 constexpr std::uint64_t kSaltShortRead = 0xB2EAD5;
 constexpr std::uint64_t kSaltStall = 0xC0FFEE;
 constexpr std::uint64_t kSaltCorrupt = 0xDECAF;
+constexpr std::uint64_t kSaltStallLen = 0x5CA1AB1E;
 
 }  // namespace
 
@@ -65,6 +67,16 @@ FaultConfig FaultConfig::parse(const std::string& spec) {
     }
     const std::string key = item.substr(0, eq);
     const std::string value = item.substr(eq + 1);
+    // Every numeric value is domain-checked: a NaN or negative duration /
+    // multiplier / budget would silently disable caps or poison the
+    // deterministic schedule, so it is the same typed error as a non-number.
+    const auto bad_value = [&]() -> std::runtime_error {
+      return std::runtime_error("bad fault spec value for " + key + ": " + value);
+    };
+    const auto non_negative = [&](double v) {
+      if (std::isnan(v) || v < 0.0) throw bad_value();
+      return v;
+    };
     try {
       if (key == "seed") {
         cfg.seed = std::stoull(value);
@@ -77,20 +89,46 @@ FaultConfig FaultConfig::parse(const std::string& spec) {
       } else if (key == "stall") {
         cfg.p_stall = std::stod(value);
       } else if (key == "stall_ms") {
-        cfg.stall_ms = std::stod(value);
+        cfg.stall_ms = non_negative(std::stod(value));
       } else if (key == "stall_cap") {
-        cfg.stall_cap_ms = std::stod(value);
+        cfg.stall_cap_ms = non_negative(std::stod(value));
       } else if (key == "max_transient") {
         cfg.max_transient_per_slice = std::stoi(value);
+        if (cfg.max_transient_per_slice < 0) throw bad_value();
+      } else if (key == "stall_dist") {
+        if (value == "fixed") {
+          cfg.stall_dist = StallDist::Fixed;
+        } else if (value == "pareto") {
+          cfg.stall_dist = StallDist::Pareto;
+        } else {
+          throw bad_value();
+        }
+      } else if (key == "pareto_alpha") {
+        cfg.pareto_alpha = std::stod(value);
+        if (std::isnan(cfg.pareto_alpha) || cfg.pareto_alpha <= 0.0) throw bad_value();
+      } else if (key == "slow_nodes") {
+        // node:multiplier pairs separated by ';' (the spec splits on ',').
+        std::istringstream pairs(value);
+        std::string pair;
+        while (std::getline(pairs, pair, ';')) {
+          const auto colon = pair.find(':');
+          if (colon == std::string::npos) throw bad_value();
+          const int node = std::stoi(pair.substr(0, colon));
+          const double mult = std::stod(pair.substr(colon + 1));
+          if (node < 0 || std::isnan(mult) || mult < 0.0) throw bad_value();
+          cfg.slow_nodes[node] = mult;
+        }
       } else {
         throw std::runtime_error("unknown fault spec key: " + key);
       }
     } catch (const std::invalid_argument&) {
-      throw std::runtime_error("bad fault spec value for " + key + ": " + value);
+      throw bad_value();
     }
   }
   for (const double p : {cfg.p_fail_open, cfg.p_short_read, cfg.p_corrupt, cfg.p_stall}) {
-    if (p < 0.0 || p > 1.0) throw std::runtime_error("fault probability outside [0,1]");
+    if (std::isnan(p) || p < 0.0 || p > 1.0) {
+      throw std::runtime_error("fault probability outside [0,1]");
+    }
   }
   return cfg;
 }
@@ -99,6 +137,18 @@ std::string FaultConfig::str() const {
   std::ostringstream os;
   os << "seed=" << seed << ",open=" << p_fail_open << ",read=" << p_short_read
      << ",corrupt=" << p_corrupt << ",stall=" << p_stall;
+  if (stall_dist == StallDist::Pareto) {
+    os << ",stall_dist=pareto,pareto_alpha=" << pareto_alpha;
+  }
+  if (!slow_nodes.empty()) {
+    os << ",slow_nodes=";
+    bool first = true;
+    for (const auto& [node, mult] : slow_nodes) {
+      if (!first) os << ";";
+      os << node << ":" << mult;
+      first = false;
+    }
+  }
   return os.str();
 }
 
@@ -112,7 +162,7 @@ double FaultInjector::uniform(std::int64_t slice, std::int64_t attempt,
   return to_unit(h);
 }
 
-AttemptPlan FaultInjector::plan_attempt(std::int64_t t, std::int64_t z) {
+AttemptPlan FaultInjector::plan_attempt(std::int64_t t, std::int64_t z, int node) {
   const std::int64_t key = slice_key(t, z);
   int attempt = 0;
   int transient_so_far = 0;
@@ -136,13 +186,25 @@ AttemptPlan FaultInjector::plan_attempt(std::int64_t t, std::int64_t z) {
   if (plan.fail_open) stats_.opens_failed.fetch_add(1, std::memory_order_relaxed);
   if (plan.short_read) stats_.short_reads.fetch_add(1, std::memory_order_relaxed);
   if (plan.stall) {
+    // Modeled duration: the base stall, shaped by the configured
+    // distribution (Pareto tail is a pure hash of (seed, slice, attempt) —
+    // deterministic like every other decision) and scaled by the serving
+    // node's slow multiplier (gray-failure drills).
+    plan.stall_ms = cfg_.stall_ms;
+    if (cfg_.stall_dist == StallDist::Pareto) {
+      const double u = uniform(key, attempt, kSaltStallLen);
+      plan.stall_ms *= std::pow(1.0 - u, -1.0 / cfg_.pareto_alpha);
+    }
+    if (const auto it = cfg_.slow_nodes.find(node); it != cfg_.slow_nodes.end()) {
+      plan.stall_ms *= it->second;
+    }
     stats_.stalls.fetch_add(1, std::memory_order_relaxed);
-    if (cfg_.really_sleep && cfg_.stall_ms > 0.0) {
+    if (cfg_.really_sleep && plan.stall_ms > 0.0) {
       // Never block a real thread longer than the hard cap: the *modeled*
-      // stall stays stall_ms, but a mis-typed stall_ms=60000 must not hang
-      // a test run for a minute per fault.
-      const double sleep_ms = std::min(cfg_.stall_ms, cfg_.stall_cap_ms);
-      if (cfg_.stall_ms > cfg_.stall_cap_ms) {
+      // stall stays plan.stall_ms, but a mis-typed stall_ms=60000 must not
+      // hang a test run for a minute per fault.
+      const double sleep_ms = std::min(plan.stall_ms, cfg_.stall_cap_ms);
+      if (plan.stall_ms > cfg_.stall_cap_ms) {
         stats_.stalls_capped.fetch_add(1, std::memory_order_relaxed);
       }
       if (sleep_ms > 0.0) {

@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -32,6 +33,13 @@ namespace h4d::io {
 /// `crc`. Used for the per-slice checksums in the dataset index files.
 std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t crc = 0);
 
+/// Shape of an injected stall's duration.
+enum class StallDist {
+  Fixed,   ///< every stall lasts exactly stall_ms (modeled)
+  Pareto,  ///< heavy-tailed: stall_ms x (1-u)^(-1/alpha), the classic
+           ///< gray-failure latency profile (most stalls short, rare huge)
+};
+
 /// Configuration of the injector. All probabilities are in [0, 1];
 /// a default-constructed config injects nothing.
 struct FaultConfig {
@@ -41,6 +49,14 @@ struct FaultConfig {
   double p_corrupt = 0.0;     ///< per slice (sticky): delivered bytes are flipped
   double p_stall = 0.0;       ///< per attempt: the read stalls for stall_ms
   double stall_ms = 1.0;
+  /// Stall duration distribution. Pareto samples are a pure hash of
+  /// (seed, slice, attempt), so the heavy tail is deterministic too.
+  StallDist stall_dist = StallDist::Fixed;
+  double pareto_alpha = 1.5;  ///< Pareto shape (smaller = heavier tail)
+  /// Per-node stall multipliers (gray failure: one slow node among healthy
+  /// peers). A node absent from the map has multiplier 1. Applied to the
+  /// modeled duration of stalls injected on reads served by that node.
+  std::map<int, double> slow_nodes;
   /// Hard per-attempt bound on the *real* sleep an injected stall performs.
   /// The configured stall_ms still describes the modeled hiccup, but a test
   /// process never blocks longer than this per attempt; stalls clipped by
@@ -56,8 +72,13 @@ struct FaultConfig {
   }
 
   /// Parse a CLI spec: comma-separated key=value pairs among
-  /// seed, open, read, corrupt, stall, stall_ms, stall_cap, max_transient.
+  /// seed, open, read, corrupt, stall, stall_ms, stall_cap, max_transient,
+  /// stall_dist (fixed|pareto), pareto_alpha, slow_nodes (node:mult pairs
+  /// separated by ';', e.g. slow_nodes=0:16;2:4).
   /// Example: "seed=7,open=0.05,read=0.02,corrupt=0.01". Empty => disabled.
+  /// Numeric values are validated: probabilities must lie in [0,1], and
+  /// stall_ms / stall_cap / pareto_alpha / slow-node multipliers /
+  /// max_transient must be finite and non-negative.
   static FaultConfig parse(const std::string& spec);
   std::string str() const;
 };
@@ -78,6 +99,9 @@ struct AttemptPlan {
   bool fail_open = false;
   bool short_read = false;
   bool stall = false;
+  /// Modeled duration of the injected stall (before the stall_cap_ms sleep
+  /// clip); 0 when stall is false. Tests pin the heavy-tail determinism.
+  double stall_ms = 0.0;
 };
 
 /// Seeded, deterministic fault source shared by every reader of one run.
@@ -92,7 +116,11 @@ class FaultInjector {
 
   /// Decide the fate of the next read attempt of slice (t, z). Increments the
   /// slice's attempt counter; also performs (or just counts) the stall.
-  AttemptPlan plan_attempt(std::int64_t t, std::int64_t z);
+  /// `node` identifies the storage node serving the attempt (slow_nodes
+  /// multiplier lookup); -1 = unknown (multiplier 1). The fault *decisions*
+  /// are node-independent, so a schedule replays identically whichever node
+  /// answers.
+  AttemptPlan plan_attempt(std::int64_t t, std::int64_t z, int node = -1);
 
   /// Sticky per-slice corruption decision (same answer on every call and on
   /// every injector constructed with the same config).

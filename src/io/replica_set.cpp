@@ -5,6 +5,14 @@
 
 namespace h4d::io {
 
+std::string_view evict_reason_name(EvictReason r) {
+  switch (r) {
+    case EvictReason::Failure: return "failure";
+    case EvictReason::Slow: return "slow";
+  }
+  return "?";
+}
+
 ReplicaSet::ReplicaSet(std::filesystem::path root, DatasetMeta meta,
                        std::vector<int> dead_nodes, ReplicaHealthConfig health)
     : root_(std::move(root)), meta_(meta), dead_(std::move(dead_nodes)), health_(health) {
@@ -90,6 +98,14 @@ std::vector<int> ReplicaSet::replica_order(std::int64_t z, std::int64_t t,
   return order.empty() ? candidates : order;
 }
 
+void ReplicaSet::evict_locked(NodeHealth& h, int node, EvictReason reason) {
+  h.evicted = true;
+  h.evicted_at = Clock::now();
+  ++evictions_;
+  if (reason == EvictReason::Slow) ++evictions_slow_;
+  events_.push_back({node, reason});
+}
+
 bool ReplicaSet::note_failure(int node) {
   if (node < 0 || node >= meta_.storage_nodes) return false;
   std::lock_guard lk(mu_);
@@ -99,12 +115,22 @@ bool ReplicaSet::note_failure(int node) {
     return false;
   }
   if (++h.consecutive_failures >= health_.evict_after) {
-    h.evicted = true;
-    h.evicted_at = Clock::now();
-    ++evictions_;
+    evict_locked(h, node, EvictReason::Failure);
     return true;
   }
   return false;
+}
+
+bool ReplicaSet::note_slow(int node) {
+  if (node < 0 || node >= meta_.storage_nodes) return false;
+  std::lock_guard lk(mu_);
+  NodeHealth& h = nodes_[static_cast<std::size_t>(node)];
+  if (h.evicted) {
+    h.evicted_at = Clock::now();  // slow probe: restart probation
+    return false;
+  }
+  evict_locked(h, node, EvictReason::Slow);
+  return true;
 }
 
 void ReplicaSet::note_success(int node) {
@@ -124,6 +150,16 @@ bool ReplicaSet::node_evicted(int node) const {
 std::int64_t ReplicaSet::evictions() const {
   std::lock_guard lk(mu_);
   return evictions_;
+}
+
+std::int64_t ReplicaSet::evictions_slow() const {
+  std::lock_guard lk(mu_);
+  return evictions_slow_;
+}
+
+std::vector<EvictionEvent> ReplicaSet::eviction_events() const {
+  std::lock_guard lk(mu_);
+  return events_;
 }
 
 }  // namespace h4d::io

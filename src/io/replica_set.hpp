@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <mutex>
+#include <string_view>
 #include <vector>
 
 #include "io/dataset.hpp"
@@ -35,6 +36,20 @@ struct ReplicaHealthConfig {
   /// Time an evicted node sits out before it is offered again for one probe
   /// read. A failed probe restarts the clock; a successful one re-admits.
   double probation_ms = 2000.0;
+};
+
+/// Why a node was evicted: it kept *failing* reads (opens, short reads, CRC
+/// mismatches), or it stayed *alive but slow* (sustained tail-latency
+/// breaches surfaced by the tail-tolerance layer, io/tail.hpp). Both share
+/// the probation / probe re-admission lifecycle.
+enum class EvictReason { Failure, Slow };
+
+std::string_view evict_reason_name(EvictReason r);
+
+/// One healthy -> evicted transition (metrics export: io_tail.evictions).
+struct EvictionEvent {
+  int node = 0;
+  EvictReason reason = EvictReason::Failure;
 };
 
 class ReplicaSet {
@@ -77,6 +92,12 @@ class ReplicaSet {
   /// evicted the node (transition into probation); a failure during an
   /// eviction's probe restarts the probation clock instead.
   bool note_failure(int node);
+  /// Record a sustained-slowness verdict against `node` (the tail-tolerance
+  /// layer's slow_after consecutive breaches): evict it immediately with
+  /// reason `slow`. Returns true on the healthy -> evicted transition; a
+  /// slow verdict during an eviction's probe restarts the probation clock,
+  /// exactly like a failed probe.
+  bool note_slow(int node);
   /// Record a successful read: resets the failure streak and re-admits an
   /// evicted node whose probe succeeded.
   void note_success(int node);
@@ -86,6 +107,10 @@ class ReplicaSet {
   bool node_evicted(int node) const;
   /// Total eviction events so far (healthy -> evicted transitions).
   std::int64_t evictions() const;
+  /// Eviction events whose reason was `slow` (subset of evictions()).
+  std::int64_t evictions_slow() const;
+  /// Every healthy -> evicted transition so far, in order, with its reason.
+  std::vector<EvictionEvent> eviction_events() const;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -97,6 +122,8 @@ class ReplicaSet {
   };
 
   bool usable_locked(int node, Clock::time_point now) const;
+  /// Evict `node` (caller holds mu_): record the event, stamp the clock.
+  void evict_locked(NodeHealth& h, int node, EvictReason reason);
 
   std::filesystem::path root_;
   DatasetMeta meta_;
@@ -107,6 +134,8 @@ class ReplicaSet {
   mutable std::mutex mu_;
   std::vector<NodeHealth> nodes_;
   std::int64_t evictions_ = 0;
+  std::int64_t evictions_slow_ = 0;
+  std::vector<EvictionEvent> events_;
 };
 
 }  // namespace h4d::io

@@ -38,6 +38,13 @@ double RetryPolicy::backoff_ms(int retry) const {
   return std::min(ms, backoff_max_ms);
 }
 
+double RetryPolicy::capped_backoff_ms(int retry, double spent_ms, bool& clipped) const {
+  const double want = backoff_ms(retry);
+  const double budget = std::max(0.0, total_backoff_cap_ms - spent_ms);
+  clipped = want > budget;
+  return std::min(want, budget);
+}
+
 std::string_view degrade_policy_name(DegradePolicy p) {
   switch (p) {
     case DegradePolicy::FailFast: return "fail_fast";
@@ -63,6 +70,7 @@ void FaultReport::merge(const FaultReport& o) {
   replica_failovers += o.replica_failovers;
   nodes_evicted += o.nodes_evicted;
   write_errors += o.write_errors;
+  backoffs_capped += o.backoffs_capped;
   skipped.insert(skipped.end(), o.skipped.begin(), o.skipped.end());
 }
 
@@ -100,18 +108,25 @@ void ResilientReader::attach_cache(TileCache* cache, std::uint64_t dataset_key,
   cache_tenant_ = tenant;
 }
 
+void ResilientReader::attach_tail(const TailConfig& config, LatencyTracker* tracker,
+                                  SliceFetchPool* pool) {
+  tail_cfg_ = config;
+  tail_tracker_ = tracker;
+  tail_pool_ = pool;
+}
+
 ResilientReader::~ResilientReader() {
   if (sink_) sink_->merge(report_);
 }
 
 std::int64_t ResilientReader::seeks_performed() const {
-  std::int64_t seeks = reader_.seeks_performed();
+  std::int64_t seeks = reader_.seeks_performed() + pool_seeks_;
   for (const auto& [node, fallback] : fallbacks_) seeks += fallback.seeks_performed();
   return seeks;
 }
 
 std::int64_t ResilientReader::attempted_bytes_read() const {
-  std::int64_t bytes = reader_.bytes_read();
+  std::int64_t bytes = reader_.bytes_read() + pool_attempted_bytes_;
   for (const auto& [node, fallback] : fallbacks_) bytes += fallback.bytes_read();
   return bytes;
 }
@@ -201,6 +216,159 @@ void ResilientReader::fill(std::int64_t w, std::int64_t h, std::uint16_t* out) c
   std::fill_n(out, static_cast<std::size_t>(w * h), cfg_.fill_value);
 }
 
+void ResilientReader::note_tail_breach(int node) {
+  ++tail_breaches_;
+  if (!tail_tracker_->note_breach(node, tail_cfg_.slow_after)) return;
+  if (replicas_ && replicas_->note_slow(node)) {
+    ++tail_slow_evictions_;
+    ++report_.nodes_evicted;
+    tail_tracker_->evictions_slow.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool ResilientReader::hedged_fetch(const SliceRef& slice, const std::vector<int>& order,
+                                   std::string& last_error) {
+  using Clock = std::chrono::steady_clock;
+  const bool verified = cfg_.verify_checksums && slice.has_crc;
+  const int primary = order[0];
+  const auto event = std::make_shared<FetchEvent>();
+
+  struct InFlight {
+    int node = -1;
+    bool hedge = false;
+    bool consumed = false;
+    std::shared_ptr<FetchTicket> ticket;
+  };
+  std::vector<InFlight> inflight;
+  inflight.reserve(2);
+
+  const auto submit_to = [&](int node, bool hedge) {
+    SliceFetchPool::Request req;
+    // Only the wrapped node's fetch consults the injector — injected faults
+    // model the first-asked storage path, exactly like the sync fallbacks.
+    req.node_dir =
+        node == reader_.node_id() ? reader_.node_dir() : replicas_->node_dir(node);
+    req.meta = reader_.meta();
+    req.node = node;
+    req.slice = slice;
+    req.injector = node == reader_.node_id() ? injector_ : nullptr;
+    req.verify = verified;
+    inflight.push_back({node, hedge, false, tail_pool_->submit(std::move(req), event)});
+  };
+
+  submit_to(primary, /*hedge=*/false);
+  const Clock::time_point start = Clock::now();
+  const auto at_ms = [&](double ms) {
+    return start + std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double, std::milli>(ms));
+  };
+  // Milestones relative to the submit: the hedge threshold (hedge_pct
+  // percentile of the primary node's own history) and the adaptive deadline.
+  const bool can_hedge = tail_cfg_.hedge_enabled && order.size() > 1;
+  const double hedge_ms =
+      can_hedge ? tail_tracker_->hedge_delay_for(primary, tail_cfg_) : 0.0;
+  const bool has_deadline = tail_cfg_.deadline_enabled;
+  const double deadline_ms =
+      has_deadline ? tail_tracker_->deadline_for(primary, tail_cfg_) : 0.0;
+
+  InFlight* winner = nullptr;
+  const auto harvest = [&]() {
+    for (InFlight& f : inflight) {
+      if (f.consumed || !f.ticket->done()) continue;
+      f.consumed = true;
+      FetchResult& r = f.ticket->result();
+      ++pool_seeks_;  // one whole-slice fetch = one seek + stream
+      pool_attempted_bytes_ += r.bytes_read;
+      if (r.ok) {
+        winner = &f;
+        return true;
+      }
+      last_error = r.error;
+      if (r.crc_failed) ++report_.checksum_failures;
+    }
+    return false;
+  };
+
+  bool hedged = false;
+  bool hedge_slot = false;
+  int seen = 0;
+  while (!harvest()) {
+    bool all_done = true;
+    for (const InFlight& f : inflight) all_done = all_done && f.consumed;
+    if (all_done) {
+      // Every issued fetch failed: hand the slice to the synchronous retry /
+      // failover machinery (which owns the failure accounting).
+      if (hedge_slot) tail_tracker_->end_hedge();
+      return false;
+    }
+    const Clock::time_point now = Clock::now();
+    if (has_deadline && now >= at_ms(deadline_ms)) {
+      // Deadline expiry: abandon everything still in flight (cancelled if
+      // unstarted, drained by its helper thread otherwise) and move on.
+      for (InFlight& f : inflight) {
+        if (f.consumed) continue;
+        f.ticket->abandon();
+        if (f.hedge) {
+          ++tail_hedges_abandoned_;
+          tail_tracker_->hedges_abandoned.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      ++tail_reads_abandoned_;
+      tail_tracker_->reads_abandoned.fetch_add(1, std::memory_order_relaxed);
+      note_tail_breach(primary);
+      if (hedge_slot) tail_tracker_->end_hedge();
+      last_error = "read deadline (" + std::to_string(deadline_ms) + " ms) expired";
+      return false;
+    }
+    if (!hedged && can_hedge && now >= at_ms(hedge_ms)) {
+      hedged = true;  // one hedge per read, whether or not a slot was free
+      if (tail_tracker_->try_begin_hedge(tail_cfg_.hedge_max_inflight)) {
+        hedge_slot = true;
+        ++tail_hedges_issued_;
+        tail_tracker_->hedges_issued.fetch_add(1, std::memory_order_relaxed);
+        submit_to(order[1], /*hedge=*/true);
+      }
+      continue;
+    }
+    Clock::time_point next = now + std::chrono::milliseconds(100);
+    if (!hedged && can_hedge) next = std::min(next, at_ms(hedge_ms));
+    if (has_deadline) next = std::min(next, at_ms(deadline_ms));
+    seen = event->wait_until(next, seen);
+  }
+
+  // A verified (or injector-free) whole slice won the race: adopt it exactly
+  // like the sync path's whole-slice fill, abandon the loser, settle stats.
+  FetchResult& r = winner->ticket->result();
+  for (InFlight& f : inflight) {
+    if (f.consumed) continue;
+    f.ticket->abandon();
+    ++tail_hedges_abandoned_;
+    tail_tracker_->hedges_abandoned.fetch_add(1, std::memory_order_relaxed);
+  }
+  tail_tracker_->record(winner->node, r.service_ms);
+  if (winner->hedge) {
+    ++tail_hedges_won_;
+    tail_tracker_->hedges_won.fetch_add(1, std::memory_order_relaxed);
+    note_tail_breach(primary);  // lost hedge = breach against the primary
+  } else {
+    tail_tracker_->note_on_time(primary);
+  }
+  if (hedge_slot) tail_tracker_->end_hedge();
+
+  delivered_bytes_ += static_cast<std::int64_t>(r.bytes.size());
+  cached_bytes_ = std::move(r.bytes);
+  cached_slice_ = slice_key(slice);
+  if (cache_eligible(slice)) {
+    // insert_slice keeps already-resident tiles, so a duplicate fill from a
+    // hedge race dedups instead of flapping the cache.
+    cache_->insert_slice(cache_dataset_, reader_.meta(), slice.t, slice.z,
+                         cached_bytes_.data(), replica_cost(winner->node),
+                         /*prefetched=*/false, cache_tenant_);
+  }
+  if (replicas_) replicas_->note_success(winner->node);
+  return true;
+}
+
 bool ResilientReader::read_slice_region(const SliceRef& slice, std::int64_t x0,
                                         std::int64_t y0, std::int64_t w, std::int64_t h,
                                         std::uint16_t* out) {
@@ -235,6 +403,19 @@ bool ResilientReader::read_slice_region(const SliceRef& slice, std::int64_t x0,
   const int max_attempts =
       cfg_.policy == DegradePolicy::FailFast ? 1 : std::max(1, cfg_.retry.max_attempts);
   std::string last_error = "no surviving replica holds this slice";
+
+  // Tail-tolerant fast path: pooled whole-slice fetch with adaptive deadline
+  // and hedging. Purely advisory — on any failure (fetch error, deadline
+  // expiry, lost race with nothing to show) the synchronous loop below still
+  // owns correctness, retries and failure accounting.
+  if (tail_eligible(slice) && !order.empty() && cached_slice_ != slice_key(slice)) {
+    if (hedged_fetch(slice, order, last_error)) {
+      extract_rect(cached_bytes_.data(), x0, y0, w, h, out);
+      return true;
+    }
+  }
+
+  double backoff_spent_ms = 0.0;  // budget spans every attempt on every replica
   for (std::size_t ri = 0; ri < order.size(); ++ri) {
     const int node = order[ri];
     const bool last_replica = ri + 1 == order.size();
@@ -244,7 +425,11 @@ bool ResilientReader::read_slice_region(const SliceRef& slice, std::int64_t x0,
       for (int attempt = 0; attempt < max_attempts; ++attempt) {
         if (attempt > 0) {
           ++report_.read_retries;
-          const double ms = cfg_.retry.backoff_ms(attempt - 1);
+          bool clipped = false;
+          const double ms =
+              cfg_.retry.capped_backoff_ms(attempt - 1, backoff_spent_ms, clipped);
+          if (clipped) ++report_.backoffs_capped;
+          backoff_spent_ms += ms;
           if (cfg_.retry.really_sleep && ms > 0.0) {
             std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
           }

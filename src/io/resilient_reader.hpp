@@ -27,6 +27,7 @@
 
 #include "io/dataset.hpp"
 #include "io/fault.hpp"
+#include "io/tail.hpp"
 
 namespace h4d::io {
 
@@ -49,11 +50,21 @@ struct RetryPolicy {
   double backoff_base_ms = 1.0;  ///< delay before the first retry
   double backoff_factor = 2.0;
   double backoff_max_ms = 50.0;  ///< cap on any single delay
+  /// Total backoff budget across every attempt of one slice read (all
+  /// replicas). Individual delays are clipped to whatever remains, so a
+  /// many-replica, many-attempt read cannot accumulate unbounded sleep;
+  /// clips are counted in FaultReport::backoffs_capped (mirroring the
+  /// injector's stalls_capped).
+  double total_backoff_cap_ms = 250.0;
   bool really_sleep = true;      ///< false: backoff is only accounted, not slept
 
   /// Delay before retry number `retry` (0-based): base * factor^retry,
   /// capped at backoff_max_ms. Exposed for tests of the bound.
   double backoff_ms(int retry) const;
+  /// backoff_ms(retry) additionally clipped to the remaining total budget
+  /// (total_backoff_cap_ms - spent_ms). Sets `clipped` when the budget
+  /// shortened the delay. Exposed for tests of the budget.
+  double capped_backoff_ms(int retry, double spent_ms, bool& clipped) const;
 };
 
 /// What to do with a slice that stays unreadable after the retry budget.
@@ -94,6 +105,9 @@ struct FaultReport {
   std::int64_t replica_failovers = 0;  ///< reads rerouted to another replica
   std::int64_t nodes_evicted = 0;      ///< node health evictions triggered
   std::int64_t write_errors = 0;       ///< typed output-write failures observed
+  /// Backoff delays clipped by RetryPolicy::total_backoff_cap_ms
+  /// (bookkeeping, not a fault — excluded from clean()).
+  std::int64_t backoffs_capped = 0;
   std::vector<SkippedSlice> skipped;   ///< exactly the irrecoverable slices
 
   void merge(const FaultReport& o);
@@ -165,6 +179,16 @@ class ResilientReader {
   /// was issued and inserted.
   bool prefetch_slice(const SliceRef& slice);
 
+  /// Attach the tail-tolerance layer (all non-owning; see io/tail.hpp):
+  /// verified whole-slice reads go through `pool` with an adaptive per-read
+  /// deadline and (when configured) a hedge to the next replica; completed
+  /// attempt latencies feed `tracker`, and sustained breaches evict the
+  /// slow node through the replica set with reason `slow`. Byte-identity is
+  /// unaffected: the winner of a hedge is a CRC-verified whole slice, the
+  /// same bytes any replica serves.
+  void attach_tail(const TailConfig& config, LatencyTracker* tracker,
+                   SliceFetchPool* pool);
+
   /// Resilience accounting local to this reader (monotonic; the RFR filter
   /// meters deltas between calls).
   const FaultReport& report() const { return report_; }
@@ -185,6 +209,16 @@ class ResilientReader {
   std::int64_t cache_hits() const { return cache_hits_; }
   std::int64_t cache_misses() const { return cache_misses_; }
   std::int64_t cache_bytes_served() const { return cache_bytes_served_; }
+
+  /// Tail-tolerance accounting local to this reader (monotonic; metered as
+  /// deltas like report()). The shared LatencyTracker carries the exact
+  /// run-global totals; these per-reader counts sum to the same values.
+  std::int64_t tail_hedges_issued() const { return tail_hedges_issued_; }
+  std::int64_t tail_hedges_won() const { return tail_hedges_won_; }
+  std::int64_t tail_hedges_abandoned() const { return tail_hedges_abandoned_; }
+  std::int64_t tail_reads_abandoned() const { return tail_reads_abandoned_; }
+  std::int64_t tail_breaches() const { return tail_breaches_; }
+  std::int64_t tail_slow_evictions() const { return tail_slow_evictions_; }
 
  private:
   /// One verified or plain read attempt through `reader`; throws on failure.
@@ -211,6 +245,23 @@ class ResilientReader {
   /// directory or index), with the reason in `error`.
   const StorageNodeReader* reader_for(int node, std::string& error);
 
+  /// Tail path applies to the whole-slice fetch unit only: verified slices
+  /// always; unverified only when no injector can perturb the bytes (the
+  /// same attempt-independence rule as cache_eligible).
+  bool tail_eligible(const SliceRef& slice) const {
+    return tail_pool_ != nullptr && tail_tracker_ != nullptr && tail_cfg_.enabled() &&
+           ((cfg_.verify_checksums && slice.has_crc) || injector_ == nullptr);
+  }
+  /// Hedged / deadline-bounded whole-slice fetch through the helper pool.
+  /// On success fills cached_bytes_/cached_slice_ (and the tile cache) and
+  /// returns true; on failure or deadline exhaustion returns false and the
+  /// caller falls back to the synchronous path. `last_error` carries the
+  /// most recent failure reason.
+  bool hedged_fetch(const SliceRef& slice, const std::vector<int>& order,
+                    std::string& last_error);
+  /// Latency/breach bookkeeping for a completed or breached primary read.
+  void note_tail_breach(int node);
+
   StorageNodeReader reader_;
   ResilienceConfig cfg_;
   FaultInjector* injector_;
@@ -226,6 +277,19 @@ class ResilientReader {
   std::int64_t cache_misses_ = 0;
   std::int64_t cache_bytes_served_ = 0;
   std::int64_t delivered_bytes_ = 0;  ///< bytes that reached the caller
+
+  // Tail-tolerance layer (attach_tail; all non-owning, shared run-wide).
+  TailConfig tail_cfg_;
+  LatencyTracker* tail_tracker_ = nullptr;
+  SliceFetchPool* tail_pool_ = nullptr;
+  std::int64_t tail_hedges_issued_ = 0;
+  std::int64_t tail_hedges_won_ = 0;
+  std::int64_t tail_hedges_abandoned_ = 0;
+  std::int64_t tail_reads_abandoned_ = 0;
+  std::int64_t tail_breaches_ = 0;
+  std::int64_t tail_slow_evictions_ = 0;
+  std::int64_t pool_seeks_ = 0;           ///< seeks by observed pooled fetches
+  std::int64_t pool_attempted_bytes_ = 0; ///< raw bytes observed pooled fetches moved
 
   // Whole-slice cache for the verified path (one slice: the RFR tile loop
   // visits tiles of a slice consecutively).

@@ -1,0 +1,260 @@
+#include "io/tail.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "io/fault.hpp"
+#include "io/resilient_reader.hpp"
+
+namespace h4d::io {
+
+// ---------------------------------------------------------------- tracker
+
+LatencyTracker::LatencyTracker(int nodes)
+    : nodes_(static_cast<std::size_t>(std::max(nodes, 1))) {}
+
+int LatencyTracker::bucket_of(double ms) {
+  if (!(ms > kBucketBase)) return 0;
+  const int i = static_cast<int>(std::ceil(std::log(ms / kBucketBase) /
+                                           std::log(kBucketGrowth)));
+  return std::min(std::max(i, 0), kBuckets - 1);
+}
+
+double LatencyTracker::bucket_upper(int i) {
+  return kBucketBase * std::pow(kBucketGrowth, i);
+}
+
+void LatencyTracker::record(int node, double ms) {
+  if (node < 0 || node >= static_cast<int>(nodes_.size()) || !(ms >= 0.0)) return;
+  std::lock_guard lk(mu_);
+  Node& n = nodes_[static_cast<std::size_t>(node)];
+  n.ewma_ms = n.count == 0 ? ms : 0.8 * n.ewma_ms + 0.2 * ms;
+  ++n.count;
+  ++n.hist[bucket_of(ms)];
+}
+
+bool LatencyTracker::note_breach(int node, int slow_after) {
+  if (node < 0 || node >= static_cast<int>(nodes_.size())) return false;
+  breaches.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lk(mu_);
+  Node& n = nodes_[static_cast<std::size_t>(node)];
+  ++n.breaches;
+  if (++n.breach_streak >= std::max(slow_after, 1)) {
+    n.breach_streak = 0;  // fresh count after the probation probe
+    return true;
+  }
+  return false;
+}
+
+void LatencyTracker::note_on_time(int node) {
+  if (node < 0 || node >= static_cast<int>(nodes_.size())) return;
+  std::lock_guard lk(mu_);
+  nodes_[static_cast<std::size_t>(node)].breach_streak = 0;
+}
+
+double LatencyTracker::percentile_locked(const Node& n, double q) const {
+  if (n.count == 0) return 0.0;
+  const auto want = static_cast<std::int64_t>(
+      std::ceil(std::min(std::max(q, 0.0), 1.0) * static_cast<double>(n.count)));
+  std::int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += n.hist[i];
+    if (seen >= want) return bucket_upper(i);
+  }
+  return bucket_upper(kBuckets - 1);
+}
+
+double LatencyTracker::percentile_ms(int node, double q) const {
+  if (node < 0 || node >= static_cast<int>(nodes_.size())) return 0.0;
+  std::lock_guard lk(mu_);
+  return percentile_locked(nodes_[static_cast<std::size_t>(node)], q);
+}
+
+double LatencyTracker::ewma_ms(int node) const {
+  if (node < 0 || node >= static_cast<int>(nodes_.size())) return 0.0;
+  std::lock_guard lk(mu_);
+  return nodes_[static_cast<std::size_t>(node)].ewma_ms;
+}
+
+std::int64_t LatencyTracker::reads(int node) const {
+  if (node < 0 || node >= static_cast<int>(nodes_.size())) return 0;
+  std::lock_guard lk(mu_);
+  return nodes_[static_cast<std::size_t>(node)].count;
+}
+
+double LatencyTracker::deadline_for(int node, const TailConfig& cfg) const {
+  if (!cfg.deadline_enabled) return 0.0;
+  if (cfg.deadline_ms > 0.0) return cfg.deadline_ms;
+  std::lock_guard lk(mu_);
+  if (node < 0 || node >= static_cast<int>(nodes_.size())) {
+    return cfg.deadline_ceiling_ms;
+  }
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  // A cold node must not get healthy reads abandoned on a zero p99.
+  if (n.count < cfg.min_samples) return cfg.deadline_ceiling_ms;
+  return std::clamp(cfg.deadline_k * percentile_locked(n, 0.99),
+                    cfg.deadline_floor_ms, cfg.deadline_ceiling_ms);
+}
+
+double LatencyTracker::hedge_delay_for(int node, const TailConfig& cfg) const {
+  std::lock_guard lk(mu_);
+  if (node < 0 || node >= static_cast<int>(nodes_.size())) return cfg.hedge_floor_ms;
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.count < cfg.min_samples) return cfg.hedge_floor_ms;
+  return std::max(cfg.hedge_floor_ms, percentile_locked(n, cfg.hedge_pct / 100.0));
+}
+
+bool LatencyTracker::try_begin_hedge(int max_inflight) {
+  int cur = hedges_inflight_.load(std::memory_order_relaxed);
+  while (cur < std::max(max_inflight, 1)) {
+    if (hedges_inflight_.compare_exchange_weak(cur, cur + 1,
+                                               std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void LatencyTracker::end_hedge() {
+  hedges_inflight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+std::vector<NodeLatencyStats> LatencyTracker::snapshot() const {
+  std::lock_guard lk(mu_);
+  std::vector<NodeLatencyStats> out;
+  out.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    NodeLatencyStats s;
+    s.node = static_cast<int>(i);
+    s.reads = n.count;
+    s.ewma_ms = n.ewma_ms;
+    s.p50_ms = percentile_locked(n, 0.50);
+    s.p99_ms = percentile_locked(n, 0.99);
+    s.breaches = n.breaches;
+    out.push_back(s);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ event
+
+void FetchEvent::signal() {
+  {
+    std::lock_guard lk(mu_);
+    ++completions_;
+  }
+  cv_.notify_all();
+}
+
+int FetchEvent::wait_until(std::chrono::steady_clock::time_point deadline, int seen) {
+  std::unique_lock lk(mu_);
+  cv_.wait_until(lk, deadline, [&] { return completions_ > seen; });
+  return completions_;
+}
+
+// ------------------------------------------------------------------- pool
+
+SliceFetchPool::SliceFetchPool(int threads) {
+  const int n = std::max(threads, 1);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SliceFetchPool::~SliceFetchPool() {
+  {
+    std::lock_guard lk(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+std::shared_ptr<FetchTicket> SliceFetchPool::submit(Request req,
+                                                    std::shared_ptr<FetchEvent> event) {
+  auto ticket = std::make_shared<FetchTicket>();
+  ticket->event_ = std::move(event);
+  {
+    std::lock_guard lk(mu_);
+    queue_.push_back({std::move(req), ticket});
+  }
+  cv_.notify_one();
+  return ticket;
+}
+
+void SliceFetchPool::execute(const Request& req, FetchResult& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    // A per-thread reader per node directory: helper threads never share
+    // mutable reader state with each other or with the submitting reader,
+    // so an abandoned fetch can finish long after the waiter moved on.
+    thread_local std::map<std::string, StorageNodeReader> readers;
+    const std::string key = req.node_dir.string();
+    auto it = readers.find(key);
+    if (it == readers.end()) {
+      it = readers.emplace(key, StorageNodeReader(req.node_dir, req.meta, req.node))
+               .first;
+    }
+    StorageNodeReader& reader = it->second;
+    reader.set_fault_injector(req.injector);
+    const std::size_t nbytes = static_cast<std::size_t>(req.meta.slice_bytes());
+    std::vector<std::uint8_t> bytes(nbytes);
+    reader.read_slice_bytes(req.slice, bytes.data());
+    out.bytes_read = static_cast<std::int64_t>(nbytes);
+    if (req.verify && req.slice.has_crc) {
+      const std::uint32_t actual = crc32(bytes.data(), bytes.size());
+      if (actual != req.slice.crc) {
+        out.crc_failed = true;
+        out.error = ChecksumError(req.slice.filename, req.slice.t, req.slice.z,
+                                  req.slice.crc, actual)
+                        .what();
+        return;
+      }
+    }
+    out.bytes = std::move(bytes);
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  out.service_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+}
+
+void SliceFetchPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    FetchResult result;
+    // Cancelled before it started: complete immediately without touching
+    // disk. Already-running fetches are drained, not interrupted.
+    if (!task.ticket->abandoned()) {
+      execute(task.req, result);
+    } else {
+      result.error = "abandoned before start";
+    }
+    std::shared_ptr<FetchEvent> event;
+    {
+      std::lock_guard lk(task.ticket->mu_);
+      task.ticket->result_ = std::move(result);
+      task.ticket->done_ = true;
+      event = task.ticket->event_;
+    }
+    if (event) event->signal();
+  }
+}
+
+}  // namespace h4d::io

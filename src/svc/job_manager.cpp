@@ -105,6 +105,17 @@ struct JobManager::Job {
 JobManager::JobManager(Options options) : opt_(std::move(options)) {
   if (opt_.workers < 1) opt_.workers = 1;
   if (opt_.max_pending == 0) opt_.max_pending = 1;
+  if (opt_.tail.enabled()) {
+    // Process-wide tail machinery: node latency reputation and the helper
+    // pool are shared by every job (like the tile cache). Sized by the
+    // largest node count a job may bring; LatencyTracker ignores nodes
+    // beyond its size, so a generous bound is safe.
+    if (!opt_.latency) opt_.latency = std::make_shared<io::LatencyTracker>(64);
+    if (!opt_.io_pool) {
+      opt_.io_pool =
+          std::make_shared<io::SliceFetchPool>(std::max(1, opt_.tail.helper_threads));
+    }
+  }
   paused_ = opt_.start_paused;
   workers_.reserve(static_cast<std::size_t>(opt_.workers));
   for (int i = 0; i < opt_.workers; ++i) {
@@ -337,6 +348,13 @@ void JobManager::run_job(const std::shared_ptr<Job>& j) {
     config.cache = opt_.tile_cache->config();
     config.cache_tenant = j->rec.tenant;
   }
+  // The manager's shared tail layer (per-node latency reputation + helper
+  // pool), applied uniformly to every job it runs.
+  if (opt_.tail.enabled()) {
+    config.tail = opt_.tail;
+    config.latency = opt_.latency;
+    config.io_pool = opt_.io_pool;
+  }
   fs::ThreadedOptions topts = j->spec.threaded;
   sim::SimOptions sopts = j->spec.sim;
   topts.cancel = &j->cancel;
@@ -548,6 +566,34 @@ ServiceStats JobManager::snapshot() const {
         row.cache_bytes_served = tc.bytes_served;
         row.cache_resident_bytes = tc.resident_bytes;
       }
+    }
+  }
+  if (opt_.tail.enabled() && opt_.latency) {
+    const io::TailConfig& cfg = opt_.tail;
+    const io::LatencyTracker& lt = *opt_.latency;
+    s.tail.present = true;
+    s.tail.deadline_mode =
+        !cfg.deadline_enabled ? "off" : (cfg.deadline_ms > 0.0 ? "fixed" : "auto");
+    s.tail.deadline_ms = cfg.deadline_ms;
+    s.tail.deadline_k = cfg.deadline_k;
+    s.tail.deadline_floor_ms = cfg.deadline_floor_ms;
+    s.tail.deadline_ceiling_ms = cfg.deadline_ceiling_ms;
+    s.tail.hedge_enabled = cfg.hedge_enabled;
+    s.tail.hedge_pct = cfg.hedge_pct;
+    s.tail.hedge_max_inflight = cfg.hedge_max_inflight;
+    s.tail.hedges_issued = lt.hedges_issued.load();
+    s.tail.hedges_won = lt.hedges_won.load();
+    s.tail.hedges_abandoned = lt.hedges_abandoned.load();
+    s.tail.reads_abandoned = lt.reads_abandoned.load();
+    s.tail.breaches = lt.breaches.load();
+    s.tail.evictions_slow = lt.evictions_slow.load();
+    // Rows for nodes that served at least one pooled read (a service-wide
+    // tracker is sized generously, so silent all-zero rows are just noise).
+    for (const io::NodeLatencyStats& n : lt.snapshot()) {
+      if (n.reads == 0 && n.breaches == 0) continue;
+      s.tail.reads += n.reads;
+      s.tail.nodes.push_back(
+          {n.node, n.reads, n.ewma_ms, n.p50_ms, n.p99_ms, n.breaches});
     }
   }
   return s;

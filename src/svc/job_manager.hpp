@@ -43,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "io/tail.hpp"
 #include "io/tile_cache.hpp"
 #include "svc/job.hpp"
 
@@ -97,6 +98,9 @@ struct ServiceStats {
   std::vector<JobRecord> jobs;             ///< every job, submission order
   /// Shared tile-cache summary (present only when the manager owns one).
   fs::CacheReport cache;
+  /// Shared tail-tolerance summary (present only when the manager runs its
+  /// jobs with the tail layer on; node reputation spans jobs).
+  fs::TailReport tail;
 };
 
 class JobManager {
@@ -129,6 +133,12 @@ class JobManager {
     /// job's reads are accounted to its tenant. Fault-injected jobs ignore
     /// it (they always get a private cache; see PipelineParams::make).
     std::shared_ptr<io::TileCache> tile_cache;
+    /// Tail-tolerant I/O applied to every job this manager runs (off when
+    /// tail.enabled() is false). The latency tracker and helper pool are
+    /// process-wide, so a slow node's reputation carries across jobs.
+    io::TailConfig tail;
+    std::shared_ptr<io::LatencyTracker> latency;
+    std::shared_ptr<io::SliceFetchPool> io_pool;
   };
 
   explicit JobManager(Options options);

@@ -59,6 +59,46 @@ TEST(FaultConfig, ParseStallCap) {
   EXPECT_DOUBLE_EQ(cfg.stall_cap_ms, 2.0);
 }
 
+// A NaN or negative duration/budget would silently disable the stall cap or
+// poison the deterministic schedule, so parse rejects them with the same
+// typed error as a non-number.
+TEST(FaultConfig, ParseRejectsNegativeAndNaNValues) {
+  for (const char* bad : {"stall_ms=-1", "stall_ms=nan", "stall_ms=x",
+                          "stall_cap=-0.5", "stall_cap=nan",
+                          "max_transient=-2", "max_transient=many"}) {
+    EXPECT_THROW(FaultConfig::parse(bad), std::runtime_error) << bad;
+  }
+  try {
+    FaultConfig::parse("stall_ms=-1");
+    FAIL() << "expected a typed parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad fault spec value for stall_ms"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FaultConfig, ParseTailKeysRoundTrip) {
+  const FaultConfig cfg = FaultConfig::parse(
+      "stall=1,stall_ms=2,stall_dist=pareto,pareto_alpha=1.2,slow_nodes=0:16;2:4");
+  EXPECT_EQ(cfg.stall_dist, StallDist::Pareto);
+  EXPECT_DOUBLE_EQ(cfg.pareto_alpha, 1.2);
+  ASSERT_EQ(cfg.slow_nodes.size(), 2u);
+  EXPECT_DOUBLE_EQ(cfg.slow_nodes.at(0), 16.0);
+  EXPECT_DOUBLE_EQ(cfg.slow_nodes.at(2), 4.0);
+  // str() round-trips the tail shape (the defaults elide it).
+  const FaultConfig again = FaultConfig::parse(cfg.str());
+  EXPECT_EQ(again.stall_dist, StallDist::Pareto);
+  EXPECT_DOUBLE_EQ(again.pareto_alpha, 1.2);
+  EXPECT_EQ(again.slow_nodes, cfg.slow_nodes);
+  EXPECT_EQ(FaultConfig::parse("").stall_dist, StallDist::Fixed);
+  for (const char* bad : {"stall_dist=bogus", "pareto_alpha=0", "pareto_alpha=-1",
+                          "pareto_alpha=nan", "slow_nodes=0", "slow_nodes=-1:2",
+                          "slow_nodes=0:-2", "slow_nodes=0:nan", "slow_nodes=a:b"}) {
+    EXPECT_THROW(FaultConfig::parse(bad), std::runtime_error) << bad;
+  }
+}
+
 TEST(FaultInjector, StallSleepIsCappedAndCounted) {
   // A mis-typed stall_ms=60000 must not block the process for a minute per
   // fault: the real sleep is clipped to stall_cap_ms, and the clip counted.
@@ -159,6 +199,34 @@ TEST(FaultInjector, TransientFaultsStopAfterBudget) {
   EXPECT_TRUE(inj.plan_attempt(0, 1).fail_open);
 }
 
+// The modeled Pareto stall length is a pure hash of (seed, slice, attempt):
+// two injectors with the same config agree exactly, and the per-node slow
+// multiplier scales the modeled duration without changing any decision.
+TEST(FaultInjector, ParetoStallsAreDeterministicAndNodeScaled) {
+  FaultConfig cfg;
+  cfg.seed = 21;
+  cfg.p_stall = 1.0;
+  cfg.stall_ms = 2.0;
+  cfg.stall_dist = StallDist::Pareto;
+  cfg.pareto_alpha = 1.5;
+  cfg.slow_nodes[1] = 16.0;
+  cfg.really_sleep = false;
+  FaultInjector a(cfg), b(cfg);
+  bool saw_tail = false;
+  for (std::int64_t z = 0; z < 32; ++z) {
+    const AttemptPlan pa = a.plan_attempt(0, z, /*node=*/0);
+    const AttemptPlan pb = b.plan_attempt(0, z, /*node=*/0);
+    ASSERT_TRUE(pa.stall);
+    EXPECT_DOUBLE_EQ(pa.stall_ms, pb.stall_ms) << "z=" << z;
+    EXPECT_GE(pa.stall_ms, cfg.stall_ms);  // Pareto multiplier is >= 1
+    if (pa.stall_ms > 4.0 * cfg.stall_ms) saw_tail = true;
+    // Same (slice, attempt) on the slow node: exactly 16x the modeled stall.
+    const AttemptPlan pslow = b.plan_attempt(0, z, /*node=*/1);
+    EXPECT_DOUBLE_EQ(pslow.stall_ms, 16.0 * a.plan_attempt(0, z, 0).stall_ms);
+  }
+  EXPECT_TRUE(saw_tail) << "heavy tail must produce outliers";
+}
+
 TEST(RetryPolicy, BackoffIsExponentialAndBounded) {
   RetryPolicy p;
   p.backoff_base_ms = 2.0;
@@ -175,6 +243,32 @@ TEST(RetryPolicy, BackoffIsExponentialAndBounded) {
     EXPECT_LE(ms, p.backoff_max_ms);
     prev = ms;
   }
+}
+
+// The total budget spans every attempt of one slice read: individual delays
+// are clipped to whatever remains (flagged as clipped), and once the budget
+// is spent every further delay is a counted zero.
+TEST(RetryPolicy, TotalBackoffBudgetClipsDelays) {
+  RetryPolicy p;
+  p.backoff_base_ms = 4.0;
+  p.backoff_factor = 2.0;
+  p.backoff_max_ms = 64.0;
+  p.total_backoff_cap_ms = 10.0;
+  bool clipped = true;
+  EXPECT_DOUBLE_EQ(p.capped_backoff_ms(0, 0.0, clipped), 4.0);
+  EXPECT_FALSE(clipped);  // 4 fits in the remaining 10
+  EXPECT_DOUBLE_EQ(p.capped_backoff_ms(1, 4.0, clipped), 6.0);
+  EXPECT_TRUE(clipped);   // wanted 8, only 6 left
+  EXPECT_DOUBLE_EQ(p.capped_backoff_ms(2, 10.0, clipped), 0.0);
+  EXPECT_TRUE(clipped);   // budget exhausted: counted zero
+  // Simulated retry sequence never sleeps past the budget in total.
+  double spent = 0.0;
+  for (int r = 0; r < 20; ++r) {
+    bool c = false;
+    spent += p.capped_backoff_ms(r, spent, c);
+    EXPECT_LE(spent, p.total_backoff_cap_ms);
+  }
+  EXPECT_DOUBLE_EQ(spent, p.total_backoff_cap_ms);
 }
 
 class ResilientReadTest : public ::testing::Test {
@@ -313,6 +407,33 @@ TEST_F(ResilientReadTest, RetryExhaustionPropagates) {
     EXPECT_NE(std::string(e.what()).find("3 attempts"), std::string::npos) << e.what();
   }
   EXPECT_EQ(reader.report().read_retries, 2);
+}
+
+// Budget clips are counted in the report (bookkeeping, not a fault): with a
+// 10 ms budget and 4/8/16/32/64 wanted delays, exactly the last four clip.
+TEST_F(ResilientReadTest, BackoffBudgetClipsAreCountedInReport) {
+  const DiskDataset ds = DiskDataset::create(root_, vol_, 1);
+  FaultConfig fc;
+  fc.seed = 2;
+  fc.p_fail_open = 1.0;  // unbounded transient budget: never recovers
+  fc.really_sleep = false;
+  FaultInjector inj(fc);
+  ResilienceConfig rc = fast_retry(DegradePolicy::SkipAndFill, 6);
+  rc.retry.backoff_base_ms = 4.0;
+  rc.retry.backoff_factor = 2.0;
+  rc.retry.backoff_max_ms = 64.0;
+  rc.retry.total_backoff_cap_ms = 10.0;
+  ResilientReader reader(ds.node_reader(0), rc, &inj);
+  const SliceRef& s = reader.slices().front();
+  std::vector<std::uint16_t> out(6 * 5);
+  EXPECT_FALSE(reader.read_slice_region(s, 0, 0, 6, 5, out.data()));
+  EXPECT_EQ(reader.report().read_retries, 5);
+  EXPECT_EQ(reader.report().backoffs_capped, 4);
+  EXPECT_EQ(reader.report().slices_skipped, 1);
+  // Clips are bookkeeping: a clean() report never depends on them.
+  FaultReport r;
+  r.backoffs_capped = 3;
+  EXPECT_TRUE(r.clean());
 }
 
 TEST_F(ResilientReadTest, SkipAndFillProducesCompleteVolumeAndExactReport) {

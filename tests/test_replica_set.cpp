@@ -5,10 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <random>
 #include <set>
+#include <thread>
 
 #include "io/dataset.hpp"
 
@@ -225,6 +227,75 @@ TEST_F(ReplicaSetTest, AllEvictedCandidatesForcesAProbe) {
   // Rather than returning no candidates, every replica is offered (forced
   // probe) so the slice still gets an attempt.
   EXPECT_EQ(rs.replica_order(0, 0, 0), (std::vector<int>{0, 1}));
+  // A failed forced probe restarts that node's probation clock but the
+  // forced-probe guarantee still offers every replica on the next read, and
+  // no new eviction event is recorded for an already-evicted node.
+  EXPECT_FALSE(rs.note_failure(0));
+  EXPECT_EQ(rs.replica_order(0, 0, 0), (std::vector<int>{0, 1}));
+  EXPECT_EQ(rs.evictions(), 2);
+  EXPECT_EQ(rs.eviction_events().size(), 2u);
+}
+
+TEST_F(ReplicaSetTest, FailedProbeRestartsTheProbationClock) {
+  const DatasetMeta m = make_meta({4, 4, 6, 1}, 2, 2);
+  make_node_dirs(2);
+  ReplicaHealthConfig health;
+  health.evict_after = 1;
+  health.probation_ms = 300.0;
+  ReplicaSet rs(root_, m, {}, health);
+  EXPECT_TRUE(rs.note_failure(1));
+  EXPECT_EQ(rs.replica_order(0, 0, 0), std::vector<int>{0});  // in probation
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  // Probation expired: the node is offered for a probe read.
+  EXPECT_EQ(rs.replica_order(0, 0, 0), (std::vector<int>{0, 1}));
+  // The probe fails: the probation clock restarts from now — the node drops
+  // back out of the order without a second eviction event.
+  EXPECT_FALSE(rs.note_failure(1));
+  EXPECT_TRUE(rs.node_evicted(1));
+  EXPECT_EQ(rs.evictions(), 1);
+  EXPECT_EQ(rs.replica_order(0, 0, 0), std::vector<int>{0});
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  EXPECT_EQ(rs.replica_order(0, 0, 0), (std::vector<int>{0, 1}));
+  rs.note_success(1);  // a probe that succeeds re-admits immediately
+  EXPECT_FALSE(rs.node_evicted(1));
+  EXPECT_EQ(rs.replica_order(0, 0, 0), (std::vector<int>{0, 1}));
+}
+
+TEST_F(ReplicaSetTest, SlowNodesEvictWithTypedReason) {
+  const DatasetMeta m = make_meta({4, 4, 6, 1}, 3, 2);
+  make_node_dirs(3);
+  ReplicaHealthConfig health;
+  health.evict_after = 3;
+  health.probation_ms = 1e9;
+  ReplicaSet rs(root_, m, {}, health);
+  // Breach verdicts are pre-aggregated by the caller (the latency tracker's
+  // consecutive-breach streak), so one note_slow call evicts.
+  EXPECT_TRUE(rs.note_slow(2));
+  EXPECT_TRUE(rs.node_evicted(2));
+  EXPECT_EQ(rs.evictions(), 1);
+  EXPECT_EQ(rs.evictions_slow(), 1);
+  EXPECT_FALSE(rs.note_slow(2));   // already evicted: probation restart only
+  EXPECT_FALSE(rs.note_slow(-1));  // out of range is ignored
+  EXPECT_FALSE(rs.note_slow(3));
+  EXPECT_EQ(rs.evictions_slow(), 1);
+  // Failure evictions and slow evictions share the event log, in order,
+  // each with its typed reason.
+  rs.note_failure(0);
+  rs.note_failure(0);
+  EXPECT_TRUE(rs.note_failure(0));
+  const std::vector<EvictionEvent> events = rs.eviction_events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].node, 2);
+  EXPECT_EQ(events[0].reason, EvictReason::Slow);
+  EXPECT_EQ(events[1].node, 0);
+  EXPECT_EQ(events[1].reason, EvictReason::Failure);
+  EXPECT_EQ(evict_reason_name(EvictReason::Slow), "slow");
+  EXPECT_EQ(evict_reason_name(EvictReason::Failure), "failure");
+  EXPECT_EQ(rs.evictions(), 2);
+  EXPECT_EQ(rs.evictions_slow(), 1);
+  // A slow-evicted node re-admits through the same probe path as a failed one.
+  rs.note_success(2);
+  EXPECT_FALSE(rs.node_evicted(2));
 }
 
 // --- Degraded-mode reads through DiskDataset --------------------------------

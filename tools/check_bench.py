@@ -26,6 +26,11 @@ family and selects which invariants apply:
       * a warm re-analysis through the shared tile cache reads at most
         0.5x the disk bytes of the cold run;
       * the warm run's demand hit rate is >= 60%.
+  bench_tail     (BENCH_tail.json)
+      * with one gray (heavy-tailed slow) storage node, the hedged pass's
+        p99 read latency is >= 2x better than the unhedged pass's;
+      * the hedged pass actually hedged: hedges_won >= 1, and it never won
+        more hedges than it issued.
 
 All gates run on the committed numbers, so they are deterministic in CI.
 
@@ -79,6 +84,13 @@ CACHE_COLD_LABEL = "reanalysis_cold"
 CACHE_WARM_LABEL = "reanalysis_warm"
 CACHE_MAX_DISK_RATIO = 0.5
 CACHE_MIN_HIT_RATE = 0.6
+
+# bench_tail: gray-node hedged-read gates (bench/micro_tail). Hedging must
+# cut the p99 read latency at least in half and must actually have won at
+# least one hedge race (otherwise the "improvement" is a broken injector).
+TAIL_UNHEDGED_LABEL = "unhedged"
+TAIL_HEDGED_LABEL = "hedged"
+TAIL_MIN_P99_RATIO = 2.0
 
 # Time-per-unit metrics (lower is better) eligible for --fresh regression
 # comparison, in preference order per label.
@@ -267,6 +279,37 @@ def check_cache_invariants(runs: dict[str, dict[str, float]],
             err(f"{path}: warm hit rate {rate:.0%} < {CACHE_MIN_HIT_RATE:.0%}")
 
 
+def check_tail_invariants(runs: dict[str, dict[str, float]],
+                          path: str) -> None:
+    """BENCH_tail.json: hedged p99 >= 2x better; hedges actually won."""
+    unhedged = runs.get(TAIL_UNHEDGED_LABEL)
+    hedged = runs.get(TAIL_HEDGED_LABEL)
+    if unhedged is None or hedged is None:
+        err(f"{path}: missing gate rows {TAIL_UNHEDGED_LABEL!r} / "
+            f"{TAIL_HEDGED_LABEL!r}")
+        return
+    raw_p99 = unhedged.get("p99_ms", 0.0)
+    hedged_p99 = hedged.get("p99_ms", 0.0)
+    if raw_p99 <= 0 or hedged_p99 <= 0:
+        err(f"{path}: tail gate rows missing p99_ms")
+    else:
+        ratio = raw_p99 / hedged_p99
+        print(f"  gate: unhedged p99 {raw_p99:.2f} ms vs hedged "
+              f"{hedged_p99:.2f} ms -> {ratio:.2f}x "
+              f"(need >= {TAIL_MIN_P99_RATIO}x)")
+        if ratio < TAIL_MIN_P99_RATIO:
+            err(f"{path}: hedged p99 improvement {ratio:.2f}x "
+                f"< {TAIL_MIN_P99_RATIO}x")
+    issued = hedged.get("hedges_issued", 0.0)
+    won = hedged.get("hedges_won", 0.0)
+    print(f"  gate: hedges {won:.0f}/{issued:.0f} won (need >= 1 won)")
+    if won < 1:
+        err(f"{path}: hedged pass won no hedge races "
+            f"({won:.0f}/{issued:.0f})")
+    if won > issued:
+        err(f"{path}: hedges_won {won:.0f} > hedges_issued {issued:.0f}")
+
+
 def check_regression(baseline: dict[str, dict[str, float]],
                      fresh: dict[str, dict[str, float]], fresh_path: str,
                      factor: float) -> None:
@@ -332,6 +375,8 @@ def main(argv: list[str]) -> int:
             check_queue_invariants(baseline, baseline_path)
         elif figure == "bench_cache":
             check_cache_invariants(baseline, baseline_path)
+        elif figure == "bench_tail":
+            check_tail_invariants(baseline, baseline_path)
         elif figure == "bench_kernel":
             check_baseline_invariants(baseline, baseline_path)
         else:

@@ -15,10 +15,13 @@ Event Format subset the runtime emits. Accepted metrics schemas:
                         per-tenant rows, merged meter/exec, per-job rows
 
 Checks structure, types, and the internal invariants: per-filter meter
-aggregates equal the sum over that filter's copies, and for jobs exports the
+aggregates equal the sum over that filter's copies; for jobs exports the
 accounting identity submitted = completed + rejected + shed + failed (with
 rejected = rejected_queue_full + rejected_quota + rejected_deadline) plus
-per-job rows consistent with the counters.
+per-job rows consistent with the counters; and for runs that attached the
+tail-tolerance layer, the "io_tail" section's hedge accounting
+(hedges_won <= hedges_issued), per-node reads/breaches summing to the
+globals, and typed eviction reasons ("failure" / "slow").
 
 Usage: tools/check_metrics.py METRICS.json [...] [--trace TRACE.json ...]
 Exit status: 0 when every file validates, 1 otherwise.
@@ -80,6 +83,12 @@ REQUIRED_METER_KEYS = (
     "cache_evictions",
     "prefetch_issued",
     "prefetch_useful",
+    "hedges_issued",
+    "hedges_won",
+    "hedges_abandoned",
+    "reads_abandoned",
+    "tail_breaches",
+    "slow_evictions",
     "buffers_in",
     "buffers_out",
     "bytes_in",
@@ -144,6 +153,94 @@ def check_cache_object(cache: object, path: str, where: str) -> None:
                 f"prefetch_issued ({cache['prefetch_issued']})")
         for k in CACHE_INT_KEYS:
             require(cache[k] >= 0, path, f"{where}: {k} is negative")
+
+
+# The optional "io_tail" section (fs/graph.hpp TailReport): emitted by both
+# h4d-metrics-v1 and h4d-jobs-v1 exports when the tail-tolerance layer
+# (hedged reads / adaptive deadlines, src/io/tail.hpp) was attached.
+TAIL_INT_KEYS = (
+    "hedge_max_inflight",
+    "reads",
+    "hedges_issued",
+    "hedges_won",
+    "hedges_abandoned",
+    "reads_abandoned",
+    "breaches",
+    "evictions_slow",
+)
+
+TAIL_FLOAT_KEYS = (
+    "deadline_ms",
+    "deadline_k",
+    "deadline_floor_ms",
+    "deadline_ceiling_ms",
+    "hedge_pct",
+)
+
+TAIL_DEADLINE_MODES = ("off", "auto", "fixed")
+TAIL_EVICT_REASONS = ("failure", "slow")
+
+
+def check_tail_object(tail: object, path: str, where: str) -> None:
+    """io_tail section: types, hedge accounting, per-node sum identities."""
+    if not require(isinstance(tail, dict), path, f"{where}: not an object"):
+        return
+    require(tail.get("deadline_mode") in TAIL_DEADLINE_MODES, path,
+            f"{where}: deadline_mode invalid ({tail.get('deadline_mode')!r})")
+    require(isinstance(tail.get("hedge_enabled"), bool), path,
+            f"{where}: missing hedge_enabled")
+    for k in TAIL_INT_KEYS:
+        require(isinstance(tail.get(k), int), path, f"{where}: missing {k}")
+    for k in TAIL_FLOAT_KEYS:
+        require(isinstance(tail.get(k), (int, float)), path,
+                f"{where}: missing {k}")
+    if all(isinstance(tail.get(k), int) for k in TAIL_INT_KEYS):
+        for k in TAIL_INT_KEYS:
+            require(tail[k] >= 0, path, f"{where}: {k} is negative")
+        require(tail["hedges_won"] <= tail["hedges_issued"], path,
+                f"{where}: hedges_won ({tail['hedges_won']}) > hedges_issued "
+                f"({tail['hedges_issued']})")
+
+    nodes = tail.get("nodes")
+    if require(isinstance(nodes, list), path, f"{where}: nodes is not an array"):
+        node_reads = node_breaches = 0
+        rows_ok = True
+        for i, n in enumerate(nodes):
+            w = f"{where}.nodes[{i}]"
+            if not require(isinstance(n, dict), path, f"{w}: not an object"):
+                rows_ok = False
+                continue
+            for k in ("node", "reads", "breaches"):
+                if not require(isinstance(n.get(k), int), path,
+                               f"{w}: missing {k}"):
+                    rows_ok = False
+            for k in ("ewma_ms", "p50_ms", "p99_ms"):
+                require(isinstance(n.get(k), (int, float)), path,
+                        f"{w}: missing {k}")
+            node_reads += n.get("reads", 0) if isinstance(n.get("reads"), int) else 0
+            node_breaches += (n.get("breaches", 0)
+                              if isinstance(n.get("breaches"), int) else 0)
+        # Per-node rows are the tracker snapshot the globals were summed
+        # from, so the identities are exact (all-zero rows may be omitted).
+        if rows_ok and isinstance(tail.get("reads"), int):
+            require(node_reads == tail["reads"], path,
+                    f"{where}: per-node reads sum to {node_reads}, global "
+                    f"says {tail['reads']}")
+        if rows_ok and isinstance(tail.get("breaches"), int):
+            require(node_breaches == tail["breaches"], path,
+                    f"{where}: per-node breaches sum to {node_breaches}, "
+                    f"global says {tail['breaches']}")
+
+    evictions = tail.get("evictions")
+    if require(isinstance(evictions, list), path,
+               f"{where}: evictions is not an array"):
+        for i, e in enumerate(evictions):
+            w = f"{where}.evictions[{i}]"
+            if not require(isinstance(e, dict), path, f"{w}: not an object"):
+                continue
+            require(isinstance(e.get("node"), int), path, f"{w}: missing node")
+            require(e.get("reason") in TAIL_EVICT_REASONS, path,
+                    f"{w}: invalid reason {e.get('reason')!r}")
 
 
 def check_micro_object(doc: object, path: str, where: str) -> None:
@@ -249,6 +346,8 @@ def check_metrics_object(doc: object, path: str, where: str = "") -> None:
 
     if "cache" in doc:
         check_cache_object(doc.get("cache"), path, f"{where}cache")
+    if "io_tail" in doc:
+        check_tail_object(doc.get("io_tail"), path, f"{where}io_tail")
 
 
 # The "jobs" counter section of an h4d-jobs-v1 export (svc/job_manager.hpp
@@ -343,6 +442,9 @@ def check_jobs_object(doc: dict, path: str) -> None:
                     require(total <= cache[key], path,
                             f"cache: tenant {tkey} sums to {total}, exceeds "
                             f"global {key} {cache[key]}")
+
+    if "io_tail" in doc:
+        check_tail_object(doc.get("io_tail"), path, "io_tail")
 
     per_job = doc.get("per_job")
     if not require(isinstance(per_job, list), path, "per_job: not an array"):
